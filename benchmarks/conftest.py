@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+rendered text goes to stdout (visible with ``pytest -s``) and is also
+persisted under ``benchmarks/results/`` so EXPERIMENTS.md can reference
+the exact artifacts.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Return a writer that persists a rendered table and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

@@ -1,0 +1,94 @@
+"""Design-choice ablations called out in DESIGN.md (§IV-A-4 and §IV-A-2).
+
+1. **Karatsuba limb products** — 9 instead of 16 uint8 GEMMs but 5 extra
+   additions and 2 bits of word length: the paper measured no net win and
+   rejected it; we verify the trade-off is indeed flat-to-negative.
+2. **Decomposition depth** — 2 levels beats 1 (SMEM fit + 8x fewer GEMM
+   muls) and 3 (tiny GEMMs underuse tensor cores, CUDA load grows).
+3. **Montgomery vs Barrett in the NTT** — the ~10% instruction saving.
+"""
+
+from repro.analysis import format_table
+from repro.core import WarpDriveNtt, costs
+from repro.ntt import build_plan
+from repro.ntt.decompose import NttPlan
+
+N = 2**16
+BATCH = 1024
+
+
+def measure_karatsuba():
+    plain = WarpDriveNtt(N, variant="wd-tensor")
+    kara = WarpDriveNtt(N, variant="wd-tensor", use_karatsuba=True)
+    return {
+        "schoolbook (16 GEMMs)": plain.throughput_kops(BATCH),
+        "karatsuba (9 GEMMs)": kara.throughput_kops(BATCH),
+    }
+
+
+def measure_depth():
+    """Throughput with forced 1/2/3-level plans (wd-tensor)."""
+    plans = {
+        "1-level (256x256)": NttPlan(
+            N, left=NttPlan(256), right=NttPlan(256)
+        ),
+        "2-level (16^4), paper's": build_plan(N),
+        "3-level (4^8)": build_plan(N, max_leaf=4),
+    }
+    out = {}
+    for label, plan in plans.items():
+        counts = costs.plan_work_counts(plan)
+        out[label] = {
+            "ew_mul": counts.ew_mul,
+            "matrix_dim": max(plan.leaf_sizes()),
+            "support_ops": counts.support_ops(include_bit_ops=True),
+        }
+    return out
+
+
+def build_tables(kara, depth):
+    t1 = format_table(
+        ["limb scheme", "KOPS"],
+        [[k, round(v)] for k, v in kara.items()],
+        title=f"Ablation 1 — Karatsuba limb GEMMs (N=2^16, batch {BATCH}); "
+              "paper: no significant improvement, rejected",
+    )
+    t2 = format_table(
+        ["decomposition", "EW-Mul", "max leaf", "CUDA support ops"],
+        [[k, v["ew_mul"], v["matrix_dim"], v["support_ops"]]
+         for k, v in depth.items()],
+        title="Ablation 2 — decomposition depth trade-off (per NTT)",
+    )
+    t3 = format_table(
+        ["reduction", "INT32 ops/modmul"],
+        [["Montgomery (NTT)", costs.MONTGOMERY_MULMOD_OPS],
+         ["Barrett (elsewhere)", costs.BARRETT_MULMOD_OPS]],
+        title="Ablation 3 — modular reduction choice (§IV-A-4: Montgomery "
+              "~10% cheaper, used in NTTs)",
+    )
+    return "\n\n".join([t1, t2, t3])
+
+
+def test_ablations(benchmark, record_table):
+    kara = benchmark(measure_karatsuba)
+    depth = measure_depth()
+    record_table("ablations", build_tables(kara, depth))
+
+    # 1. Karatsuba brings no significant win (paper: rejected). Allow a
+    # small swing either way but no >10% improvement.
+    gain = kara["karatsuba (9 GEMMs)"] / kara["schoolbook (16 GEMMs)"] - 1
+    assert gain < 0.10, "Karatsuba should not be a clear win"
+
+    # 2. Depth trade-off: 2 levels cut EW-Mul 8x vs 1 level; 3 levels cut
+    # only 2x more while leaf GEMMs shrink to 4 (below the tensor tile)
+    # and the CUDA support load grows.
+    one = depth["1-level (256x256)"]
+    two = depth["2-level (16^4), paper's"]
+    three = depth["3-level (4^8)"]
+    assert one["ew_mul"] // two["ew_mul"] == 8
+    assert three["matrix_dim"] < 16, "3-level leaves underfill the tile"
+    assert three["support_ops"] > two["support_ops"]
+
+    # 3. Montgomery saves ~10-20% of the Barrett instruction count.
+    saving = 1 - costs.MONTGOMERY_MULMOD_OPS / costs.BARRETT_MULMOD_OPS
+    assert 0.05 < saving < 0.25

@@ -1,0 +1,76 @@
+"""Figure 5: scheduler-cycle breakdown, WD-Tensor vs TensorFHE NTT.
+
+The paper's headline memory-optimization numbers: 86% fewer cycles, 73%
+fewer instructions, Stall LG Throttle nearly eliminated, Stall Long
+Scoreboard cut by 98%, memory-related share down from ~70% to ~21%.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import TensorFheNtt
+from repro.core import WarpDriveNtt
+from repro.gpusim import StallReason, aggregate
+
+N = 2**16
+BATCH = 1024
+
+
+def measure():
+    tf_profiles = [
+        e.profile for e in TensorFheNtt(N).simulate(BATCH).entries
+    ]
+    wd_profiles = [
+        e.profile
+        for e in WarpDriveNtt(N, variant="wd-tensor").simulate(BATCH).entries
+    ]
+    return aggregate(tf_profiles), aggregate(wd_profiles)
+
+
+def build_table(tf, wd):
+    def row(label, getter):
+        t, w = getter(tf), getter(wd)
+        reduction = 100 * (1 - w / t) if t else 0.0
+        return [label, f"{t:.3g}", f"{w:.3g}", f"{reduction:.1f}%"]
+
+    rows = [
+        row("total cycles", lambda a: a.total_cycles),
+        row("issued instructions ('Selected')",
+            lambda a: a.issued_instructions),
+        row("stall cycles (all reasons)", lambda a: a.stalls.total),
+        row("  LG Throttle",
+            lambda a: a.stalls.cycles.get(StallReason.LG_THROTTLE, 0.0)),
+        row("  Long Scoreboard",
+            lambda a: a.stalls.cycles.get(
+                StallReason.LONG_SCOREBOARD, 0.0)),
+        ["memory-related stall share",
+         f"{100 * tf.memory_stall_fraction:.1f}%",
+         f"{100 * wd.memory_stall_fraction:.1f}%", "-"],
+    ]
+    return format_table(
+        ["metric", "TensorFHE", "WD-Tensor", "reduction"],
+        rows,
+        title=f"Fig. 5 — scheduler cycles breakdown (N=2^16, "
+              f"batch={BATCH}); paper: -86% cycles, -73% instructions",
+        col_width=14,
+    )
+
+
+def test_fig05_stall_breakdown(benchmark, record_table):
+    tf, wd = benchmark(measure)
+    record_table("fig05_stall_breakdown", build_table(tf, wd))
+
+    # Cycle reduction (paper: 86%).
+    cycle_cut = 1 - wd.total_cycles / tf.total_cycles
+    assert cycle_cut > 0.70, f"cycle reduction only {cycle_cut:.0%}"
+    # Instruction reduction (paper: 73%).
+    instr_cut = 1 - wd.issued_instructions / tf.issued_instructions
+    assert instr_cut > 0.4, f"instruction reduction only {instr_cut:.0%}"
+    # LG Throttle almost eliminated.
+    tf_lg = tf.stalls.cycles.get(StallReason.LG_THROTTLE, 0.0)
+    wd_lg = wd.stalls.cycles.get(StallReason.LG_THROTTLE, 0.0)
+    assert wd_lg < 0.1 * tf_lg
+    # Long Scoreboard slashed (paper: -98%).
+    tf_lsb = tf.stalls.cycles.get(StallReason.LONG_SCOREBOARD, 0.0)
+    wd_lsb = wd.stalls.cycles.get(StallReason.LONG_SCOREBOARD, 0.0)
+    assert wd_lsb < 0.15 * tf_lsb
+    # Memory-related share drops decisively (paper: ~70% -> 21%).
+    assert wd.memory_stall_fraction < tf.memory_stall_fraction - 0.2

@@ -1,0 +1,55 @@
+"""Figure 7: sensitivity to threads per block (SET-D).
+
+Sweeps T in {64, 128, 256, 512, 1024} over the homomorphic operations and
+checks the paper's finding: T=256 is optimal (or within noise of optimal)
+for every operation, which is why the framework defaults to it.
+"""
+
+from repro.analysis import format_table
+from repro.ckks import ParameterSets
+from repro.core import GeometryConfig, OperationScheduler
+
+THREADS = [64, 128, 256, 512, 1024]
+OPS = ["hadd", "pmult", "rescale", "hrotate", "hmult"]
+PARAMS = ParameterSets.set_d()
+
+
+def measure():
+    data = {}
+    for t in THREADS:
+        sched = OperationScheduler(
+            PARAMS, geometry=GeometryConfig(threads_per_block=t)
+        )
+        for op in OPS:
+            data.setdefault(op, {})[t] = sched.latency_us(op)
+    return data
+
+
+def build_table(data):
+    rows = []
+    for op in OPS:
+        best = min(data[op].values())
+        rows.append(
+            [op] + [round(data[op][t] / best, 3) for t in THREADS]
+        )
+    return format_table(
+        ["op \\ T"] + [str(t) for t in THREADS], rows,
+        title="Fig. 7 — normalized latency vs threads per block (SET-D); "
+              "1.0 = best",
+    )
+
+
+def test_fig07_threads_per_block(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("fig07_threads_per_block", build_table(data))
+
+    for op in OPS:
+        best_t = min(data[op], key=data[op].get)
+        # T=256 is optimal or within 5% of the optimum for every op.
+        assert data[op][256] <= data[op][best_t] * 1.05, (
+            f"{op}: T=256 is {data[op][256] / data[op][best_t]:.2f}x "
+            f"the best (T={best_t})"
+        )
+    # The extremes are never better than T=256.
+    for op in OPS:
+        assert data[op][64] >= data[op][256] * 0.999

@@ -1,0 +1,64 @@
+"""§III-C: the memory cost of ciphertext batching vs intra-ciphertext
+parallelism.
+
+The paper motivates PE kernels by noting that (a) a single ciphertext
+already expands to ~1 GB of working state during HMULT at large
+parameters, and (b) TensorFHE-style batching multiplies that by the batch
+size, "exacerbating the memory resource constraints". This benchmark
+quantifies both with the S_max model and checks the claims.
+"""
+
+from repro.analysis import format_table
+from repro.ckks import ParameterSets
+from repro.core import max_working_set_bytes
+
+SETS = ["SET-C", "SET-D", "SET-E"]
+
+
+def measure():
+    data = {}
+    for s in SETS:
+        params = ParameterSets.by_name(s)
+        ct_mb = params.ciphertext_bytes() / 1024**2
+        ws_1 = max_working_set_bytes(params, batch_size=1) / 1024**2
+        ws_128 = max_working_set_bytes(params, batch_size=128) / 1024**2
+        data[s] = {
+            "ciphertext_mb": ct_mb,
+            "working_set_bs1_mb": ws_1,
+            "working_set_bs128_gb": ws_128 / 1024,
+        }
+    return data
+
+
+def build_table(data):
+    rows = []
+    for s in SETS:
+        d = data[s]
+        rows.append([
+            s,
+            round(d["ciphertext_mb"], 1),
+            round(d["working_set_bs1_mb"], 0),
+            round(d["working_set_bs128_gb"], 1),
+        ])
+    return format_table(
+        ["set", "ct (MB)", "HMULT working set BS=1 (MB)",
+         "BS=128 (GB)"],
+        rows,
+        title="Memory footprint — single ciphertext vs batched (S_max "
+              "model, §III-C)",
+        col_width=26,
+    )
+
+
+def test_memory_footprint(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("memory_footprint", build_table(data))
+
+    # §III-C: a single large-parameter ciphertext expands toward ~1 GB
+    # of working state during key-switching.
+    assert data["SET-E"]["working_set_bs1_mb"] > 500
+    # Batching at TensorFHE's scale exceeds even an 80 GB A100.
+    assert data["SET-E"]["working_set_bs128_gb"] > 80
+    # WarpDrive's BS=1 working set fits comfortably.
+    for s in SETS:
+        assert data[s]["working_set_bs1_mb"] < 80 * 1024

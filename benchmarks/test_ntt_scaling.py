@@ -1,0 +1,51 @@
+"""NTT scaling study: throughput vs ring size and batch depth.
+
+Not a single paper table, but the underlying scaling behaviour every
+table rides on: WarpDrive's single-kernel NTT amortizes launch overhead
+with batch depth and decays ~linearly in N once memory-bound.
+"""
+
+from repro.analysis import format_table
+from repro.core import WarpDriveNtt
+
+SIZES = [2**12, 2**13, 2**14, 2**15, 2**16]
+BATCHES = [1, 64, 1024]
+
+
+def measure():
+    data = {}
+    for n in SIZES:
+        engine = WarpDriveNtt(n)
+        data[n] = {b: engine.throughput_kops(b) for b in BATCHES}
+    return data
+
+
+def build_table(data):
+    rows = []
+    for n in SIZES:
+        rows.append(
+            [f"N=2^{n.bit_length() - 1}"]
+            + [round(data[n][b]) for b in BATCHES]
+        )
+    return format_table(
+        ["ring size"] + [f"batch {b}" for b in BATCHES], rows,
+        title="WarpDrive NTT throughput scaling (KOPS, wd-fuse)",
+    )
+
+
+def test_ntt_scaling(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("ntt_scaling", build_table(data))
+
+    for n in SIZES:
+        # Batching always helps (launch amortization + machine fill)...
+        assert data[n][1024] > data[n][64] >= data[n][1]
+    for b in BATCHES:
+        # ...and throughput decays monotonically with ring size.
+        series = [data[n][b] for n in SIZES]
+        assert series == sorted(series, reverse=True)
+    # Per-coefficient cost is roughly flat at scale: KOPS ratio between
+    # adjacent sizes stays within [1.5, 8] (N doubles plus log factor).
+    for a, b2 in zip(SIZES, SIZES[1:]):
+        ratio = data[a][1024] / data[b2][1024]
+        assert 1.5 < ratio < 8

@@ -1,0 +1,100 @@
+"""Robustness and sensitivity studies beyond the paper's tables.
+
+1. **Calibration robustness** — the simulator's one global calibration
+   scalar (`_SILICON_GAP`) is swept ±50%; every qualitative conclusion
+   (variant ordering, WarpDrive-vs-TensorFHE advantage) must be invariant,
+   demonstrating that only absolute magnitudes depend on the calibration.
+2. **dnum sensitivity** — §V-A notes KeySwitch supports different `dnum`
+   settings; this sweep exposes the classic hybrid-key-switching
+   trade-off (more digits = more NTT work per switch, fewer digits = a
+   larger special-prime budget) as HMULT latency across dnum.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import TensorFheNtt
+from repro.ckks import CkksParams, ParameterSets
+from repro.core import VARIANTS, OperationScheduler, WarpDriveNtt
+
+N = 2**14
+BATCH = 512
+GAPS = [0.2, 0.4, 0.8]
+
+
+def measure_gap_sweep():
+    data = {}
+    tf = TensorFheNtt(N).throughput_kops(BATCH)
+    for gap in GAPS:
+        row = {
+            v: WarpDriveNtt(N, variant=v,
+                            silicon_gap=gap).throughput_kops(BATCH)
+            for v in VARIANTS
+        }
+        row["tf_ratio"] = row["wd-fuse"] / tf
+        data[gap] = row
+    return data
+
+
+def measure_dnum_sweep():
+    base = ParameterSets.set_c()
+    out = {}
+    for dnum in (3, 5, 8, 15):
+        # Keep the Han-Ki noise condition: special primes cover a digit.
+        alpha = -(-base.num_primes // dnum)
+        params = CkksParams(
+            n=base.n, max_level=base.max_level, num_special=alpha,
+            dnum=dnum, scale_bits=base.scale_bits,
+            name=f"set-c-dnum{dnum}",
+        )
+        sched = OperationScheduler(params)
+        out[dnum] = {
+            "hmult_us": sched.latency_us("hmult"),
+            "special_primes": alpha,
+        }
+    return out
+
+
+def build_tables(gaps, dnums):
+    rows = []
+    for gap, row in gaps.items():
+        rows.append(
+            [f"gap={gap}"]
+            + [round(row[v]) for v in VARIANTS]
+            + [f"{row['tf_ratio']:.1f}x"]
+        )
+    t1 = format_table(
+        ["calibration"] + list(VARIANTS) + ["vs TF"], rows,
+        title=f"Calibration robustness — variant KOPS at N=2^14 under "
+              f"silicon-gap sweep",
+    )
+    rows2 = [
+        [f"dnum={d}", round(v["hmult_us"], 1), v["special_primes"]]
+        for d, v in dnums.items()
+    ]
+    t2 = format_table(
+        ["config", "HMULT us", "special primes (K)"], rows2,
+        title="dnum sensitivity — HMULT latency at SET-C geometry",
+    )
+    return t1 + "\n\n" + t2
+
+
+def test_sensitivity(benchmark, record_table):
+    gaps = benchmark(measure_gap_sweep)
+    dnums = measure_dnum_sweep()
+    record_table("sensitivity", build_tables(gaps, dnums))
+
+    # Orderings are calibration-invariant.
+    for gap, row in gaps.items():
+        assert row["wd-fuse"] > row["wd-tensor"] > row["wd-bo"] \
+            > row["wd-cuda"]
+        assert row["wd-cuda"] < row["wd-ftc"] < row["wd-tensor"]
+        assert row["tf_ratio"] > 3, "WD-vs-TF advantage survives"
+    # Throughput scales ~linearly with the gap (sanity of the knob).
+    assert gaps[0.8]["wd-fuse"] > 1.5 * gaps[0.4]["wd-fuse"]
+
+    # dnum trade-off: small dnum (big digits, more special primes) and
+    # huge dnum (many digits) both cost more than a middle setting.
+    latencies = {d: v["hmult_us"] for d, v in dnums.items()}
+    assert latencies[15] > min(latencies.values())
+    # K shrinks as dnum grows (the memory/noise side of the trade-off).
+    ks = [v["special_primes"] for v in dnums.values()]
+    assert ks == sorted(ks, reverse=True)

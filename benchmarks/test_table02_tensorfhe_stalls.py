@@ -1,0 +1,91 @@
+"""Table II: stall profile of the TensorFHE 5-stage NTT (N=2^16, B=1024).
+
+Regenerates the stall-cycles-per-issued-instruction row and the
+memory-related stall percentages per pipeline stage, and checks the
+paper's qualitative findings: Stage 1 is LG-Throttle-dominated, every
+stage is majority-memory-stalled, and Long Scoreboard appears everywhere.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import TensorFheNtt
+from repro.baselines.published import TABLE_II_TENSORFHE_STALLS
+from repro.gpusim import StallReason, aggregate
+
+N = 2**16
+BATCH = 1024
+
+
+def build_table():
+    ntt = TensorFheNtt(N)
+    stage_profiles = ntt.stage_profiles(batch=BATCH)
+    stages = sorted(stage_profiles)
+    rows = []
+    aggs = {s: aggregate(stage_profiles[s]) for s in stages}
+    rows.append(
+        ["Stall cycles / issued instr (sim)"]
+        + [round(aggs[s].stall_cycles_per_issued, 1) for s in stages]
+    )
+    rows.append(
+        ["  paper"]
+        + [TABLE_II_TENSORFHE_STALLS[s]["stall_per_issued"] for s in stages]
+    )
+    rows.append(
+        ["Memory-related stalls % (sim)"]
+        + [round(100 * aggs[s].memory_stall_fraction, 1) for s in stages]
+    )
+    rows.append(
+        ["  paper"]
+        + [TABLE_II_TENSORFHE_STALLS[s]["memory_related_pct"]
+           for s in stages]
+    )
+    rows.append(
+        ["LG Throttle % (sim)"]
+        + [round(100 * aggs[s].stalls.fraction(StallReason.LG_THROTTLE), 1)
+           for s in stages]
+    )
+    rows.append(
+        ["  paper"]
+        + [TABLE_II_TENSORFHE_STALLS[s]["lg_throttle_pct"] for s in stages]
+    )
+    rows.append(
+        ["Long Scoreboard % (sim)"]
+        + [round(
+            100 * aggs[s].stalls.fraction(StallReason.LONG_SCOREBOARD), 1
+        ) for s in stages]
+    )
+    rows.append(
+        ["  paper"]
+        + [TABLE_II_TENSORFHE_STALLS[s]["long_scoreboard_pct"]
+           for s in stages]
+    )
+    table = format_table(
+        ["metric"] + stages, rows,
+        title=f"Table II — TensorFHE 5-stage NTT stalls "
+              f"(N=2^16, batch={BATCH})",
+    )
+    return table, aggs
+
+
+def test_table02_tensorfhe_stalls(benchmark, record_table):
+    table, aggs = benchmark(build_table)
+    record_table("table02_tensorfhe_stalls", table)
+
+    # Shape checks (the paper's qualitative claims).
+    stage1 = aggs["Stage 1"]
+    assert stage1.stalls.fraction(StallReason.LG_THROTTLE) > 0.3, \
+        "Stage 1 must be LG-Throttle dominated"
+    for stage, agg in aggs.items():
+        assert agg.memory_stall_fraction > 0.5, \
+            f"{stage} must be majority memory-stalled (paper: >54%)"
+        assert agg.stalls.fraction(StallReason.LONG_SCOREBOARD) > 0.01, \
+            f"{stage} must show Long Scoreboard stalls"
+    # Stage 1 shows the highest LG-Throttle share of all stages (82.7% in
+    # the paper), and a worse stall ratio than the tensor GEMM stages.
+    lg = {
+        s: aggs[s].stalls.fraction(StallReason.LG_THROTTLE) for s in aggs
+    }
+    assert lg["Stage 1"] == max(lg.values())
+    assert (
+        aggs["Stage 1"].stall_cycles_per_issued
+        > aggs["Stage 2"].stall_cycles_per_issued
+    )

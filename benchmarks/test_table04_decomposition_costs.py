@@ -1,0 +1,85 @@
+"""Table IV: operation counts per decomposition level (exact analytics).
+
+This table is closed-form, so the reproduction is exact: matrix sizes,
+element-wise multiplications, modular reductions/multiplications and
+bit-decompose/merge counts per level at N=65536, plus the design rule it
+justifies (stop at two levels).
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.ntt import build_plan, table_iv_rows
+
+N = 65536
+
+
+def build_table():
+    rows_data = table_iv_rows(N)
+
+    def pow2(v):
+        exp = math.log2(v)
+        if exp == int(exp):
+            return f"2^{int(exp)}"
+        mant = v / (2 ** int(exp))
+        return f"{mant:.1f}*2^{int(exp)}"
+
+    rows = []
+    for cost in rows_data:
+        rows.append([
+            f"{cost.level}-level",
+            pow2(cost.matrix_size),
+            pow2(cost.ew_mul),
+            pow2(cost.mod_red),
+            pow2(cost.mod_mul),
+            pow2(cost.bit_dec_mer),
+        ])
+    table = format_table(
+        ["decomp", "MatrixSize", "EW-Mul", "ModRed", "ModMul",
+         "Bit-Dec&Mer"],
+        rows,
+        title=f"Table IV — operation counts per decomposition level "
+              f"(N={N})",
+    )
+    return table, rows_data
+
+
+def test_table04_decomposition_costs(benchmark, record_table):
+    table, rows_data = benchmark(build_table)
+    record_table("table04_decomposition_costs", table)
+
+    by_level = {r.level: r for r in rows_data}
+    # Exact Table IV values.
+    assert by_level[0].matrix_size == 2**32
+    assert by_level[1].matrix_size == 2**16
+    assert by_level[2].matrix_size == 2**8
+    assert by_level[3].matrix_size == 2**4
+    assert by_level[1].ew_mul == 2**25
+    assert by_level[2].ew_mul == 2**22
+    assert by_level[3].ew_mul == 2**21
+    assert by_level[2].mod_mul == 3 * 2**16
+    assert by_level[3].bit_dec_mer == 7 * 2**17
+
+    # §IV-A-2: 2 levels cut the GEMM load to 1/8 of 1 level...
+    assert by_level[1].ew_mul // by_level[2].ew_mul == 8
+    # ...and the planner indeed stops at depth 2 with 16-point leaves.
+    plan = build_plan(N)
+    assert plan.depth == 2
+    assert plan.describe() == "(16x16)x(16x16)"
+    assert plan.num_steps() == 7  # the Fig. 2 schedule
+
+
+def test_fig02_decomposition_structure(benchmark, record_table):
+    """Fig. 2: the 7-step schedule of the 2-level decomposition."""
+    plan = benchmark(build_plan, N)
+    lines = [
+        "Fig. 2 — WarpDrive NTT decomposition structure",
+        f"plan        : {plan.describe()}",
+        f"depth       : {plan.depth} levels",
+        f"steps       : {plan.num_steps()} "
+        "(4 grouped inner-NTT steps + 3 twiddle/transpose steps)",
+        f"inner sizes : {plan.leaf_sizes()}",
+    ]
+    for n, expected in ((4096, "(16x16)x16"), (65536, "(16x16)x(16x16)")):
+        assert build_plan(n).describe() == expected
+    record_table("fig02_decomposition_structure", "\n".join(lines))

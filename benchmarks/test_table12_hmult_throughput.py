@@ -1,0 +1,80 @@
+"""Table XII: HMULT throughput — CPU vs TensorFHE vs WarpDrive.
+
+WarpDrive's intra-ciphertext parallelism gives high throughput without
+TensorFHE's heavy ciphertext batching: measured at pipeline depth 32
+(WarpDrive PE) vs 512 (TensorFHE operation batching); conventions
+documented in EXPERIMENTS.md.
+"""
+
+from repro.analysis import format_table
+from repro.baselines import TensorFheOps, cpu_hmult_throughput_kops
+from repro.baselines.published import TABLE_XII_HMULT_KOPS
+from repro.ckks import ParameterSets
+from repro.core import OperationScheduler
+
+SETS = ["SET-A", "SET-B", "SET-C"]
+WD_DEPTH = 32
+TF_DEPTH = 512
+
+
+def measure():
+    data = {"CPU (sim)": {}, "TensorFHE (sim)": {}, "WarpDrive (sim)": {}}
+    for s in SETS:
+        params = ParameterSets.by_name(s)
+        data["CPU (sim)"][s] = cpu_hmult_throughput_kops(params)
+        data["TensorFHE (sim)"][s] = TensorFheOps(
+            params
+        ).hmult_throughput_kops(batch=TF_DEPTH)
+        data["WarpDrive (sim)"][s] = OperationScheduler(
+            params
+        ).throughput_kops("hmult", batch=WD_DEPTH)
+    return data
+
+
+def build_table(data):
+    pub = TABLE_XII_HMULT_KOPS
+    rows = []
+    for scheme, pub_key in (("CPU (sim)", "CPU Baseline"),
+                            ("TensorFHE (sim)", "TensorFHE"),
+                            ("WarpDrive (sim)", "WarpDrive")):
+        rows.append([scheme] + [round(data[scheme][s], 2) for s in SETS])
+        rows.append(["  paper"] + [pub[pub_key][s] for s in SETS])
+    rows.append(
+        ["Speedup over TensorFHE (sim)"]
+        + [f"{data['WarpDrive (sim)'][s] / data['TensorFHE (sim)'][s]:.2f}x"
+           for s in SETS]
+    )
+    rows.append(["  paper"] + ["3.46x", "1.73x", "1.37x"])
+    rows.append(
+        ["Speedup over CPU (sim)"]
+        + [f"{data['WarpDrive (sim)'][s] / data['CPU (sim)'][s]:.0f}x"
+           for s in SETS]
+    )
+    rows.append(["  paper"] + ["726x", "596x", "260x"])
+    return format_table(
+        ["scheme"] + SETS, rows,
+        title=f"Table XII — HMULT throughput, KOPS "
+              f"(WD depth {WD_DEPTH}, TF batch {TF_DEPTH})",
+        col_width=14,
+    )
+
+
+def test_table12_hmult_throughput(benchmark, record_table):
+    data = benchmark(measure)
+    record_table("table12_hmult_throughput", build_table(data))
+
+    for s in SETS:
+        wd = data["WarpDrive (sim)"][s]
+        tf = data["TensorFHE (sim)"][s]
+        cpu = data["CPU (sim)"][s]
+        # WarpDrive beats TensorFHE despite the 16x smaller batch.
+        assert wd > tf, f"{s}: WarpDrive must beat TensorFHE"
+        # And the CPU by orders of magnitude (paper: 260-726x).
+        assert wd / cpu > 100, f"{s}: CPU speedup only {wd / cpu:.0f}x"
+    # The WD advantage shrinks with the set size (the paper's trend:
+    # 3.46x -> 1.37x as batching catches up on big rings).
+    ratios = [
+        data["WarpDrive (sim)"][s] / data["TensorFHE (sim)"][s]
+        for s in SETS
+    ]
+    assert ratios[0] > ratios[-1] * 0.5

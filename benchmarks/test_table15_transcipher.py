@@ -1,0 +1,58 @@
+"""Table XV: AES-CTR-128 transciphering of 512 KB over CKKS.
+
+Prices the homomorphic AES evaluation schedule at the AES parameter set
+(N=2^16, L=46) and compares with the paper's GPU and 48-core CPU numbers.
+The client-side AES itself runs for real (validated against FIPS-197 in
+the test suite).
+"""
+
+from repro.analysis import format_table
+from repro.workloads import (
+    cpu_transcipher_minutes,
+    ctr_encrypt,
+    simulate_transcipher,
+)
+from repro.workloads.aes_transcipher import BLOCKS, DATA_BYTES
+
+
+def measure():
+    result = simulate_transcipher()
+    # Real client-side AES on a sample, to keep the data path honest.
+    key = list(range(16))
+    nonce = list(range(12))
+    sample = bytes(range(256))
+    roundtrip = ctr_encrypt(
+        ctr_encrypt(sample, key, nonce), key, nonce
+    ) == sample
+    return result, roundtrip
+
+
+def build_table(result):
+    cpu_min = cpu_transcipher_minutes()
+    rows = [
+        ["CPU 48-core (paper)", f"{cpu_min:.1f}", 128, BLOCKS,
+         DATA_BYTES // 1024],
+        ["WarpDrive GPU (paper)", "3.5", 128, BLOCKS, DATA_BYTES // 1024],
+        ["This repro (sim)", f"{result.latency_min:.2f}", 128, BLOCKS,
+         DATA_BYTES // 1024],
+        ["Speedup vs CPU (sim)",
+         f"{cpu_min / result.latency_min:.1f}x", "-", "-", "-"],
+        ["  paper", "31.6x", "-", "-", "-"],
+    ]
+    return format_table(
+        ["scheme", "latency (min)", "block bits", "blocks", "KB"],
+        rows,
+        title="Table XV — AES-CTR-128 transciphering over CKKS",
+    )
+
+
+def test_table15_transcipher(benchmark, record_table):
+    result, roundtrip = benchmark(measure)
+    record_table("table15_transcipher", build_table(result))
+
+    assert roundtrip, "client-side AES-CTR must round-trip"
+    cpu_min = cpu_transcipher_minutes()
+    # Order-of-magnitude GPU advantage (paper: 31.6x).
+    assert cpu_min / result.latency_min > 10
+    # Simulated latency within ~5x of the paper's 3.5 minutes.
+    assert 0.5 < result.latency_min < 10

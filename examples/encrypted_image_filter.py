@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Encrypted image filtering (the ResNet workload's conv primitive).
+
+Applies a 3x3 Gaussian blur and an edge detector to an encrypted image
+using rotations + masked plaintext multiplications — the multiplexed-
+convolution dataflow of the paper's ResNet-20 workload, at toy scale.
+
+Run: python examples/encrypted_image_filter.py
+"""
+
+import numpy as np
+
+from repro.ckks import CkksContext, CkksParams
+from repro.workloads import EncryptedConv2d, conv2d_reference, simulate_resnet20
+
+GAUSSIAN = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]]) / 16.0
+LAPLACIAN = np.array([[0, 1, 0], [1, -4, 1], [0, 1, 0]], dtype=float)
+
+
+def render(matrix: np.ndarray) -> str:
+    """Tiny ASCII rendering of a small image."""
+    lo, hi = matrix.min(), matrix.max()
+    span = (hi - lo) or 1.0
+    shades = " .:-=+*#%@"
+    rows = []
+    for row in matrix:
+        rows.append("".join(
+            shades[int((v - lo) / span * (len(shades) - 1))] for v in row
+        ))
+    return "\n".join("   " + r for r in rows)
+
+
+def main():
+    height = width = 5
+    rng = np.random.default_rng(3)
+    image = np.zeros((height, width))
+    image[1:4, 1:4] = 1.0          # a bright square
+    image += rng.normal(0, 0.05, size=image.shape)
+
+    print("Setting up CKKS (N=128 ring, 64 slots)...")
+    params = CkksParams(n=128, max_level=6, num_special=2, dnum=4,
+                        scale_bits=26, name="image-demo")
+    ctx = CkksContext.create(params, seed=5)
+    rotations = EncryptedConv2d.required_rotations(width, ctx.slots)
+    keys = ctx.keygen(rotations=rotations)
+
+    flat = np.zeros(ctx.slots)
+    flat[: height * width] = image.reshape(-1)
+    ct = ctx.encrypt(flat, keys)
+    print("input (plaintext view):")
+    print(render(image))
+
+    for name, kernel in (("gaussian blur", GAUSSIAN),
+                         ("laplacian edges", LAPLACIAN)):
+        conv = EncryptedConv2d(ctx, keys, kernel)
+        ct_out = conv.forward(ct, height, width)
+        decrypted = ctx.decrypt_decode_real(ct_out, keys)
+        result = decrypted[: height * width].reshape(height, width)
+        reference = conv2d_reference(image, kernel)
+        err = float(np.max(np.abs(result - reference)))
+        print(f"\n{name} under encryption (max error vs plaintext "
+              f"{err:.1e}):")
+        print(render(result))
+
+    print("\nFull ResNet-20 inference cost (simulated A100):")
+    timing = simulate_resnet20()
+    print(f"  {timing.total_s:.2f} s per image at BS=1 "
+          f"(paper reports 5.88 s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tour of the WarpDrive-NTT variants (§IV-A/B of the paper).
+
+Shows (1) that all five execution strategies — tensor-core limb GEMMs,
+CUDA-core GEMMs, butterflies, and the two fused forms — compute the
+bit-identical transform, and (2) how their simulated A100 throughput
+compares (the Fig. 6 experiment), including the headline: the fused
+tensor+CUDA kernel beats any single kind of processing unit.
+
+Run: python examples/ntt_variants_tour.py
+"""
+
+import numpy as np
+
+from repro.core import VARIANTS, WarpDriveNtt
+from repro.ntt import NttTables, build_plan
+from repro.numtheory import find_ntt_prime
+
+
+def correctness_tour():
+    n = 4096
+    q = find_ntt_prime(28, n)
+    tables = NttTables(q, n)
+    x = np.random.default_rng(0).integers(0, q, size=n, dtype=np.uint64)
+
+    print(f"N = {n}, q = {q}")
+    print(f"decomposition plan: {build_plan(n).describe()} "
+          f"(the paper's (16x16)x16 for N=4096)")
+    print()
+    reference = None
+    for variant in VARIANTS:
+        engine = WarpDriveNtt(n, variant=variant)
+        y = engine.forward(x, tables)
+        back = engine.inverse(y, tables)
+        status = "roundtrip OK" if np.array_equal(back, x) else "BROKEN"
+        if reference is None:
+            reference = y
+            agree = "reference"
+        else:
+            agree = ("bit-identical" if np.array_equal(y, reference)
+                     else "MISMATCH")
+        print(f"  {variant:<10} {status:>12}, {agree}")
+
+
+def throughput_tour():
+    print()
+    print(f"{'variant':<10}" + "".join(
+        f"{'N=2^' + str(b):>12}" for b in (12, 14, 16)
+    ) + "   (KOPS, batch 1024, simulated A100)")
+    results = {}
+    for variant in VARIANTS:
+        row = [variant]
+        for bits in (12, 14, 16):
+            kops = WarpDriveNtt(1 << bits, variant=variant).throughput_kops(
+                1024
+            )
+            results[(variant, bits)] = kops
+            row.append(f"{kops:,.0f}")
+        print(f"{row[0]:<10}" + "".join(f"{c:>12}" for c in row[1:]))
+
+    print()
+    for bits in (12, 14, 16):
+        gain = (results[("wd-fuse", bits)] / results[("wd-tensor", bits)]
+                - 1) * 100
+        print(f"  N=2^{bits}: WD-FUSE beats WD-Tensor by {gain:.1f}% "
+              f"(paper: 4-7%) — tensor + CUDA cores running concurrently")
+
+
+if __name__ == "__main__":
+    correctness_tour()
+    throughput_tour()

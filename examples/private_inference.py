@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Private neural-network inference, end to end.
+
+A client encrypts a feature vector; the server runs a small MLP —
+dense layers as BSGS linear transforms, activations as Chebyshev
+polynomials — without ever seeing the data; the client decrypts only the
+scores. This is the composition pattern behind the paper's ResNet and
+HELR workloads, runnable on a laptop.
+
+Run: python examples/private_inference.py
+"""
+
+import numpy as np
+
+from repro.ckks import CkksContext, CkksParams
+from repro.workloads.mlp import EncryptedMlp, plaintext_mlp, random_mlp
+
+
+def main():
+    params = CkksParams(n=64, max_level=12, num_special=2, dnum=13,
+                        scale_bits=26, name="inference-demo")
+    ctx = CkksContext.create(params, seed=42)
+    rng = np.random.default_rng(42)
+
+    print("Building an 8 -> 6 -> 3 MLP (weights public to the server)...")
+    layers = random_mlp(rng, [8, 6, 3])
+    mlp = EncryptedMlp(ctx, layers)
+    print(f"  depth: {mlp.levels_needed()} levels, "
+          f"rotation keys: {mlp.required_rotations()}")
+    keys = ctx.keygen(rotations=mlp.required_rotations())
+
+    for i in range(3):
+        x = rng.normal(size=8) * 0.5
+        vec = np.zeros(ctx.slots)
+        vec[:8] = x
+        ct = ctx.encrypt(vec, keys)          # client -> server
+        scores_ct = mlp.infer(ct, keys)      # server-side, encrypted
+        scores = ctx.decrypt_decode_real(scores_ct, keys)[:3]  # client
+        reference = plaintext_mlp(layers, x)
+        print(f"  input {i}: scores {np.round(scores, 4)} "
+              f"(plaintext {np.round(reference, 4)}, "
+              f"max err {np.max(np.abs(scores - reference)):.1e}) "
+              f"-> class {int(np.argmax(scores))}")
+
+    print("\nThe server saw only ciphertexts; levels consumed:",
+          mlp.levels_needed())
+
+
+if __name__ == "__main__":
+    main()

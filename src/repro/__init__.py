@@ -1,0 +1,18 @@
+"""WarpDrive (HPCA 2025) reproduction.
+
+A functional 32-bit-word RNS-CKKS library with every NTT strategy the paper
+describes (tensor-core GEMM with bit splitting, hierarchical decomposition,
+high-radix butterflies, fused tensor+CUDA plans), timed by an analytic GPU
+simulator (``repro.gpusim``) that reproduces the paper's tables and figures.
+
+Quickstart::
+
+    from repro.ckks import CkksContext, ParameterSets
+    ctx = CkksContext.create(ParameterSets.toy())
+    keys = ctx.keygen()
+    ct = ctx.encrypt([1.5, 2.5, -3.0], keys.public)
+    ct2 = ctx.hmult(ct, ct, keys)
+    print(ctx.decrypt_decode(ct2, keys.secret)[:3])
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Reporting and comparison helpers for the benchmark harness."""
+
+from .metrics import kops_from_us, us_from_kops, within_factor
+from .report import (
+    format_table,
+    paper_vs_measured,
+    shape_check,
+    speedup_row,
+)
+
+__all__ = [
+    "format_table",
+    "kops_from_us",
+    "paper_vs_measured",
+    "shape_check",
+    "speedup_row",
+    "us_from_kops",
+    "within_factor",
+]

@@ -1,0 +1,24 @@
+"""Metric conversions shared by benchmarks."""
+
+from __future__ import annotations
+
+
+def kops_from_us(latency_us: float) -> float:
+    """Operations per second in thousands, from per-op latency."""
+    if latency_us <= 0:
+        raise ValueError("latency must be positive")
+    return 1e3 / latency_us
+
+
+def us_from_kops(kops: float) -> float:
+    if kops <= 0:
+        raise ValueError("throughput must be positive")
+    return 1e3 / kops
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when measured is within [reference/factor, reference*factor]."""
+    if measured <= 0 or reference <= 0:
+        return False
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark files print tables shaped like the paper's; these helpers
+keep the formatting consistent (fixed-width columns, ratio rows,
+paper-vs-measured annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, title: str = "", col_width: int = 12,
+                 first_col_width: int = 28) -> str:
+    """Fixed-width table: first column left-aligned, rest right-aligned."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * (first_col_width + col_width * (len(headers) - 1)))
+    header = f"{headers[0]:<{first_col_width}}" + "".join(
+        f"{h:>{col_width}}" for h in headers[1:]
+    )
+    lines.append(header)
+    for row in rows:
+        cells = [_fmt(c) for c in row]
+        lines.append(
+            f"{cells[0]:<{first_col_width}}"
+            + "".join(f"{c:>{col_width}}" for c in cells[1:])
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def speedup_row(label: str, ours: Dict[str, float],
+                baseline: Dict[str, float],
+                keys: Sequence[str]) -> List:
+    """A 'Speedup' table row: ours / baseline per column."""
+    row: List = [label]
+    for k in keys:
+        a, b = ours.get(k), baseline.get(k)
+        row.append(None if not a or not b else f"{a / b:.2f}x")
+    return row
+
+
+def paper_vs_measured(name: str, paper: Optional[float], measured: float,
+                      *, unit: str = "") -> str:
+    """One EXPERIMENTS.md-style comparison line."""
+    if paper is None:
+        return f"{name:<40} paper: -          measured: {measured:.4g} {unit}"
+    ratio = measured / paper if paper else float("inf")
+    return (
+        f"{name:<40} paper: {paper:<10.4g} measured: {measured:<10.4g} "
+        f"{unit:<6} (x{ratio:.2f} of paper)"
+    )
+
+
+def shape_check(description: str, condition: bool) -> str:
+    """A pass/fail line for a qualitative claim ('who wins')."""
+    mark = "PASS" if condition else "FAIL"
+    return f"[{mark}] {description}"

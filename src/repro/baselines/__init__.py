@@ -1,0 +1,31 @@
+"""Baseline systems the paper compares against.
+
+- :mod:`.tensorfhe` — structural reimplementation of TensorFHE's 5-stage
+  kernel-level NTT (Algorithm 1) and operation batching;
+- :mod:`.hundredx` — 100x's kernel-fused polynomial-level design (64-bit
+  words on V100) plus the paper's 100x_opt variant;
+- :mod:`.cpu_baseline` — calibrated single-core CPU model ([49]);
+- :mod:`.published` — published numbers for closed systems (Liberate,
+  Cheddar, GME, [47]) used verbatim by the comparison tables.
+"""
+
+from . import published
+from .cpu_baseline import (
+    hmult_latency_us as cpu_hmult_latency_us,
+    hmult_throughput_kops as cpu_hmult_throughput_kops,
+    ntt_latency_us as cpu_ntt_latency_us,
+    ntt_throughput_kops as cpu_ntt_throughput_kops,
+)
+from .hundredx import HundredXOps
+from .tensorfhe import TensorFheNtt, TensorFheOps
+
+__all__ = [
+    "HundredXOps",
+    "TensorFheNtt",
+    "TensorFheOps",
+    "cpu_hmult_latency_us",
+    "cpu_hmult_throughput_kops",
+    "cpu_ntt_latency_us",
+    "cpu_ntt_throughput_kops",
+    "published",
+]

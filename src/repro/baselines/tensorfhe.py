@@ -1,0 +1,245 @@
+"""TensorFHE [22] baseline: the 5-stage kernel-level tensor-core NTT.
+
+Lowers Algorithm 1 of the paper exactly as written: a dedicated bit-split
+kernel, 16 limb-GEMM kernel launches per GEMM stage (one per ``(m, n)``
+limb pair, launched on streams that serialize on full-device grids), a
+Mid kernel (merge + ModRedc + twiddle Hadamard + re-split), 16 more GEMM
+launches, and a Merge kernel. Every stage round-trips its data through
+global memory — the structural property behind Table II's stall profile
+and the 10x gap of Table VII.
+
+Homomorphic operations follow TensorFHE's *operation batching* design:
+the same polynomial-level pipeline amortized over ``batch`` ciphertexts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ckks.params import CkksParams
+from ..gpusim import (
+    A100_SXM_40G,
+    ExecutionResult,
+    GpuSpec,
+    KernelSpec,
+    run_serial,
+    run_streams,
+)
+from ..core import costs
+from ..core.kernels import DEFAULT_GEOMETRY, GeometryConfig
+
+#: TensorFHE kernels achieve the same silicon fraction as other
+#: non-WarpDrive CUDA kernels in this reproduction (see EXPERIMENTS.md).
+_EFFICIENCY = 0.5
+
+WORD = 4
+
+
+def functional_five_stage_ntt(x, tables):
+    """Execute TensorFHE's NTT *functionally*: one-level decomposition
+    with uint8 limb GEMM inner NTTs — exactly the Algorithm 1 dataflow
+    (split, limb GEMMs, merge + Hadamard, limb GEMMs, merge), bit-exact
+    against the reference transform (tested).
+
+    ``x``: ``(..., N)`` coefficients; ``tables``: NttTables of (q, N).
+    """
+    import math
+
+    from ..ntt import HierarchicalNtt
+    from ..ntt.decompose import NttPlan
+
+    n = tables.n
+    bits = n.bit_length() - 1
+    n1 = 1 << (bits - bits // 2)
+    n2 = 1 << (bits // 2)
+    plan = NttPlan(n, left=NttPlan(n1), right=NttPlan(n2))
+    return HierarchicalNtt(tables, plan=plan,
+                           leaf_engine="tensor").forward(x)
+
+
+class TensorFheNtt:
+    """Kernel-level 5-stage NTT (Algorithm 1), 1-level decomposition."""
+
+    def __init__(self, n: int, *, device: GpuSpec = A100_SXM_40G,
+                 geometry: GeometryConfig = DEFAULT_GEOMETRY):
+        if n & (n - 1) or n < 256:
+            raise ValueError("TensorFHE NTT expects a power of two >= 256")
+        self.n = n
+        self.device = device
+        self.geometry = geometry
+        bits = n.bit_length() - 1
+        self.n1 = 1 << (bits - bits // 2)
+        self.n2 = 1 << (bits // 2)
+
+    # -- kernel plan --------------------------------------------------------------
+
+    def kernel_plan(self, batch: int = 1) -> List[KernelSpec]:
+        """The 35 launches of one batched five-stage NTT."""
+        b = batch
+        n = self.n
+        geo = self.geometry
+        elems = b * n
+
+        split = KernelSpec(
+            name="tf.split(U32ToU8)",
+            blocks=geo.blocks_for(elems),
+            warps_per_block=geo.warps_per_block,
+            int32_ops=elems * 4 * costs.BIT_SPLIT_OPS * 2,
+            gmem_read_bytes=elems * WORD,
+            gmem_write_bytes=elems * 4,  # four uint8 planes
+            coalescing=0.25,             # byte-granular stores
+            efficiency=_EFFICIENCY,
+            tags={"stage": "Stage 1"},
+        )
+
+        def gemm(stage: str, inner: int, m: int, mn: int) -> KernelSpec:
+            # One limb-pair GEMM: X_m (uint8) x W (uint8) -> int32 partial.
+            return KernelSpec(
+                name=f"tf.gemm{stage}[{m},{mn}]",
+                blocks=geo.blocks_for(elems, geo.ntt_coeffs_per_thread),
+                warps_per_block=geo.warps_per_block,
+                tensor_macs=elems * inner,
+                int32_ops=elems * 2,  # accumulator staging
+                gmem_read_bytes=elems * 1 + inner * inner,
+                gmem_write_bytes=elems * WORD,  # int32 partials
+                smem_read_bytes=elems * inner * 0.125,
+                smem_per_block_bytes=48 * 1024,
+                efficiency=_EFFICIENCY,
+                tags={"stage": stage},
+            )
+
+        mid = KernelSpec(
+            name="tf.mid(Hada&Trans)",
+            blocks=geo.blocks_for(elems),
+            warps_per_block=geo.warps_per_block,
+            int32_ops=elems * (
+                16 * costs.BIT_MERGE_OPS + costs.MODRED_OPS
+                + costs.MONTGOMERY_MULMOD_OPS + 4 * costs.BIT_SPLIT_OPS
+            ),
+            gmem_read_bytes=elems * 16 * WORD + elems * WORD,
+            gmem_write_bytes=elems * 4,
+            coalescing=0.5,
+            efficiency=_EFFICIENCY,
+            tags={"stage": "Stage 3"},
+        )
+
+        merge = KernelSpec(
+            name="tf.merge(U8ToU32)",
+            blocks=geo.blocks_for(elems),
+            warps_per_block=geo.warps_per_block,
+            int32_ops=elems * (16 * costs.BIT_MERGE_OPS + costs.MODRED_OPS),
+            gmem_read_bytes=elems * 16 * WORD,
+            gmem_write_bytes=elems * WORD,
+            efficiency=_EFFICIENCY,
+            tags={"stage": "Stage 5"},
+        )
+
+        plan = [split]
+        plan += [gemm("Stage 2", self.n2, m, mn)
+                 for m in range(4) for mn in range(4)]
+        plan += [mid]
+        plan += [gemm("Stage 4", self.n1, m, mn)
+                 for m in range(4) for mn in range(4)]
+        plan += [merge]
+        return plan
+
+    def simulate(self, batch: int = 1024, *, streams: int = 1,
+                 ) -> ExecutionResult:
+        plan = self.kernel_plan(batch)
+        if streams <= 1:
+            return run_serial(plan, self.device)
+        # GEMM launches spread across streams (they serialize anyway on
+        # full-device grids — the §III-A observation).
+        lanes: List[List[KernelSpec]] = [[] for _ in range(streams)]
+        for i, k in enumerate(plan):
+            lanes[i % streams].append(k)
+        return run_streams(lanes, self.device)
+
+    def throughput_kops(self, batch: int = 1024) -> float:
+        return batch / self.simulate(batch).elapsed_us * 1e3
+
+    def stage_profiles(self, batch: int = 1024):
+        """Profiles grouped by pipeline stage (for Table II / Fig. 5)."""
+        result = self.simulate(batch)
+        groups = {}
+        for entry in result.entries:
+            stage = entry.profile.spec.tags.get("stage", "?")
+            groups.setdefault(stage, []).append(entry.profile)
+        return dict(sorted(groups.items()))
+
+
+class TensorFheOps:
+    """TensorFHE homomorphic operations: operation-level batching, with
+    host-side handling of the per-ciphertext polynomial loop (§IV-C-1)."""
+
+    def __init__(self, params: CkksParams, *,
+                 device: GpuSpec = A100_SXM_40G,
+                 geometry: GeometryConfig = DEFAULT_GEOMETRY):
+        self.params = params
+        self.device = device
+        self.geometry = geometry
+        self.ntt = TensorFheNtt(params.n, device=device, geometry=geometry)
+
+    def hmult_latency_us(self, *, level: int = None,
+                         batch: int = 32) -> float:
+        """Amortized HMULT latency at TensorFHE's batch size.
+
+        Pipeline: tensor products + keyswitch where every NTT is the
+        5-stage kernel plan and the polynomial loop runs on the host (one
+        kernel sequence per polynomial — no intra-ciphertext parallelism).
+        """
+        level = self.params.max_level if level is None else level
+        plan = self._hmult_plan(level, batch)
+        return run_serial(plan, self.device).elapsed_us / batch
+
+    def hmult_throughput_kops(self, *, level: int = None,
+                              batch: int = 32) -> float:
+        return 1e3 / self.hmult_latency_us(level=level, batch=batch)
+
+    def _hmult_plan(self, level: int, batch: int) -> List[KernelSpec]:
+        from ..core import kernels as K
+
+        n = self.params.n
+        lvl = level + 1
+        special = self.params.num_special
+        dnum = min(self.params.dnum, lvl)
+        plan: List[KernelSpec] = []
+        # Tensor product: 3 separate batched Hadamard kernels.
+        for name in ("d0", "d1", "d2"):
+            plan.append(K.modmul_kernel(
+                f"tf.hmult.{name}", n * lvl * batch,
+                geometry=self.geometry, efficiency=_EFFICIENCY,
+            ))
+        # KeySwitch with 5-stage NTTs, polynomial loop on the host: each
+        # digit's NTT is a separate 35-kernel sequence over the extended
+        # basis (amortized over the ciphertext batch).
+        ext = lvl + special
+        plan += self.ntt.kernel_plan(lvl * batch)  # INTT input
+        plan.append(K.modup_kernel(
+            "tf.modup", n, -(-lvl // dnum), ext, polys=dnum * batch,
+            geometry=self.geometry, efficiency=_EFFICIENCY,
+        ))
+        for d in range(dnum):
+            plan += self.ntt.kernel_plan(ext * batch)
+        plan.append(K.inner_product_kernel(
+            "tf.inner_product", n, ext * batch, dnum,
+            geometry=self.geometry, efficiency=_EFFICIENCY,
+        ))
+        plan += self.ntt.kernel_plan(ext * batch)  # INTT acc0
+        plan += self.ntt.kernel_plan(ext * batch)  # INTT acc1
+        for i in range(2):
+            plan.append(K.moddown_kernel(
+                f"tf.moddown{i}", n, lvl, special, polys=batch,
+                geometry=self.geometry, efficiency=_EFFICIENCY,
+            ))
+        plan += self.ntt.kernel_plan(lvl * batch)  # NTT out0
+        plan += self.ntt.kernel_plan(lvl * batch)  # NTT out1
+        # Rescale.
+        plan += self.ntt.kernel_plan(2 * lvl * batch)
+        plan.append(K.elementwise_kernel(
+            "tf.rescale.divide", n * (lvl - 1) * 2 * batch,
+            ops_per_element=9, read_words=2, write_words=1,
+            geometry=self.geometry, efficiency=_EFFICIENCY,
+        ))
+        plan += self.ntt.kernel_plan(2 * (lvl - 1) * batch)
+        return plan

@@ -1,0 +1,5 @@
+"""BFV scheme on the WarpDrive substrate (the §VI-B generality claim)."""
+
+from .scheme import BfvCiphertext, BfvContext, BfvParams
+
+__all__ = ["BfvCiphertext", "BfvContext", "BfvParams"]

@@ -1,0 +1,6 @@
+"""BGV scheme on the WarpDrive substrate (the §VI-B generality claim)."""
+
+from .params import BgvParams
+from .scheme import BgvCiphertext, BgvContext
+
+__all__ = ["BgvCiphertext", "BgvContext", "BgvParams"]

@@ -1,0 +1,209 @@
+"""Slim CKKS bootstrapping [14], [26] — the Boot workload's core.
+
+Pipeline for a real-valued ciphertext that has exhausted its levels::
+
+    SlotToCoeff -> ModRaise -> CoeffToSlot -> EvalMod
+
+* **SlotToCoeff** moves the message from slots into polynomial
+  coefficients (one homomorphic linear transform, BSGS + hoisting via
+  :mod:`repro.ckks.linear_transform`).
+* **ModRaise** reinterprets the level-0 residues over the full modulus
+  chain; the plaintext becomes ``m + q0 * I(X)`` with a small integer
+  polynomial ``I``.
+* **CoeffToSlot** moves the (noisy) coefficients back into slots (two
+  linear transforms plus a conjugation).
+* **EvalMod** removes ``q0 * I`` by evaluating
+  ``(q0 / 2pi) * sin(2pi x / q0)`` as a Chebyshev polynomial
+  (:mod:`repro.ckks.polyeval`).
+
+The linear-transform matrices are derived numerically from the encoder
+(they are the canonical-embedding DFT halves), so this module works for
+any power-of-two ring degree; tests run it on toy rings, the benchmark
+harness prices its operation schedule at N = 2^16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keys import KeySet
+from .linear_transform import LinearTransform
+from .polyeval import PolynomialEvaluator
+from .poly import RnsPoly
+
+
+@dataclass
+class BootstrapConfig:
+    """Tunables of the slim bootstrap."""
+
+    #: Chebyshev degree of the sine approximation.
+    sine_degree: int = 63
+    #: Half-width of the EvalMod input range in q0 units; must exceed the
+    #: ModRaise overflow bound ~ (hamming_weight + 1) / 2.
+    eval_range: float = 6.5
+    #: Use BSGS linear transforms (sqrt-many rotation keys) vs the plain
+    #: diagonal method.
+    bsgs: bool = True
+
+
+class Bootstrapper:
+    """Bootstraps ciphertexts of one context.
+
+    Needs the rotation keys listed by :meth:`required_rotations` plus the
+    conjugation key.
+    """
+
+    def __init__(self, ctx: CkksContext, config: BootstrapConfig = None):
+        self.ctx = ctx
+        self.config = config or BootstrapConfig()
+        self.slots = ctx.params.slots
+        u0, p1, p2 = _embedding_matrices(ctx)
+        self._stc = LinearTransform(ctx, u0, bsgs=self.config.bsgs)
+        self._cts1 = LinearTransform(ctx, p1, bsgs=self.config.bsgs)
+        self._cts2 = LinearTransform(ctx, p2, bsgs=self.config.bsgs)
+        self._polyeval = PolynomialEvaluator(ctx.evaluator)
+        self._cheb_coeffs = self._fit_sine()
+
+    def required_rotations(self) -> List[int]:
+        """Union of the three transforms' rotation steps."""
+        steps = set()
+        for lt in (self._stc, self._cts1, self._cts2):
+            steps.update(lt.required_rotations())
+        return sorted(steps)
+
+    @staticmethod
+    def required_rotations_for(params, *, bsgs: bool = True) -> List[int]:
+        """Rotation steps needed, without building a context first.
+
+        Conservative: the embedding matrices are dense, so BSGS uses every
+        baby step below sqrt(slots) and every giant multiple.
+        """
+        import math
+
+        s = params.slots
+        if not bsgs:
+            return list(range(1, s))
+        baby = max(1, int(math.isqrt(s)))
+        steps = set(range(1, baby))
+        steps.update(g * baby for g in range(1, -(-s // baby)))
+        return sorted(steps)
+
+    # -- public API ---------------------------------------------------------------
+
+    def bootstrap(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Refresh a (low-level, real-message) ciphertext to a high level."""
+        ev = self.ctx.evaluator
+        # 1. SlotToCoeff: message into coefficients.
+        ct = self.slot_to_coeff(ct, keys)
+        # 2. Down to the base prime, then raise onto the full chain. The
+        #    raw residues represent the message at this scale — EvalMod
+        #    must measure them in q0 units relative to it.
+        ct = ev.level_down(ct, 0)
+        raised_scale = ct.scale
+        ct = self.mod_raise(ct)
+        # 3. CoeffToSlot: noisy coefficients back to slots.
+        ct = self.coeff_to_slot(ct, keys)
+        # 4. EvalMod: strip the q0*I term.
+        return self.eval_mod(ct, keys, raised_scale=raised_scale)
+
+    # -- stages ------------------------------------------------------------------
+
+    def slot_to_coeff(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Linear transform with U0: new slots = U0 z, whose underlying
+        polynomial has the message in its low coefficients."""
+        return self._stc.apply(ct, keys)
+
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Lift level-0 residues to the full chain (plaintext gains q0*I)."""
+        if ct.level != 0:
+            raise ValueError("mod_raise expects a level-0 ciphertext")
+        ev = self.ctx.evaluator
+        q0 = ev.q_moduli[0]
+        full = ev.q_moduli
+        out = []
+        for part in (ct.c0, ct.c1):
+            row = part.to_coeff().data[0]
+            centered = row.astype(np.int64)
+            centered[centered > q0 // 2] -= q0
+            out.append(RnsPoly.from_signed(centered, full).to_eval())
+        return Ciphertext(
+            out[0], out[1], self.ctx.params.max_level, ct.scale
+        )
+
+    def coeff_to_slot(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Slots become the low-half coefficients: P1 z + P2 conj(z)."""
+        ev = self.ctx.evaluator
+        conj = ev.conjugate(ct, keys)
+        part1 = self._cts1.apply(ct, keys)
+        part2 = self._cts2.apply(conj, keys)
+        return ev.hadd_matched(part1, part2)
+
+    def eval_mod(self, ct: Ciphertext, keys: KeySet, *,
+                 raised_scale: float) -> Ciphertext:
+        """Evaluate (1/2pi) sin(2pi u) on u = coefficients/q0.
+
+        ``raised_scale`` is the scale the raw residues carried when they
+        were mod-raised: the CtS output decodes to ``coeffs/raised_scale``,
+        so reading it in q0 units means declaring the scale
+        ``ct.scale * q0 / raised_scale``.
+        """
+        ev = self.ctx.evaluator
+        q0 = ev.q_moduli[0]
+        ct = Ciphertext(
+            ct.c0, ct.c1, ct.level, ct.scale * float(q0) / raised_scale
+        )
+        # Normalize to the Chebyshev domain x = u / R, choosing the
+        # plaintext scale so the rescaled result lands exactly back on
+        # Delta (otherwise Chebyshev squaring amplifies the q0-sized
+        # scale).
+        r = self.config.eval_range
+        q_drop = ev.q_moduli[ct.level]
+        norm_scale = self.ctx.params.scale * q_drop / ct.scale
+        ct_x = ev.rescale(ev.pmult_scalar(ct, 1.0 / r, scale=norm_scale))
+        result = self._polyeval.eval_chebyshev(
+            ct_x, self._cheb_coeffs, keys
+        )
+        # Slots now hold ~ m/q0; declare the scale that decodes them back
+        # to the original message units.
+        return Ciphertext(
+            result.c0, result.c1, result.level,
+            result.scale * raised_scale / float(q0),
+        )
+
+    # -- sine fit -------------------------------------------------------------------
+
+    def _fit_sine(self) -> np.ndarray:
+        r = self.config.eval_range
+
+        def f(x):
+            return np.sin(2 * np.pi * x * r) / (2 * np.pi)
+
+        return PolynomialEvaluator.chebyshev_fit(
+            f, self.config.sine_degree, domain=(-1, 1)
+        )
+
+
+def _embedding_matrices(ctx: CkksContext):
+    """Derive U0 (decode low half) and the CoeffToSlot inverses P1/P2
+    numerically from the encoder's decode map."""
+    n = ctx.params.n
+    s = ctx.params.slots
+    encoder = ctx.encoder
+    decode_matrix = np.empty((s, n), dtype=np.complex128)
+    for k in range(n):
+        unit = np.zeros(n)
+        unit[k] = 1.0
+        decode_matrix[:, k] = encoder.decode(unit, scale=1.0)
+    u0 = decode_matrix[:, :s]
+    u1 = decode_matrix[:, s:]
+    # Solve [z; conj(z)] = [[U0, U1]; [conj(U0), conj(U1)]] [m_lo; m_hi]
+    # for m_lo: the top half of the inverse gives P1 (acting on z) and P2
+    # (acting on conj(z)).
+    big = np.block([[u0, u1], [np.conj(u0), np.conj(u1)]])
+    inv = np.linalg.inv(big)
+    return u0, inv[:s, :s], inv[:s, s:]

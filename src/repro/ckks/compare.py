@@ -1,0 +1,82 @@
+"""Approximate comparisons on ciphertexts: sign, max, ReLU.
+
+CKKS has no native comparison; applications approximate ``sign(x)`` with
+composite odd polynomials (Cheon et al.), then build ``max``, ``min`` and
+``ReLU`` from it — the construction behind the paper's ResNet activation.
+This module provides the standard iterated-cubic composite:
+
+    g(x) = 1.5 x - 0.5 x^3        (a contraction toward ±1 on [-1, 1])
+    sign(x) ~ g∘g∘...∘g (x)
+
+Each composition costs 2 levels; ``rounds`` trades depth for sharpness.
+Inputs must lie in [-1, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .keys import KeySet
+from .ops import Evaluator
+
+
+def approx_sign(ev: Evaluator, ct: Ciphertext, keys: KeySet, *,
+                rounds: int = 3) -> Ciphertext:
+    """``sign(x)`` for x in [-1, 1] via iterated ``1.5x - 0.5x^3``."""
+    if rounds < 1:
+        raise ValueError("need at least one composition round")
+    out = ct
+    for _ in range(rounds):
+        out = _sign_round(ev, out, keys)
+    return out
+
+
+def _sign_round(ev: Evaluator, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+    sq = ev.hmult(ct, ct, keys)                        # x^2
+    cube = ev.hmult(sq, ev.level_down(ct, sq.level), keys)  # x^3
+    term1 = ev.rescale(ev.pmult_scalar(ct, 1.5))
+    term3 = ev.rescale(ev.pmult_scalar(cube, 0.5))
+    return ev.hsub_matched(
+        ev.level_down(term1, min(term1.level, term3.level)),
+        ev.level_down(term3, min(term1.level, term3.level)),
+    )
+
+
+def approx_relu(ev: Evaluator, ct: Ciphertext, keys: KeySet, *,
+                rounds: int = 3) -> Ciphertext:
+    """``relu(x) = x * (1 + sign(x)) / 2`` for x in [-1, 1]."""
+    sign = approx_sign(ev, ct, keys, rounds=rounds)
+    half_sign = ev.rescale(ev.pmult_scalar(sign, 0.5))
+    gate = ev.add_scalar(half_sign, 0.5)        # ~ indicator(x > 0)
+    return ev.hmult(ev.level_down(ct, gate.level), gate, keys)
+
+
+def approx_max(ev: Evaluator, a: Ciphertext, b: Ciphertext, keys: KeySet,
+               *, rounds: int = 3) -> Ciphertext:
+    """``max(a, b) = (a + b)/2 + |a - b|/2`` with ``|x| = x * sign(x)``.
+
+    Inputs (and their difference) must lie in [-1, 1]."""
+    diff = ev.hsub(a, b)
+    sign = approx_sign(ev, diff, keys, rounds=rounds)
+    abs_diff = ev.hmult(ev.level_down(diff, sign.level), sign, keys)
+    mean = ev.rescale(ev.pmult_scalar(ev.hadd(a, b), 0.5))
+    half_abs = ev.rescale(ev.pmult_scalar(abs_diff, 0.5))
+    lvl = min(mean.level, half_abs.level)
+    return ev.hadd_matched(
+        ev.level_down(mean, lvl), ev.level_down(half_abs, lvl)
+    )
+
+
+def sign_reference(x: np.ndarray, *, rounds: int = 3) -> np.ndarray:
+    """Plaintext mirror of :func:`approx_sign` (the test oracle)."""
+    out = np.asarray(x, dtype=float)
+    for _ in range(rounds):
+        out = 1.5 * out - 0.5 * out**3
+    return out
+
+
+def levels_for_sign(rounds: int) -> int:
+    """Depth of the composite sign: 3 levels per round (x^2, then x^3 one
+    level deeper, then the coefficient combination's rescale)."""
+    return 3 * rounds

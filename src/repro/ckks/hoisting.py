@@ -1,0 +1,105 @@
+"""Hoisted rotations (Halevi-Shoup hoisting).
+
+BSGS linear transforms — CoeffToSlot, convolutions, matrix-vector
+products — rotate the *same* ciphertext by many steps. The expensive part
+of each rotation is the key-switch ModUp (basis extension of every
+digit); hoisting performs it **once** and shares the extended digits
+across all rotations, because the Galois automorphism acts
+coefficient-wise and therefore commutes with the (coefficient-wise) basis
+extension.
+
+Per extra rotation only the automorphism, the NTTs of the permuted
+digits, the inner product and the ModDown remain — the cost ratio the
+workload schedules model as ``HOISTED_ROTATION_FACTOR``.
+
+This module implements hoisting *functionally*; tests verify each hoisted
+rotation decrypts to the same message as a plain HROTATE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..numtheory.rns import RNSBasis, extend_basis, mod_down
+from .ciphertext import Ciphertext
+from .keys import KeySet
+from .ops import Evaluator
+from .poly import COEFF, EVAL, RnsPoly
+
+
+def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
+                      keys: KeySet) -> Dict[int, Ciphertext]:
+    """Rotate ``ct`` by every step in ``steps``, sharing one ModUp.
+
+    Requires a rotation key for each step. Returns ``{step: rotated}``.
+    """
+    missing = [s for s in steps if s not in keys.rotation]
+    if missing:
+        raise KeyError(f"missing rotation keys for steps {missing}")
+    if not steps:
+        return {}
+
+    level_moduli = ct.moduli
+    num_level = len(level_moduli)
+    special = ev.p_moduli
+    target_moduli = level_moduli + tuple(special)
+    target_basis = RNSBasis(target_moduli)
+    n = ct.n
+    two_n = 2 * n
+
+    # --- the hoisted part: decompose + extend c1 once -----------------------
+    c1_coeff = ct.c1.to_coeff()
+    any_key = keys.rotation[steps[0]]
+    extended_digits: List[RnsPoly] = []
+    digit_indices: List[int] = []
+    for j, digit in enumerate(any_key.digits):
+        present = [i for i in digit if i < num_level]
+        if not present:
+            continue
+        sub = c1_coeff.take_primes(present)
+        ext = extend_basis(sub.data, RNSBasis(sub.moduli), target_basis)
+        extended_digits.append(RnsPoly(ext, target_moduli, COEFF))
+        digit_indices.append(j)
+
+    c0_coeff = ct.c0.to_coeff()
+    main = RNSBasis(level_moduli)
+    special_basis = RNSBasis(tuple(special))
+
+    out: Dict[int, Ciphertext] = {}
+    for step in steps:
+        exponent = pow(5, step, two_n)
+        ksk = keys.rotation[step]
+        acc0 = RnsPoly.zero(target_moduli, n, EVAL)
+        acc1 = RnsPoly.zero(target_moduli, n, EVAL)
+        for ext_poly, j in zip(extended_digits, digit_indices):
+            # Automorphism commutes with the extension: permute the
+            # already-extended digit, then NTT.
+            rotated_digit = ext_poly.automorphism(exponent).to_eval()
+            b_j, a_j = ksk.pairs[j]
+            b_rows = _level_rows(b_j, num_level, _full_len(ksk))
+            a_rows = _level_rows(a_j, num_level, _full_len(ksk))
+            acc0 = acc0 + rotated_digit * b_rows
+            acc1 = acc1 + rotated_digit * a_rows
+        parts = []
+        for acc in (acc0, acc1):
+            lowered = mod_down(acc.to_coeff().data, main, special_basis)
+            parts.append(
+                RnsPoly(lowered, level_moduli, COEFF).to_eval()
+            )
+        rot0 = c0_coeff.automorphism(exponent).to_eval()
+        out[step] = Ciphertext(
+            rot0 + parts[0], parts[1], ct.level, ct.scale
+        )
+    return out
+
+
+def _full_len(ksk) -> int:
+    return max(i for digit in ksk.digits for i in digit) + 1
+
+
+def _level_rows(key_poly: RnsPoly, num_level: int, full_len: int) -> RnsPoly:
+    num_special = key_poly.num_primes - full_len
+    indices = list(range(num_level)) + list(
+        range(full_len, full_len + num_special)
+    )
+    return key_poly.take_primes(indices)

@@ -1,0 +1,97 @@
+"""Hybrid key-switching: ModUp, InnerProduct, ModDown.
+
+This is the paper's costliest homomorphic primitive — the kernel sequence
+whose utilization Tables III and IX profile (NTT, ModUp, INTT, ModDown,
+InProd). The functional pipeline here mirrors those exact stages:
+
+1. INTT the input polynomial to the coefficient domain;
+2. **ModUp**: per digit, fast-basis-extend the digit's residues to the full
+   ``Q_l * P`` basis;
+3. NTT the extended digits;
+4. **InnerProduct**: accumulate ``digit * evk_j`` over digits (eval domain);
+5. INTT the accumulators;
+6. **ModDown**: divide by ``P`` with rounding, back to ``Q_l``;
+7. NTT the results back to the eval domain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..numtheory.rns import RNSBasis, extend_basis, mod_down, mod_down_exact_t
+from .keys import KeySwitchKey
+from .poly import COEFF, EVAL, RnsPoly
+
+
+def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
+              *, plain_modulus: int = None) -> Tuple[RnsPoly, RnsPoly]:
+    """Switch the polynomial ``d`` (eval domain, level basis) to the key
+    encrypted in ``ksk``, returning the eval-domain pair ``(ks0, ks1)``
+    with ``ks0 + ks1*s ≈ d*s'``.
+
+    ``special_moduli`` are the K special primes; ``ksk`` rows cover the
+    full chain ``q_0..q_L ++ p_0..p_(K-1)`` while ``d`` covers only the
+    current level's primes — lower levels simply skip the absent digit
+    primes, exactly as level-aware GPU implementations do.
+
+    ``plain_modulus``: when set (BGV/BFV), ModDown preserves residues mod
+    ``t`` (Gentry-Halevi-Smart rounding) instead of plain flooring.
+    """
+    if d.domain != EVAL:
+        raise ValueError("keyswitch input must be in eval domain")
+    level_moduli = d.moduli
+    num_level = len(level_moduli)
+    target_moduli = level_moduli + tuple(special_moduli)
+    target_basis = RNSBasis(target_moduli)
+    n = d.n
+
+    d_coeff = d.to_coeff()  # stage 1: INTT
+
+    acc0 = RnsPoly.zero(target_moduli, n, EVAL)
+    acc1 = RnsPoly.zero(target_moduli, n, EVAL)
+    full_len = _full_chain_length(ksk)
+    for j, digit in enumerate(ksk.digits):
+        present = [i for i in digit if i < num_level]
+        if not present:
+            continue
+        sub = d_coeff.take_primes(present)
+        extended = extend_basis(          # stage 2: ModUp
+            sub.data, RNSBasis(sub.moduli), target_basis
+        )
+        ext_poly = RnsPoly(extended, target_moduli, COEFF).to_eval()  # 3: NTT
+        b_j, a_j = ksk.pairs[j]
+        b_rows = _select_level_rows(b_j, num_level, full_len)
+        a_rows = _select_level_rows(a_j, num_level, full_len)
+        acc0 = acc0 + ext_poly * b_rows   # stage 4: InnerProduct
+        acc1 = acc1 + ext_poly * a_rows
+
+    main = RNSBasis(level_moduli)
+    special = RNSBasis(tuple(special_moduli))
+    out = []
+    for acc in (acc0, acc1):
+        coeff = acc.to_coeff()            # stage 5: INTT
+        if plain_modulus is None:
+            lowered = mod_down(coeff.data, main, special)  # 6: ModDown
+        else:
+            lowered = mod_down_exact_t(
+                coeff.data, main, special, plain_modulus
+            )
+        out.append(RnsPoly(lowered, level_moduli, COEFF).to_eval())  # 7: NTT
+    return out[0], out[1]
+
+
+def _full_chain_length(ksk: KeySwitchKey) -> int:
+    """Number of ciphertext-chain primes the key covers (max digit index+1)."""
+    return max(i for digit in ksk.digits for i in digit) + 1
+
+
+def _select_level_rows(key_poly: RnsPoly, num_level: int,
+                       full_len: int) -> RnsPoly:
+    """Restrict a full-chain key polynomial to level + special rows."""
+    num_special = key_poly.num_primes - full_len
+    indices: List[int] = list(range(num_level)) + list(
+        range(full_len, full_len + num_special)
+    )
+    return key_poly.take_primes(indices)

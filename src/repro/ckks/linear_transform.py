@@ -1,0 +1,129 @@
+"""Homomorphic linear transforms on slots (diagonal method + BSGS).
+
+``slots -> M @ slots`` for an arbitrary complex matrix M is the backbone
+of CoeffToSlot/SlotToCoeff, packed convolutions and encrypted
+matrix-vector products. Two strategies:
+
+* **diagonal method** — one rotation per non-zero diagonal:
+  ``sum_d diag_d(M) * rot(ct, d)``;
+* **BSGS** — ``O(sqrt(s))`` *distinct* rotations: write ``d = g*b_step +
+  b`` and hoist the baby rotations, rotating the giant partial sums:
+  ``sum_g rot( sum_b diag'_{g,b} * rot(ct, b), g*b_step )`` where the
+  giant-step rotation is folded into the diagonals
+  (``diag'_{g,b} = rot(diag_{g*b_step+b}, -g*b_step)``).
+
+The baby rotations are computed with Halevi-Shoup hoisting
+(:mod:`repro.ckks.hoisting`), so the dominant ModUp cost is paid once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .hoisting import hoisted_rotations
+from .keys import KeySet
+
+#: Magnitude below which a diagonal is treated as structurally zero.
+_DIAG_EPSILON = 1e-12
+
+
+class LinearTransform:
+    """One precompiled ``slots x slots`` transform."""
+
+    def __init__(self, ctx: CkksContext, matrix: np.ndarray, *,
+                 bsgs: bool = True):
+        s = ctx.slots
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (s, s):
+            raise ValueError(f"matrix must be {s}x{s}, got {matrix.shape}")
+        self.ctx = ctx
+        self.matrix = matrix
+        self.bsgs = bsgs
+        self.slots = s
+        self.baby = max(1, int(math.isqrt(s))) if bsgs else s
+        self._diagonals = self._extract_diagonals()
+
+    # -- construction -------------------------------------------------------------
+
+    def _extract_diagonals(self) -> Dict[int, np.ndarray]:
+        s = self.slots
+        j = np.arange(s)
+        out: Dict[int, np.ndarray] = {}
+        for d in range(s):
+            diag = self.matrix[j, (j + d) % s]
+            if np.any(np.abs(diag) > _DIAG_EPSILON):
+                out[d] = diag
+        if not out:
+            raise ValueError("transform matrix is identically zero")
+        return out
+
+    def required_rotations(self) -> List[int]:
+        """Rotation keys the application must generate."""
+        if not self.bsgs:
+            return sorted(d for d in self._diagonals if d)
+        steps = set()
+        for d in self._diagonals:
+            g, b = divmod(d, self.baby)
+            if b:
+                steps.add(b)
+            if g:
+                steps.add(g * self.baby)
+        return sorted(steps)
+
+    # -- application ------------------------------------------------------------------
+
+    def apply(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Return a ciphertext whose slots are ``matrix @ slots(ct)``."""
+        return (self._apply_bsgs if self.bsgs else self._apply_diagonal)(
+            ct, keys
+        )
+
+    def _apply_diagonal(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        ev = self.ctx.evaluator
+        steps = [d for d in self._diagonals if d]
+        rotated = hoisted_rotations(ev, ct, steps, keys)
+        rotated[0] = ct
+        acc = None
+        for d, diag in self._diagonals.items():
+            pt = self.ctx.encode(diag, level=rotated[d].level)
+            term = ev.pmult(rotated[d], pt)
+            acc = term if acc is None else ev.hadd_matched(acc, term)
+        return ev.rescale(acc)
+
+    def _apply_bsgs(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        ev = self.ctx.evaluator
+        baby = self.baby
+        # Group diagonals by giant step.
+        groups: Dict[int, Dict[int, np.ndarray]] = {}
+        for d, diag in self._diagonals.items():
+            g, b = divmod(d, baby)
+            groups.setdefault(g, {})[b] = diag
+
+        baby_steps = sorted(
+            {b for grp in groups.values() for b in grp if b}
+        )
+        rotated = hoisted_rotations(ev, ct, baby_steps, keys)
+        rotated[0] = ct
+
+        acc = None
+        for g, grp in sorted(groups.items()):
+            inner = None
+            for b, diag in grp.items():
+                # Pre-rotate the diagonal so the giant rotation can be
+                # applied after the inner sum.
+                shifted = np.roll(diag, g * baby)
+                pt = self.ctx.encode(shifted, level=rotated[b].level)
+                term = ev.pmult(rotated[b], pt)
+                inner = term if inner is None else ev.hadd_matched(
+                    inner, term
+                )
+            inner = ev.rescale(inner)
+            if g:
+                inner = ev.hrotate(inner, g * baby, keys)
+            acc = inner if acc is None else ev.hadd_matched(acc, inner)
+        return acc

@@ -1,0 +1,141 @@
+"""CKKS noise tracking: estimated budgets and measured noise.
+
+A production FHE library must tell users how much circuit depth remains.
+This module provides both views:
+
+* :class:`NoiseEstimator` — a standard heuristic noise tracker (canonical
+  embedding norm, central-limit style estimates) updated per operation;
+* :func:`measured_noise_bits` — the ground truth: decrypt and compare
+  against the expected message, reporting the actual noise magnitude in
+  bits. Tests keep the estimator honest against the measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .keys import SecretKey
+from .ops import Evaluator
+from .params import CkksParams
+
+
+@dataclass
+class NoiseState:
+    """Estimated noise standard deviation (absolute, coefficient domain)
+    carried alongside a ciphertext."""
+
+    std: float
+    level: int
+    scale: float
+
+    @property
+    def noise_bits(self) -> float:
+        """log2 of the ~6-sigma noise bound."""
+        return math.log2(max(2.0, 6.0 * self.std))
+
+    def budget_bits(self, params: CkksParams) -> float:
+        """Remaining bits between the noise and the current modulus."""
+        chain = params.chain()
+        q = chain.q_product(self.level)
+        return math.log2(q) - self.noise_bits
+
+
+class NoiseEstimator:
+    """Heuristic per-operation noise propagation.
+
+    Standard estimates (e.g. [15], [26]): fresh encryption noise
+    ``sigma * sqrt(2N)``-ish; addition adds variances; multiplication
+    scales each operand's noise by the other's message magnitude; the
+    rescale divides by the dropped prime and adds rounding noise
+    ``O(sqrt(N))``; key-switching adds ``O(dnum * sqrt(N) * sigma)``
+    after the ModDown division.
+    """
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        self.sigma = params.error_std
+        self.sqrt_n = math.sqrt(params.n)
+
+    def fresh(self) -> NoiseState:
+        # v*e_pk + e0 + e1*s: three error terms, two scaled by sparse
+        # ternary vectors of weight ~N/2 -> std ~ sigma * sqrt(N).
+        return NoiseState(
+            std=self.sigma * self.sqrt_n,
+            level=self.params.max_level,
+            scale=self.params.scale,
+        )
+
+    def add(self, a: NoiseState, b: NoiseState) -> NoiseState:
+        level = min(a.level, b.level)
+        return NoiseState(
+            std=math.hypot(a.std, b.std), level=level, scale=a.scale
+        )
+
+    def mult(self, a: NoiseState, b: NoiseState, *,
+             message_bound: float = 1.0) -> NoiseState:
+        """After HMULT + relinearization, before rescale."""
+        level = min(a.level, b.level)
+        m_a = message_bound * a.scale
+        m_b = message_bound * b.scale
+        cross = math.hypot(a.std * m_b, b.std * m_a)
+        product_noise = a.std * b.std * self.sqrt_n
+        ks_noise = self.keyswitch_noise()
+        return NoiseState(
+            std=math.sqrt(cross**2 + product_noise**2 + ks_noise**2),
+            level=level,
+            scale=a.scale * b.scale,
+        )
+
+    def rescale(self, state: NoiseState) -> NoiseState:
+        drop = self.params.rescale_primes
+        chain = self.params.chain()
+        divisor = 1.0
+        for i in range(drop):
+            divisor *= chain.moduli[state.level - i]
+        rounding = 0.5 * self.sqrt_n  # exact-division remainder term
+        return NoiseState(
+            std=math.hypot(state.std / divisor, rounding),
+            level=state.level - drop,
+            scale=state.scale / divisor,
+        )
+
+    def keyswitch_noise(self) -> float:
+        """Noise added by one hybrid key-switch (post ModDown)."""
+        chain = self.params.chain()
+        p = float(chain.p_product())
+        alpha = -(-self.params.num_primes // self.params.dnum)
+        digit_bound = float(
+            max(chain.moduli) ** alpha
+        )
+        return (
+            self.params.dnum * digit_bound * self.sigma * self.sqrt_n / p
+            + 0.5 * self.sqrt_n  # ModDown rounding
+        )
+
+    def rotate(self, state: NoiseState) -> NoiseState:
+        return NoiseState(
+            std=math.hypot(state.std, self.keyswitch_noise()),
+            level=state.level, scale=state.scale,
+        )
+
+
+def measured_noise_bits(ev: Evaluator, ct: Ciphertext, secret: SecretKey,
+                        expected_slots: np.ndarray) -> float:
+    """Ground-truth noise: log2 of the max coefficient-domain error.
+
+    Re-encodes ``expected_slots`` at the ciphertext's scale and measures
+    the distance to the decrypted coefficients.
+    """
+    from .encoding import Encoder
+
+    coeffs = ev.decrypt_coefficients(ct, secret)
+    encoder = Encoder(ev.params)
+    expected_scaled = encoder.embed(expected_slots) * ct.scale
+    err = float(np.max(np.abs(
+        np.array([float(c) for c in coeffs]) - expected_scaled
+    )))
+    return math.log2(max(2.0, err))

@@ -1,0 +1,215 @@
+"""RNS polynomials — the data type every homomorphic operation acts on.
+
+An :class:`RnsPoly` is a ``(num_primes, N)`` uint64 residue matrix plus its
+modulus list and a domain tag: ``coeff`` (coefficient representation) or
+``eval`` (negacyclic NTT representation). Multiplication requires ``eval``;
+automorphisms and basis conversions require ``coeff`` — exactly the
+conversions whose cost the paper's KeySwitch kernel breakdown (NTT, ModUp,
+INTT, ModDown, InProd) accounts for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..ntt import negacyclic_intt, negacyclic_ntt
+from ..ntt.negacyclic import apply_automorphism
+from ..ntt.tables import get_tables
+from ..numtheory import BarrettReducer
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+@lru_cache(maxsize=512)
+def get_reducer(modulus: int) -> BarrettReducer:
+    """Shared Barrett reducer per modulus (paper: Barrett outside the NTT)."""
+    return BarrettReducer(modulus)
+
+
+@dataclass
+class RnsPoly:
+    """A polynomial in RNS representation.
+
+    The residue rows are aligned with ``moduli``; ``domain`` records whether
+    rows hold coefficients or NTT evaluations.
+    """
+
+    data: np.ndarray
+    moduli: Tuple[int, ...]
+    domain: str = COEFF
+
+    def __post_init__(self):
+        self.moduli = tuple(self.moduli)
+        if self.data.ndim != 2:
+            raise ValueError("RnsPoly data must be 2-D (primes x N)")
+        if self.data.shape[0] != len(self.moduli):
+            raise ValueError(
+                f"{self.data.shape[0]} residue rows for "
+                f"{len(self.moduli)} moduli"
+            )
+        if self.domain not in (COEFF, EVAL):
+            raise ValueError(f"unknown domain {self.domain!r}")
+        if self.data.dtype != np.uint64:
+            self.data = self.data.astype(np.uint64)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, moduli: Sequence[int], n: int, domain: str = COEFF
+             ) -> "RnsPoly":
+        return cls(np.zeros((len(moduli), n), dtype=np.uint64),
+                   tuple(moduli), domain)
+
+    @classmethod
+    def from_signed(cls, coeffs: np.ndarray, moduli: Sequence[int]
+                    ) -> "RnsPoly":
+        """Lift signed int64 coefficients into RNS (coefficient domain)."""
+        rows = [
+            np.mod(coeffs.astype(np.int64), q).astype(np.uint64)
+            for q in moduli
+        ]
+        return cls(np.stack(rows), tuple(moduli), COEFF)
+
+    @classmethod
+    def from_bigint(cls, coeffs: Sequence[int], moduli: Sequence[int]
+                    ) -> "RnsPoly":
+        """Lift arbitrary-precision integer coefficients into RNS."""
+        rows = [
+            np.array([int(c) % q for c in coeffs], dtype=np.uint64)
+            for q in moduli
+        ]
+        return cls(np.stack(rows), tuple(moduli), COEFF)
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def num_primes(self) -> int:
+        return len(self.moduli)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.data.copy(), self.moduli, self.domain)
+
+    # -- domain conversion -----------------------------------------------------
+
+    def to_eval(self) -> "RnsPoly":
+        """Forward NTT every residue row (no-op when already in eval)."""
+        if self.domain == EVAL:
+            return self
+        rows = [
+            negacyclic_ntt(self.data[i], get_tables(q, self.n))
+            for i, q in enumerate(self.moduli)
+        ]
+        return RnsPoly(np.stack(rows), self.moduli, EVAL)
+
+    def to_coeff(self) -> "RnsPoly":
+        """Inverse NTT every residue row (no-op when already in coeff)."""
+        if self.domain == COEFF:
+            return self
+        rows = [
+            negacyclic_intt(self.data[i], get_tables(q, self.n))
+            for i, q in enumerate(self.moduli)
+        ]
+        return RnsPoly(np.stack(rows), self.moduli, COEFF)
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.moduli != other.moduli:
+            raise ValueError("operands live in different RNS bases")
+        if self.domain != other.domain:
+            raise ValueError(
+                f"operands in different domains: {self.domain} vs "
+                f"{other.domain}"
+            )
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.moduli):
+            out[i] = get_reducer(q).add_vec(self.data[i], other.data[i])
+        return RnsPoly(out, self.moduli, self.domain)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.moduli):
+            out[i] = get_reducer(q).sub_vec(self.data[i], other.data[i])
+        return RnsPoly(out, self.moduli, self.domain)
+
+    def __neg__(self) -> "RnsPoly":
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.moduli):
+            q64 = np.uint64(q)
+            row = self.data[i]
+            out[i] = np.where(row == 0, row, q64 - row)
+        return RnsPoly(out, self.moduli, self.domain)
+
+    def __mul__(self, other: "RnsPoly") -> "RnsPoly":
+        """Pointwise product — only meaningful in the eval domain."""
+        self._check_compatible(other)
+        if self.domain != EVAL:
+            raise ValueError(
+                "polynomial products require the eval domain; call "
+                ".to_eval() first (this is the NTT the paper accelerates)"
+            )
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.moduli):
+            out[i] = get_reducer(q).mul_vec(self.data[i], other.data[i])
+        return RnsPoly(out, self.moduli, EVAL)
+
+    def mul_scalar(self, scalar: int) -> "RnsPoly":
+        """Multiply by an integer scalar (any domain)."""
+        out = np.empty_like(self.data)
+        for i, q in enumerate(self.moduli):
+            out[i] = get_reducer(q).mul_vec(
+                self.data[i], np.uint64(scalar % q)
+            )
+        return RnsPoly(out, self.moduli, self.domain)
+
+    # -- structure -----------------------------------------------------------
+
+    def drop_last_primes(self, count: int) -> "RnsPoly":
+        """Restrict to the first ``num_primes - count`` rows (same values
+        mod the remaining primes — *not* a rescale)."""
+        if not 0 <= count < self.num_primes:
+            raise ValueError("cannot drop that many primes")
+        if count == 0:
+            return self
+        return RnsPoly(
+            self.data[:-count].copy(), self.moduli[:-count], self.domain
+        )
+
+    def take_primes(self, indices: Sequence[int]) -> "RnsPoly":
+        """Select a subset of residue rows (digit extraction)."""
+        return RnsPoly(
+            self.data[list(indices)].copy(),
+            tuple(self.moduli[i] for i in indices),
+            self.domain,
+        )
+
+    def automorphism(self, exponent: int) -> "RnsPoly":
+        """Apply ``X -> X^exponent`` (requires coefficient domain)."""
+        if self.domain != COEFF:
+            raise ValueError("automorphisms act on the coefficient domain")
+        rows = [
+            apply_automorphism(self.data[i], exponent, q)
+            for i, q in enumerate(self.moduli)
+        ]
+        return RnsPoly(np.stack(rows), self.moduli, COEFF)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RnsPoly)
+            and self.moduli == other.moduli
+            and self.domain == other.domain
+            and np.array_equal(self.data, other.data)
+        )

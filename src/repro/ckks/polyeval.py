@@ -1,0 +1,133 @@
+"""Homomorphic polynomial evaluation (power and Chebyshev bases).
+
+Polynomial approximation is how CKKS computes every non-linearity: the
+bootstrap's sine, HELR's sigmoid, ResNet's minimax ReLU. This module
+provides a reusable evaluator:
+
+* **Chebyshev basis** — numerically stable on [-1, 1]; terms built with
+  the product recurrence ``T_(m+n) = 2 T_m T_n - T_(|m-n|)`` so the
+  multiplicative depth is ``ceil(log2(degree))``;
+* **power basis** — ``x^k`` by square-and-multiply, same depth bound;
+* automatic level alignment and scale matching throughout (the fiddly
+  part of CKKS polynomial evaluation).
+
+All methods consume ``keys`` for relinearization; inputs are assumed to
+lie in the basis' natural domain ([-1, 1] for Chebyshev).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .keys import KeySet
+from .ops import Evaluator
+
+#: Coefficients below this threshold are dropped (they are beneath CKKS
+#: noise anyway and each one costs a PMULT).
+COEFF_EPSILON = 1e-13
+
+
+class PolynomialEvaluator:
+    """Evaluates polynomials on ciphertexts with managed scales/levels."""
+
+    def __init__(self, evaluator: Evaluator):
+        self.ev = evaluator
+
+    # -- Chebyshev basis ------------------------------------------------------------
+
+    def eval_chebyshev(self, ct_x: Ciphertext, coeffs: Sequence[float],
+                       keys: KeySet) -> Ciphertext:
+        """``sum_i coeffs[i] * T_i(x)`` for x in [-1, 1]."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if len(coeffs) == 0:
+            raise ValueError("empty coefficient vector")
+        memo: Dict[int, Ciphertext] = {1: ct_x}
+        acc = None
+        for i, c in enumerate(coeffs):
+            if i == 0 or abs(c) < COEFF_EPSILON:
+                continue
+            term = self.ev.pmult_scalar(
+                self._cheb(i, memo, keys), float(c)
+            )
+            acc = term if acc is None else self.ev.hadd_matched(acc, term)
+        if acc is None:
+            # A constant polynomial.
+            return self.ev.add_scalar(
+                self.ev.pmult_scalar(ct_x, 0.0), float(coeffs[0])
+            )
+        acc = self.ev.rescale(acc)
+        if abs(coeffs[0]) >= COEFF_EPSILON:
+            acc = self.ev.add_scalar(acc, float(coeffs[0]))
+        return acc
+
+    def _cheb(self, i: int, memo: Dict[int, Ciphertext],
+              keys: KeySet) -> Ciphertext:
+        if i in memo:
+            return memo[i]
+        m = i // 2
+        n = i - m
+        prod = self.ev.hmult(self._cheb(m, memo, keys),
+                             self._cheb(n, memo, keys), keys)
+        doubled = self.ev.pmult_scalar(prod, 2.0, scale=1.0)
+        d = abs(m - n)
+        if d == 0:
+            term = self.ev.add_scalar(doubled, -1.0)
+        else:
+            term = self.ev.hsub_matched(doubled, self._cheb(d, memo, keys))
+        memo[i] = term
+        return term
+
+    # -- power basis -----------------------------------------------------------------
+
+    def eval_power(self, ct_x: Ciphertext, coeffs: Sequence[float],
+                   keys: KeySet) -> Ciphertext:
+        """``sum_i coeffs[i] * x^i`` (square-and-multiply powers)."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if len(coeffs) == 0:
+            raise ValueError("empty coefficient vector")
+        memo: Dict[int, Ciphertext] = {1: ct_x}
+        acc = None
+        for i, c in enumerate(coeffs):
+            if i == 0 or abs(c) < COEFF_EPSILON:
+                continue
+            term = self.ev.pmult_scalar(
+                self._power(i, memo, keys), float(c)
+            )
+            acc = term if acc is None else self.ev.hadd_matched(acc, term)
+        if acc is None:
+            return self.ev.add_scalar(
+                self.ev.pmult_scalar(ct_x, 0.0), float(coeffs[0])
+            )
+        acc = self.ev.rescale(acc)
+        if abs(coeffs[0]) >= COEFF_EPSILON:
+            acc = self.ev.add_scalar(acc, float(coeffs[0]))
+        return acc
+
+    def _power(self, i: int, memo: Dict[int, Ciphertext],
+               keys: KeySet) -> Ciphertext:
+        if i in memo:
+            return memo[i]
+        m = i // 2
+        n = i - m
+        memo[i] = self.ev.hmult(self._power(m, memo, keys),
+                                self._power(n, memo, keys), keys)
+        return memo[i]
+
+    # -- convenience fits ---------------------------------------------------------------
+
+    @staticmethod
+    def chebyshev_fit(func, degree: int, *,
+                      domain=(-1.0, 1.0)) -> np.ndarray:
+        """Chebyshev interpolation coefficients of ``func`` on ``domain``
+        (callers rescale inputs into [-1, 1] themselves)."""
+        from numpy.polynomial import chebyshev as _cheb
+
+        lo, hi = domain
+
+        def g(x):
+            return func((x + 1) / 2 * (hi - lo) + lo)
+
+        return _cheb.Chebyshev.interpolate(g, degree, domain=[-1, 1]).coef

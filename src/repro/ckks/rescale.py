@@ -1,0 +1,40 @@
+"""RESCALE: dropping primes to manage scale growth.
+
+Standard RNS-CKKS rescaling divides by the last prime of the chain. With
+32-bit words a single prime cannot absorb a large scale, so the paper also
+adopts *double-prime rescaling* [5], [33]: one RESCALE drops two primes
+whose product plays the role of Delta. Both flavours are implemented; the
+parameter set's ``rescale_primes`` chooses between them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..numtheory.rns import RNSBasis, rescale_rows
+from .poly import RnsPoly
+
+
+def rescale_poly(poly: RnsPoly, *, primes: int = 1) -> Tuple[RnsPoly, int]:
+    """Drop the last ``primes`` moduli, dividing the represented value.
+
+    Returns the rescaled polynomial (coefficient domain) and the integer
+    divisor (product of the dropped primes) for scale bookkeeping.
+    """
+    if primes < 1:
+        raise ValueError("must drop at least one prime")
+    if poly.num_primes <= primes:
+        raise ValueError(
+            f"cannot drop {primes} prime(s) from a {poly.num_primes}-prime "
+            "polynomial — the ciphertext is already at the lowest level"
+        )
+    coeff = poly.to_coeff()
+    divisor = 1
+    data = coeff.data
+    moduli = list(coeff.moduli)
+    for _ in range(primes):
+        basis = RNSBasis(tuple(moduli))
+        data = rescale_rows(data, basis)
+        divisor *= moduli[-1]
+        moduli = moduli[:-1]
+    return RnsPoly(data, tuple(moduli), coeff.domain), divisor

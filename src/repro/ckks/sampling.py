@@ -1,0 +1,42 @@
+"""Randomness for RLWE: secrets, errors, uniform polynomials.
+
+Distributions follow standard CKKS practice: ternary secrets (optionally
+sparse with fixed Hamming weight), centered discrete Gaussian errors with
+sigma = 3.2, and per-prime uniform masks. Sampling is deterministic given a
+``numpy`` Generator so tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory.rns import RNSBasis
+
+
+def sample_ternary(n: int, rng: np.random.Generator, *,
+                   hamming_weight: int = 0) -> np.ndarray:
+    """Ternary secret coefficients in {-1, 0, 1} as int64.
+
+    With ``hamming_weight > 0`` exactly that many coefficients are nonzero
+    (sparse secrets, as used by bootstrapping-oriented parameter sets).
+    """
+    if hamming_weight:
+        if hamming_weight > n:
+            raise ValueError("Hamming weight exceeds ring degree")
+        coeffs = np.zeros(n, dtype=np.int64)
+        support = rng.choice(n, size=hamming_weight, replace=False)
+        coeffs[support] = rng.choice([-1, 1], size=hamming_weight)
+        return coeffs
+    return rng.integers(-1, 2, size=n, dtype=np.int64)
+
+
+def sample_error(n: int, rng: np.random.Generator, *,
+                 std: float = 3.2) -> np.ndarray:
+    """Centered discrete Gaussian error coefficients as int64."""
+    return np.rint(rng.normal(0.0, std, size=n)).astype(np.int64)
+
+
+def sample_uniform(basis: RNSBasis, n: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Uniform residue matrix over the basis — the RLWE mask ``a``."""
+    return basis.random(n, rng)

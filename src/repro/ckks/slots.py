@@ -1,0 +1,111 @@
+"""Slot-manipulation utilities: the packing idioms applications live on.
+
+Masking, replication, slot reductions and encrypted inner products — the
+small moves every CKKS application (HELR's reductions, ResNet's channel
+sums, private statistics) composes. All are built from the public
+evaluator operations, so their costs are visible to the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keys import KeySet
+
+
+class SlotOps:
+    """Slot utilities bound to a context."""
+
+    def __init__(self, ctx: CkksContext):
+        self.ctx = ctx
+        self.ev = ctx.evaluator
+
+    # -- masking ------------------------------------------------------------------
+
+    def mask(self, ct: Ciphertext, positions: Sequence[int],
+             *, rescale: bool = True) -> Ciphertext:
+        """Zero every slot except ``positions`` (one PMULT by a 0/1 mask)."""
+        m = np.zeros(self.ctx.slots)
+        m[list(positions)] = 1.0
+        pt = self.ctx.encode(m, level=ct.level)
+        out = self.ev.pmult(ct, pt)
+        return self.ev.rescale(out) if rescale else out
+
+    def select(self, a: Ciphertext, b: Ciphertext,
+               positions: Sequence[int]) -> Ciphertext:
+        """Slot-wise merge: ``a`` at ``positions``, ``b`` elsewhere."""
+        mask_a = self.mask(a, positions)
+        others = [i for i in range(self.ctx.slots)
+                  if i not in set(positions)]
+        mask_b = self.mask(b, others)
+        return self.ev.hadd_matched(mask_a, mask_b)
+
+    # -- reductions -----------------------------------------------------------------
+
+    def sum_all(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Every slot becomes the sum of all slots (log2(s) rotations).
+
+        Needs power-of-two rotation keys."""
+        step = 1
+        while step < self.ctx.slots:
+            ct = self.ev.hadd(
+                ct, self.ev.hrotate(ct, step, keys)
+            )
+            step *= 2
+        return ct
+
+    def sum_blocks(self, ct: Ciphertext, block: int,
+                   keys: KeySet) -> Ciphertext:
+        """Each slot becomes the sum of its length-``block`` window
+        (slots j..j+block-1, cyclic); block must be a power of two. The
+        block-start slots then hold contiguous block sums."""
+        if block & (block - 1) or block < 1:
+            raise ValueError("block must be a power of two")
+        step = 1
+        while step < block:
+            ct = self.ev.hadd(ct, self.ev.hrotate(ct, step, keys))
+            step *= 2
+        return ct
+
+    def average_all(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        total = self.sum_all(ct, keys)
+        return self.ev.rescale(
+            self.ev.pmult_scalar(total, 1.0 / self.ctx.slots)
+        )
+
+    # -- products --------------------------------------------------------------------
+
+    def inner_product(self, a: Ciphertext, b: Ciphertext,
+                      keys: KeySet) -> Ciphertext:
+        """Encrypted dot product: every slot holds <a, b>."""
+        prod = self.ev.hmult(a, b, keys)
+        return self.sum_all(prod, keys)
+
+    def replicate(self, ct: Ciphertext, position: int,
+                  keys: KeySet) -> Ciphertext:
+        """Broadcast one slot's value to every slot.
+
+        Mask to the single slot, then rotation-double: after log2(s)
+        add-rotate rounds the value fills the vector."""
+        masked = self.mask(ct, [position])
+        step = 1
+        while step < self.ctx.slots:
+            masked = self.ev.hadd(
+                masked, self.ev.hrotate(masked, step, keys)
+            )
+            step *= 2
+        return masked
+
+    @staticmethod
+    def required_rotations(slots: int) -> Sequence[int]:
+        """Power-of-two steps used by the reductions here."""
+        steps = []
+        s = 1
+        while s < slots:
+            steps.append(s)
+            s *= 2
+        return steps

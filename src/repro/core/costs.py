@@ -1,0 +1,120 @@
+"""Shared operation-cost constants and plan-derived NTT work counts.
+
+Everything the simulator charges is derived from these counts, which come
+from two sources:
+
+* per-primitive instruction costs of 32-bit modular arithmetic on INT32
+  CUDA cores (a Barrett product is two 32x32 multiplies producing hi/lo
+  words, a multiply by mu in two halves, shifts and a correcting subtract;
+  Montgomery saves roughly 10% — the §IV-A-4 measurement);
+* per-NTT operation counts derived from the decomposition plan, matching
+  the closed forms of Table IV on balanced trees and generalizing them to
+  unbalanced trees such as (16x16)x16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ntt.decompose import NttPlan
+
+#: INT32 instructions per 32-bit Barrett modular multiplication
+#: (IMAD-fused: two 32x32 hi/lo products, the mu product halves, shifts
+#: and a correcting subtract, several fused into IMAD forms).
+BARRETT_MULMOD_OPS = 7
+#: INT32 instructions per 32-bit Montgomery modular multiplication
+#: (the ~10% win of §IV-A-4, used inside NTTs).
+MONTGOMERY_MULMOD_OPS = 6
+#: INT32 instructions per modular addition/subtraction.
+MODADD_OPS = 2
+#: INT32 instructions to extract one uint8 limb (one shift-mask).
+BIT_SPLIT_OPS = 1
+#: INT32 instructions to fold one limb partial product into the merge
+#: accumulator (IMAD with a shifted operand plus bookkeeping).
+BIT_MERGE_OPS = 3
+#: INT32 instructions per standalone modular reduction of an accumulator.
+MODRED_OPS = 3
+#: uint8 limb GEMMs per 32-bit modular GEMM (schoolbook; Karatsuba = 9).
+LIMB_GEMMS = 16
+#: INT32 instructions per butterfly: register-resident high-radix
+#: butterflies fuse the Montgomery product's IMADs with the add/sub pair.
+BUTTERFLY_OPS = 5
+
+
+@dataclass(frozen=True)
+class NttWorkCounts:
+    """Operation counts for ONE n-point NTT under a decomposition plan.
+
+    ``ew_mul`` counts the scalar multiplications inside inner-NTT GEMMs
+    (before limb expansion); the tensor path multiplies this by
+    :data:`LIMB_GEMMS` to get INT8 MACs.
+    """
+
+    n: int
+    ew_mul: int
+    mod_mul: int
+    mod_red: int
+    bit_dec_mer: int
+    leaf_steps: int
+    butterfly_count: int
+
+    @property
+    def tensor_macs(self) -> int:
+        """INT8 MACs when the GEMMs run on tensor cores."""
+        return self.ew_mul * LIMB_GEMMS
+
+    def cuda_gemm_ops(self) -> int:
+        """INT32 ops when the same GEMMs run as 32-bit CUDA GEMM
+        (multiply-reduce-accumulate, no bit splitting needed)."""
+        return self.ew_mul * (MONTGOMERY_MULMOD_OPS + 1)
+
+    def support_ops(self, *, include_bit_ops: bool) -> int:
+        """INT32 ops around the GEMMs: twiddle Hadamards, reductions and
+        (for the tensor path) the limb split/merge work."""
+        ops = (
+            self.mod_mul * MONTGOMERY_MULMOD_OPS
+            + self.mod_red * MODRED_OPS
+            + self.n * MONTGOMERY_MULMOD_OPS  # psi pre/post scale
+        )
+        if include_bit_ops:
+            ops += self.bit_dec_mer * (BIT_SPLIT_OPS + BIT_MERGE_OPS) // 2
+        return ops
+
+    def butterfly_ops(self) -> int:
+        """INT32 ops when the whole NTT runs as a monolithic high-radix
+        butterfly network (twiddle Hadamards fold into butterfly twiddles;
+        only the negacyclic psi scale remains separate)."""
+        return (
+            self.butterfly_count * BUTTERFLY_OPS
+            + self.n * MONTGOMERY_MULMOD_OPS
+        )
+
+
+def plan_work_counts(plan: NttPlan) -> NttWorkCounts:
+    """Derive one NTT's operation counts from its decomposition plan.
+
+    On balanced trees these reproduce Table IV exactly:
+    ``ew_mul = N * sum(leaf dims)``, ``mod_mul = N * internal nodes``,
+    ``mod_red = N * leaf steps``, ``bit_dec_mer = N * (2*leaf_steps - 2)``.
+    """
+    n = plan.n
+    leaf_sizes = plan.leaf_sizes()
+    leaf_steps = len(leaf_sizes)
+    internal = _internal_nodes(plan)
+    import math
+
+    return NttWorkCounts(
+        n=n,
+        ew_mul=n * sum(leaf_sizes),
+        mod_mul=n * internal,
+        mod_red=n * max(2, leaf_steps),
+        bit_dec_mer=n * max(2, 2 * leaf_steps - 2),
+        leaf_steps=leaf_steps,
+        butterfly_count=(n // 2) * int(math.log2(n)),
+    )
+
+
+def _internal_nodes(plan: NttPlan) -> int:
+    if plan.is_leaf:
+        return 0
+    return 1 + _internal_nodes(plan.left) + _internal_nodes(plan.right)

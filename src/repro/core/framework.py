@@ -1,0 +1,141 @@
+"""The WarpDrive framework facade (§IV-D).
+
+Ties everything together the way the paper's runtime does:
+
+* **Initialization phase** — derive the prime chain and twiddle tables,
+  size and allocate the memory pool (``S_max``), pick the NTT kernel shape
+  (single vs dual kernel from ``N*w <= S_shared``) and the launch geometry
+  (``T = C*W*32``), and resolve the tensor/CUDA warp allocation from the
+  device's pipe ratio.
+* **Execution** — expose per-operation latency/throughput through the
+  scheduler, and functional CKKS execution through :class:`CkksContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ckks import CkksContext, CkksParams
+from ..gpusim import A100_PCIE_80G, GpuSpec
+from .kernels import GeometryConfig
+from .memory_pool import MemoryPool, max_working_set_bytes
+from .ntt_engine import VARIANTS
+from .scheduler import OperationScheduler
+from .warp_allocation import WarpAllocation, default_allocation
+
+
+@dataclass
+class FrameworkConfig:
+    """Resolved configuration of one WarpDrive instance."""
+
+    params: CkksParams
+    device: GpuSpec
+    ntt_variant: str
+    geometry: GeometryConfig
+    warp_allocation: WarpAllocation
+    dual_kernel_ntt: bool
+    memory_pool_bytes: int
+
+
+class WarpDriveFramework:
+    """User-facing entry point mirroring the paper's runtime.
+
+    >>> fw = WarpDriveFramework(ParameterSets.set_c())
+    >>> fw.op_latency_us("hmult")      # simulated A100 latency
+    >>> fw.context()                   # functional CKKS (small rings)
+    """
+
+    def __init__(self, params: CkksParams, *,
+                 device: GpuSpec = A100_PCIE_80G,
+                 ntt_variant: str = "wd-fuse",
+                 threads_per_block: int = None,
+                 batch_size: int = 1,
+                 available_memory_bytes: int = 80 * 1024**3):
+        if ntt_variant not in VARIANTS:
+            raise ValueError(f"unknown NTT variant {ntt_variant!r}")
+        self.params = params
+        self.device = device
+        self.batch_size = batch_size
+
+        # §IV-D-2: T = C * W * 32 with W = 2 warps per SP by default.
+        if threads_per_block is None:
+            threads_per_block = device.subpartitions_per_sm * 2 * 32
+        self.geometry = GeometryConfig(threads_per_block=threads_per_block)
+
+        self.warp_allocation = default_allocation(device)
+        self.scheduler = OperationScheduler(
+            params, device=device, ntt_variant=ntt_variant,
+            geometry=self.geometry,
+        )
+        self.ntt = self.scheduler.ntt
+        self.pool = MemoryPool.for_params(
+            params, batch_size=batch_size,
+            available_bytes=available_memory_bytes,
+        )
+        self.config = FrameworkConfig(
+            params=params,
+            device=device,
+            ntt_variant=ntt_variant,
+            geometry=self.geometry,
+            warp_allocation=self.warp_allocation,
+            dual_kernel_ntt=self.ntt.uses_dual_kernel,
+            memory_pool_bytes=self.pool.capacity,
+        )
+        self._context = None
+
+    # -- performance layer -----------------------------------------------------------
+
+    def op_latency_us(self, op: str, *, level: int = None,
+                      batch: int = None) -> float:
+        """Simulated amortized latency of a homomorphic operation."""
+        return self.scheduler.latency_us(
+            op, level=level, batch=batch or self.batch_size
+        )
+
+    def op_throughput_kops(self, op: str, *, level: int = None,
+                           batch: int = None) -> float:
+        return self.scheduler.throughput_kops(
+            op, level=level, batch=batch or self.batch_size
+        )
+
+    def ntt_throughput_kops(self, batch: int = 1024) -> float:
+        """N-point NTT throughput (the Table VII metric)."""
+        return self.ntt.throughput_kops(batch)
+
+    def op_profile(self, op: str, **kw) -> Dict[str, object]:
+        return self.scheduler.profile(op, **kw)
+
+    # -- functional layer -----------------------------------------------------------
+
+    def context(self, *, seed: int = None) -> CkksContext:
+        """Functional CKKS context (lazy; heavy for large N)."""
+        if self._context is None:
+            self._context = CkksContext.create(self.params, seed=seed)
+        return self._context
+
+    # -- introspection -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        cfg = self.config
+        lines = [
+            f"WarpDrive on {cfg.device.name}",
+            f"  parameters      : {cfg.params.name or 'custom'} "
+            f"(N=2^{cfg.params.n.bit_length() - 1}, L={cfg.params.max_level}, "
+            f"K={cfg.params.num_special}, dnum={cfg.params.dnum})",
+            f"  NTT variant     : {cfg.ntt_variant} "
+            f"({'dual' if cfg.dual_kernel_ntt else 'single'}-kernel, "
+            f"plan {self.ntt.plan.describe()})",
+            f"  threads/block   : {cfg.geometry.threads_per_block} "
+            f"(tensor warps {cfg.warp_allocation.tensor_warps}, "
+            f"CUDA warps {cfg.warp_allocation.cuda_warps})",
+            f"  memory pool     : {cfg.memory_pool_bytes / 1024**2:.0f} MiB "
+            f"(S_max {max_working_set_bytes(self.params, batch_size=self.batch_size) / 1024**2:.0f} MiB)",
+        ]
+        return "\n".join(lines)
+
+    @staticmethod
+    def supported_ops() -> List[str]:
+        from .scheduler import HOMOMORPHIC_OPS
+
+        return list(HOMOMORPHIC_OPS)

@@ -1,0 +1,86 @@
+"""GPU memory-pool model (§IV-D-1).
+
+WarpDrive allocates one pool at initialization to avoid per-kernel
+allocation overhead. The pool is sized by the maximum working set of a
+ciphertext during KeySwitch::
+
+    S_max = l * N * dnum * (l + k) * BS * w
+
+capped by the device's available memory. The model tracks allocations so
+tests can verify reuse (no allocation churn during operation streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ckks.params import CkksParams
+
+
+def max_working_set_bytes(params: CkksParams, *, batch_size: int = 1,
+                          word_bytes: int = 4) -> int:
+    """The paper's ``S_max`` formula for the KeySwitch working set."""
+    l = params.max_level
+    return (
+        l * params.n * params.dnum * (l + params.num_special)
+        * batch_size * word_bytes
+    )
+
+
+@dataclass
+class Allocation:
+    offset: int
+    size: int
+    tag: str
+
+
+class MemoryPool:
+    """Bump allocator with explicit reset, mirroring the framework's
+    per-operation reuse of one preallocated slab."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity_bytes
+        self._cursor = 0
+        self._live: List[Allocation] = []
+        self.stats: Dict[str, int] = {
+            "allocations": 0, "resets": 0, "peak_bytes": 0,
+        }
+
+    @classmethod
+    def for_params(cls, params: CkksParams, *, batch_size: int = 1,
+                   available_bytes: int = 80 * 1024**3) -> "MemoryPool":
+        """Pool sized to min(S_max, available memory) per §IV-D-1."""
+        want = max_working_set_bytes(params, batch_size=batch_size)
+        return cls(min(want, available_bytes))
+
+    def allocate(self, size: int, tag: str = "") -> Allocation:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        aligned = (size + 255) // 256 * 256
+        if self._cursor + aligned > self.capacity:
+            raise MemoryError(
+                f"pool exhausted: {self._cursor + aligned} > {self.capacity}"
+            )
+        alloc = Allocation(self._cursor, aligned, tag)
+        self._cursor += aligned
+        self._live.append(alloc)
+        self.stats["allocations"] += 1
+        self.stats["peak_bytes"] = max(self.stats["peak_bytes"], self._cursor)
+        return alloc
+
+    def reset(self) -> None:
+        """Release everything (between homomorphic operations)."""
+        self._cursor = 0
+        self._live.clear()
+        self.stats["resets"] += 1
+
+    @property
+    def in_use(self) -> int:
+        return self._cursor
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._cursor

@@ -1,0 +1,131 @@
+"""Parallelism-Enhanced (PE) kernel design (§IV-C, Fig. 4).
+
+Previous GPU FHE implementations launch kernels at the *polynomial* level:
+KeySwitch over ``dnum`` digits becomes dozens of launches, each too small
+to fill the machine (Table III). WarpDrive's PE kernels add the polynomial
+dimension to the kernel grid, so one launch processes every polynomial of
+a ciphertext (and, when batching, every ciphertext).
+
+This module builds the fixed 11-kernel PE KeySwitch plan of Table IX and
+the PE forms of the other homomorphic-operation kernels. The kernel-fused
+(KF) polynomial-level plan it replaces lives in
+:mod:`repro.baselines.hundredx`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ckks.params import CkksParams
+from ..gpusim import KernelSpec
+from . import kernels as K
+from .kernels import DEFAULT_GEOMETRY, GeometryConfig
+from .ntt_engine import WarpDriveNtt
+
+
+class PeKeySwitchPlan:
+    """The 11-kernel ciphertext-level KeySwitch of Table IX.
+
+    Kernel list (one launch each, every launch covering all digits /
+    polynomials via the PE grid dimension):
+
+    1.  INTT of the input polynomial (all level primes at once);
+    2.  ModUp — all ``dnum`` digits extended in one kernel;
+    3.  NTT of all extended digits;
+    4.  InnerProduct accumulating both output polynomials;
+    5.  INTT of accumulator 0;
+    6.  INTT of accumulator 1;
+    7.  ModDown of accumulator 0;
+    8.  ModDown of accumulator 1;
+    9.  NTT of output 0;
+    10. NTT of output 1;
+    11. Final combine (add key-switched parts into the result ciphertext).
+    """
+
+    KERNEL_COUNT = 11
+
+    def __init__(self, params: CkksParams, level: int, *, ntt: WarpDriveNtt,
+                 geometry: GeometryConfig = DEFAULT_GEOMETRY,
+                 batch: int = 1):
+        if not 0 <= level <= params.max_level:
+            raise ValueError(f"level {level} out of range")
+        self.params = params
+        self.level = level
+        self.ntt = ntt
+        self.geometry = geometry
+        self.batch = batch
+
+    @property
+    def level_primes(self) -> int:
+        return self.level + 1
+
+    @property
+    def extended_primes(self) -> int:
+        return self.level_primes + self.params.num_special
+
+    @property
+    def active_digits(self) -> int:
+        """Digits with at least one prime present at this level."""
+        alpha = -(-self.params.num_primes // self.params.dnum)
+        return min(self.params.dnum, -(-self.level_primes // alpha))
+
+    def kernels(self) -> List[KernelSpec]:
+        n = self.params.n
+        b = self.batch
+        digits = self.active_digits
+        ext = self.extended_primes
+        lvl = self.level_primes
+        special = self.params.num_special
+        geo = self.geometry
+
+        def merged_ntt(name: str, transforms: int,
+                       inverse: bool) -> KernelSpec:
+            plan = self.ntt.kernel_plan(transforms * b, inverse=inverse)
+            spec = plan[0]
+            for extra in plan[1:]:
+                spec = _merge_stages(spec, extra)
+            return spec.renamed(name, stage=name)
+
+        return [
+            merged_ntt("ks.intt_input", lvl, inverse=True),
+            K.modup_kernel(
+                "ks.modup", n, -(-lvl // digits), ext, polys=digits * b,
+                geometry=geo, stage="ModUp",
+            ),
+            merged_ntt("ks.ntt_digits", digits * ext, inverse=False),
+            K.inner_product_kernel(
+                "ks.inner_product", n, ext * b, digits, geometry=geo,
+                stage="InProd",
+            ),
+            merged_ntt("ks.intt_acc0", ext, inverse=True),
+            merged_ntt("ks.intt_acc1", ext, inverse=True),
+            K.moddown_kernel("ks.moddown0", n, lvl, special, polys=b,
+                             geometry=geo, stage="ModDown"),
+            K.moddown_kernel("ks.moddown1", n, lvl, special, polys=b,
+                             geometry=geo, stage="ModDown"),
+            merged_ntt("ks.ntt_out0", lvl, inverse=False),
+            merged_ntt("ks.ntt_out1", lvl, inverse=False),
+            K.modadd_kernel("ks.combine", 2 * n * lvl * b, geometry=geo,
+                            stage="Combine"),
+        ]
+
+
+def _merge_stages(a: KernelSpec, b: KernelSpec) -> KernelSpec:
+    """Fold a dual-kernel NTT's stages into one PE launch descriptor.
+
+    The PE design keeps the launch count at 11 regardless of N; for
+    N = 2^16 the two NTT stages execute as one kernel with a grid-wide
+    sync, so their work and traffic add.
+    """
+    from dataclasses import replace
+
+    return replace(
+        a,
+        int32_ops=a.int32_ops + b.int32_ops,
+        tensor_macs=a.tensor_macs + b.tensor_macs,
+        gmem_read_bytes=a.gmem_read_bytes + b.gmem_read_bytes,
+        gmem_write_bytes=a.gmem_write_bytes + b.gmem_write_bytes,
+        smem_read_bytes=a.smem_read_bytes + b.smem_read_bytes,
+        smem_write_bytes=a.smem_write_bytes + b.smem_write_bytes,
+        barriers=a.barriers + b.barriers + 1,
+    )

@@ -1,0 +1,167 @@
+"""Lowering of homomorphic operations to WarpDrive kernel plans.
+
+Each homomorphic operation of §II-A becomes a short list of PE kernels
+(one launch per pipeline stage, every launch covering the whole
+ciphertext). The plans are priced by the GPU simulator; the functional
+layer (:mod:`repro.ckks`) proves the same pipelines numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ckks.params import CkksParams
+from ..gpusim import (
+    A100_PCIE_80G,
+    ExecutionResult,
+    GpuSpec,
+    KernelSpec,
+    run_serial,
+)
+from . import kernels as K
+from .kernels import DEFAULT_GEOMETRY, GeometryConfig
+from .ntt_engine import WarpDriveNtt
+from .pe_kernel import PeKeySwitchPlan
+
+HOMOMORPHIC_OPS = ("hadd", "hsub", "pmult", "hmult", "hrotate", "rescale",
+                   "keyswitch")
+
+
+class OperationScheduler:
+    """Builds and prices kernel plans for one parameter set."""
+
+    def __init__(self, params: CkksParams, *,
+                 device: GpuSpec = A100_PCIE_80G,
+                 ntt_variant: str = "wd-fuse",
+                 geometry: GeometryConfig = DEFAULT_GEOMETRY):
+        self.params = params
+        self.device = device
+        self.geometry = geometry
+        self.ntt = WarpDriveNtt(
+            params.n, variant=ntt_variant, device=device, geometry=geometry
+        )
+
+    # -- plans ------------------------------------------------------------------
+
+    def plan(self, op: str, *, level: int = None,
+             batch: int = 1) -> List[KernelSpec]:
+        level = self.params.max_level if level is None else level
+        builder = {
+            "hadd": self._plan_hadd,
+            "hsub": self._plan_hadd,
+            "pmult": self._plan_pmult,
+            "hmult": self._plan_hmult,
+            "hrotate": self._plan_hrotate,
+            "rescale": self._plan_rescale,
+            "keyswitch": self._plan_keyswitch,
+        }.get(op)
+        if builder is None:
+            raise ValueError(
+                f"unknown operation {op!r}; one of {HOMOMORPHIC_OPS}"
+            )
+        return builder(level, batch)
+
+    def simulate(self, op: str, *, level: int = None,
+                 batch: int = 1) -> ExecutionResult:
+        return run_serial(self.plan(op, level=level, batch=batch),
+                          self.device)
+
+    def latency_us(self, op: str, *, level: int = None,
+                   batch: int = 1) -> float:
+        """Amortized per-ciphertext latency of ``op``."""
+        return self.simulate(op, level=level, batch=batch).elapsed_us / batch
+
+    def throughput_kops(self, op: str, *, level: int = None,
+                        batch: int = 1) -> float:
+        return 1e3 / self.latency_us(op, level=level, batch=batch)
+
+    def kernel_count(self, op: str, *, level: int = None) -> int:
+        return len(self.plan(op, level=level))
+
+    # -- per-op builders -----------------------------------------------------------
+
+    def _elements(self, level: int, batch: int, polys: int = 2) -> int:
+        return self.params.n * (level + 1) * batch * polys
+
+    def _plan_hadd(self, level: int, batch: int) -> List[KernelSpec]:
+        # One PE kernel adds both polynomials of both operands.
+        return [
+            K.modadd_kernel(
+                "hadd", self._elements(level, batch), geometry=self.geometry
+            )
+        ]
+
+    def _plan_pmult(self, level: int, batch: int) -> List[KernelSpec]:
+        # ct (2 polys) x pt (1 poly), eval domain: one Hadamard kernel.
+        return [
+            K.modmul_kernel(
+                "pmult", self._elements(level, batch),
+                geometry=self.geometry,
+            )
+        ]
+
+    def _plan_keyswitch(self, level: int, batch: int) -> List[KernelSpec]:
+        return PeKeySwitchPlan(
+            self.params, level, ntt=self.ntt, geometry=self.geometry,
+            batch=batch,
+        ).kernels()
+
+    def _plan_hmult(self, level: int, batch: int) -> List[KernelSpec]:
+        # Tensor products d0, d1, d2 in one PE kernel (reads both
+        # ciphertexts once), then KeySwitch(d2) and the rescale.
+        n_elems = self._elements(level, batch, polys=1)
+        plan = [
+            K.elementwise_kernel(
+                "hmult.tensor_product", n_elems,
+                ops_per_element=4 * 7 + 2 * 2,  # 4 products, 2 adds
+                read_words=4, write_words=3, geometry=self.geometry,
+            )
+        ]
+        plan += self._plan_keyswitch(level, batch)
+        plan += self._plan_rescale(level, batch)
+        return plan
+
+    def _plan_hrotate(self, level: int, batch: int) -> List[KernelSpec]:
+        plan = [
+            K.automorphism_kernel(
+                "hrotate.automorphism", self.params.n, level + 1,
+                polys=2 * batch, geometry=self.geometry,
+            )
+        ]
+        plan += self._plan_keyswitch(level, batch)
+        return plan
+
+    def _plan_rescale(self, level: int, batch: int) -> List[KernelSpec]:
+        # INTT both polys, exact-divide against the dropped prime(s), NTT
+        # back — one PE kernel per stage.
+        drop = self.params.rescale_primes
+        lvl = level + 1
+        n = self.params.n
+        ntt_batch = 2 * lvl * batch
+        intt = self.ntt.kernel_plan(ntt_batch, inverse=True)
+        ntt = self.ntt.kernel_plan(2 * (lvl - drop) * batch, inverse=False)
+        divide = K.elementwise_kernel(
+            "rescale.divide", n * (lvl - drop) * 2 * batch,
+            ops_per_element=drop * (7 + 2),
+            read_words=1 + drop, write_words=1, geometry=self.geometry,
+        )
+        return [
+            k.renamed("rescale.intt") for k in intt
+        ] + [divide] + [k.renamed("rescale.ntt") for k in ntt]
+
+    # -- profiles ---------------------------------------------------------------------
+
+    def profile(self, op: str, *, level: int = None,
+                batch: int = 1) -> Dict[str, object]:
+        """Summary dict used by the benchmark harness tables."""
+        result = self.simulate(op, level=level, batch=batch)
+        from ..gpusim import aggregate
+
+        agg = aggregate(result.profiles)
+        return {
+            "op": op,
+            "kernels": result.kernel_count,
+            "latency_us": result.elapsed_us / batch,
+            "compute_util": agg.compute_utilization,
+            "memory_util": agg.memory_utilization,
+        }

@@ -1,0 +1,89 @@
+"""Tensor/CUDA warp allocation (§IV-B-3, §IV-D-3, Fig. 3).
+
+Within one block, warps split between tensor-core work and CUDA-core work;
+because all warps of a block land on the same SM, pairing 4 tensor warps
+with 4 CUDA warps covers the SM's 4 sub-partitions with both kinds of work,
+letting the two pipes overlap. The *fraction* of inner-NTT work assigned to
+each side is chosen from the pipes' relative throughput for their assigned
+instruction mix — the "Core Utilization Optimization" of §IV-D-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import GpuSpec
+
+
+@dataclass(frozen=True)
+class WarpAllocation:
+    """Resolved allocation for one fused NTT kernel."""
+
+    tensor_warps: int
+    cuda_warps: int
+    #: Fraction of inner-NTT work on tensor cores (0..1).
+    tensor_fraction: float
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.tensor_warps + self.cuda_warps
+
+
+def default_allocation(device: GpuSpec) -> WarpAllocation:
+    """The paper's 4 + 4 split: one tensor and one CUDA warp per SP."""
+    per_side = device.subpartitions_per_sm
+    return WarpAllocation(
+        tensor_warps=per_side, cuda_warps=per_side,
+        tensor_fraction=0.5,
+    )
+
+
+def balance_fraction(device: GpuSpec, *, tensor_macs_per_unit: float,
+                     cuda_ops_per_unit: float,
+                     cuda_fixed_ops: float = 0.0) -> float:
+    """Work fraction ``f`` for tensor cores that equalizes pipe times.
+
+    One "unit" of inner-NTT work costs ``tensor_macs_per_unit`` INT8 MACs
+    on the tensor path or ``cuda_ops_per_unit`` INT32 ops on the CUDA
+    path; ``cuda_fixed_ops`` is CUDA work that exists regardless of the
+    split (bit split/merge, twiddles, reductions). Solving
+    ``f*Tm/Rt = (1-f)*Co/Rc + Cf/Rc`` for ``f``::
+
+        f = (Co + Cf) / (Tm * Rc/Rt + Co)
+
+    Returns a fraction clipped to [0, 1]; 1 means the CUDA side has no
+    spare capacity and everything stays on tensor cores.
+    """
+    rt = device.tensor_macs_per_cycle
+    rc = device.int32_ops_per_cycle
+    if rt == 0:
+        return 0.0
+    tensor_time_full = tensor_macs_per_unit / rt
+    cuda_time_full = cuda_ops_per_unit / rc
+    fixed = cuda_fixed_ops / rc
+    denominator = tensor_time_full + cuda_time_full
+    if denominator == 0:
+        return 1.0
+    f = (cuda_time_full + fixed) / denominator
+    return min(1.0, max(0.0, f))
+
+
+def fused_times(device: GpuSpec, fraction: float, *,
+                tensor_macs: float, cuda_gemm_ops: float,
+                cuda_fixed_ops: float) -> dict:
+    """Pipe times (cycles, device-wide) of a fused kernel at ``fraction``.
+
+    Used by ablation benchmarks to show the fused max() beating either
+    single-pipe time — the §IV-B headline.
+    """
+    rt = device.tensor_macs_per_cycle or float("inf")
+    rc = device.int32_ops_per_cycle
+    t_tensor = fraction * tensor_macs / rt
+    t_cuda = ((1.0 - fraction) * cuda_gemm_ops + cuda_fixed_ops) / rc
+    return {
+        "tensor": t_tensor,
+        "cuda": t_cuda,
+        "fused": max(t_tensor, t_cuda),
+        "tensor_only": tensor_macs / rt + cuda_fixed_ops / rc,
+        "cuda_only": (cuda_gemm_ops + cuda_fixed_ops) / rc,
+    }

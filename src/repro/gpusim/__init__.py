@@ -1,0 +1,81 @@
+"""Analytic GPU timing simulator — the paper's A100 testbed, substituted.
+
+Lowered kernel plans (:class:`KernelSpec`) are priced by a roofline+latency
+model (:func:`simulate_kernel`), scheduled over streams
+(:func:`run_streams`), and reported with Nsight-Compute-style metrics
+(:mod:`profiler`). See DESIGN.md §1 for why this substitution preserves
+the paper's comparisons.
+"""
+
+from .device import (
+    A100_PCIE_80G,
+    A100_SXM_40G,
+    H100_SXM,
+    KNOWN_DEVICES,
+    MI100,
+    V100,
+    GpuSpec,
+)
+from .engine import (
+    KernelProfile,
+    Occupancy,
+    compute_occupancy,
+    simulate_kernel,
+)
+from .kernel import (
+    BYTES_PER_GMEM_INSTR,
+    BYTES_PER_SMEM_INSTR,
+    MACS_PER_MMA,
+    WARP_SIZE,
+    KernelSpec,
+)
+from .profiler import (
+    AggregateMetrics,
+    aggregate,
+    scheduler_cycles_breakdown,
+    stall_table,
+    utilization_table,
+)
+from .stalls import MEMORY_RELATED, StallBreakdown, StallReason
+from .streams import ExecutionResult, TimelineEntry, run_serial, run_streams
+from .timeline import (
+    render_timeline,
+    save_chrome_trace,
+    summarize,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "A100_PCIE_80G",
+    "A100_SXM_40G",
+    "AggregateMetrics",
+    "BYTES_PER_GMEM_INSTR",
+    "BYTES_PER_SMEM_INSTR",
+    "ExecutionResult",
+    "GpuSpec",
+    "H100_SXM",
+    "KNOWN_DEVICES",
+    "KernelProfile",
+    "KernelSpec",
+    "MACS_PER_MMA",
+    "MEMORY_RELATED",
+    "MI100",
+    "Occupancy",
+    "StallBreakdown",
+    "StallReason",
+    "TimelineEntry",
+    "V100",
+    "WARP_SIZE",
+    "aggregate",
+    "compute_occupancy",
+    "render_timeline",
+    "run_serial",
+    "run_streams",
+    "save_chrome_trace",
+    "scheduler_cycles_breakdown",
+    "simulate_kernel",
+    "stall_table",
+    "summarize",
+    "to_chrome_trace",
+    "utilization_table",
+]

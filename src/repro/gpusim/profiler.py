@@ -1,0 +1,125 @@
+"""Nsight-Compute-style reporting over simulated kernel profiles.
+
+Formats the metrics the paper reports: stall cycles per issued instruction
+and their category breakdown (Table II, Fig. 5), compute/memory throughput
+utilization (Tables III, IX, X), and kernel counts (Table IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .engine import KernelProfile
+from .stalls import MEMORY_RELATED, StallBreakdown, StallReason
+
+
+@dataclass
+class AggregateMetrics:
+    """Roll-up of a group of kernel profiles (e.g. one operation)."""
+
+    kernel_count: int
+    total_cycles: float
+    total_us: float
+    issued_instructions: float
+    stalls: StallBreakdown
+    #: Time-weighted average utilizations (%).
+    compute_utilization: float
+    memory_utilization: float
+
+    @property
+    def stall_cycles_per_issued(self) -> float:
+        if self.issued_instructions == 0:
+            return 0.0
+        return self.stalls.total / self.issued_instructions
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        return self.stalls.memory_related_fraction
+
+
+def aggregate(profiles: Sequence[KernelProfile]) -> AggregateMetrics:
+    """Combine kernel profiles into operation-level metrics."""
+    if not profiles:
+        raise ValueError("cannot aggregate zero profiles")
+    stalls = StallBreakdown()
+    for p in profiles:
+        stalls = stalls.merged_with(p.stalls)
+    total_cycles = sum(p.total_cycles for p in profiles)
+    exec_cycles = sum(p.exec_cycles for p in profiles)
+    compute = sum(
+        p.compute_throughput_utilization * p.exec_cycles for p in profiles
+    ) / exec_cycles
+    memory = sum(
+        p.memory_throughput_utilization * p.exec_cycles for p in profiles
+    ) / exec_cycles
+    return AggregateMetrics(
+        kernel_count=len(profiles),
+        total_cycles=total_cycles,
+        total_us=sum(p.elapsed_us for p in profiles),
+        issued_instructions=sum(p.issued_instructions for p in profiles),
+        stalls=stalls,
+        compute_utilization=compute,
+        memory_utilization=memory,
+    )
+
+
+def stall_table(profiles_by_stage: Dict[str, Sequence[KernelProfile]],
+                ) -> str:
+    """Render a Table II-style stall report, one column per stage."""
+    stages = list(profiles_by_stage)
+    aggs = {s: aggregate(profiles_by_stage[s]) for s in stages}
+    rows: List[str] = []
+    header = f"{'metric':<38}" + "".join(f"{s:>16}" for s in stages)
+    rows.append(header)
+    rows.append(
+        f"{'Stall cycles / issued instruction':<38}"
+        + "".join(f"{aggs[s].stall_cycles_per_issued:>16.1f}" for s in stages)
+    )
+    rows.append(
+        f"{'Memory-related pipeline stalls (%)':<38}"
+        + "".join(
+            f"{100 * aggs[s].memory_stall_fraction:>16.1f}" for s in stages
+        )
+    )
+    for reason in (StallReason.LG_THROTTLE, StallReason.LONG_SCOREBOARD,
+                   StallReason.SHORT_SCOREBOARD, StallReason.MIO_THROTTLE):
+        rows.append(
+            f"{'  ' + reason.value + ' (%)':<38}"
+            + "".join(
+                f"{100 * aggs[s].stalls.fraction(reason):>16.1f}"
+                for s in stages
+            )
+        )
+    return "\n".join(rows)
+
+
+def scheduler_cycles_breakdown(profiles: Sequence[KernelProfile],
+                               ) -> Dict[str, float]:
+    """Fig. 5-style breakdown: 'selected' (issued) plus stall categories,
+    in absolute warp-cycles."""
+    agg = aggregate(profiles)
+    out: Dict[str, float] = {"selected": agg.issued_instructions}
+    for reason, cycles in agg.stalls.cycles.items():
+        out[reason.value] = cycles
+    return out
+
+
+def utilization_table(metrics_by_config: Dict[str, AggregateMetrics],
+                      *, label: str = "config") -> str:
+    """Render a Table IX/X-style utilization comparison."""
+    rows = [
+        f"{label:<24} {'kernels':>8} {'compute %':>10} {'memory %':>10} "
+        f"{'us':>10}"
+    ]
+    for name, m in metrics_by_config.items():
+        rows.append(
+            f"{name:<24} {m.kernel_count:>8} {m.compute_utilization:>10.1f} "
+            f"{m.memory_utilization:>10.1f} {m.total_us:>10.1f}"
+        )
+    return "\n".join(rows)
+
+
+def memory_related_names() -> List[str]:
+    """Names of the stall categories counted as memory-related."""
+    return sorted(r.value for r in MEMORY_RELATED)

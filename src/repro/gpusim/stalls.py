@@ -1,0 +1,96 @@
+"""The Nsight Compute stall taxonomy used throughout the evaluation.
+
+Definitions follow the NVIDIA Nsight Compute documentation (the paper's
+measurement tool, §V-B) and Table II's footnote, which classes *LG
+Throttle, Long Scoreboard, MIO Throttle, Short Scoreboard, Drain and IMC
+Miss* as memory-related:
+
+- ``LG_THROTTLE`` — the load/store input queue is full; the warp cannot
+  even issue its next local/global memory instruction. Symptomatic of an
+  extreme memory-to-compute instruction ratio (TensorFHE's bit-split
+  kernel).
+- ``LONG_SCOREBOARD`` — waiting on the scoreboard for data from L2/DRAM
+  (long-latency loads).
+- ``MIO_THROTTLE`` — the memory-IO instruction queue (shared memory among
+  others) is full.
+- ``SHORT_SCOREBOARD`` — waiting on data from shared memory.
+- ``DRAIN`` / ``IMC_MISS`` — write drain on exit / immediate-constant miss
+  (minor; grouped with memory stalls as in the paper).
+- ``MATH_THROTTLE`` — an execution pipe (INT/tensor) is saturated.
+- ``BARRIER`` — waiting at ``__syncthreads``.
+- ``NOT_SELECTED`` — eligible but another warp was issued (healthy
+  oversubscription).
+- ``WAIT`` — fixed-latency dependency wait (ALU pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class StallReason(str, Enum):
+    LG_THROTTLE = "lg_throttle"
+    LONG_SCOREBOARD = "long_scoreboard"
+    MIO_THROTTLE = "mio_throttle"
+    SHORT_SCOREBOARD = "short_scoreboard"
+    DRAIN = "drain"
+    IMC_MISS = "imc_miss"
+    MATH_THROTTLE = "math_throttle"
+    BARRIER = "barrier"
+    NOT_SELECTED = "not_selected"
+    WAIT = "wait"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The categories Table II's footnote counts as memory-access-related.
+MEMORY_RELATED = frozenset(
+    {
+        StallReason.LG_THROTTLE,
+        StallReason.LONG_SCOREBOARD,
+        StallReason.MIO_THROTTLE,
+        StallReason.SHORT_SCOREBOARD,
+        StallReason.DRAIN,
+        StallReason.IMC_MISS,
+    }
+)
+
+
+@dataclass
+class StallBreakdown:
+    """Warp-cycle stall totals per reason for one kernel (or aggregate)."""
+
+    cycles: Dict[StallReason, float] = field(default_factory=dict)
+
+    def add(self, reason: StallReason, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("stall cycles cannot be negative")
+        self.cycles[reason] = self.cycles.get(reason, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    @property
+    def memory_related(self) -> float:
+        return sum(
+            v for k, v in self.cycles.items() if k in MEMORY_RELATED
+        )
+
+    @property
+    def memory_related_fraction(self) -> float:
+        total = self.total
+        return self.memory_related / total if total else 0.0
+
+    def fraction(self, reason: StallReason) -> float:
+        total = self.total
+        return self.cycles.get(reason, 0.0) / total if total else 0.0
+
+    def merged_with(self, other: "StallBreakdown") -> "StallBreakdown":
+        out = StallBreakdown(dict(self.cycles))
+        for reason, amount in other.cycles.items():
+            out.add(reason, amount)
+        return out

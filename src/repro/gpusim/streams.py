@@ -1,0 +1,135 @@
+"""Stream-level scheduling of kernel sequences.
+
+Models what the paper observes about CUDA streams (§III-A, §IV-C-2):
+kernels in one stream serialize; kernels in different streams overlap only
+when together they fit in the SM array — the large grids of FHE kernels
+occupy every SM, so multi-stream launches degenerate to serial execution
+("stages 2 and 4, which utilize multiple streams, are executed serially on
+the GPU due to the large number of SMs used").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .device import GpuSpec
+from .engine import KernelProfile, simulate_kernel
+from .kernel import KernelSpec
+
+
+@dataclass
+class TimelineEntry:
+    """One executed kernel instance on the device timeline."""
+
+    profile: KernelProfile
+    stream: int
+    start_us: float
+    end_us: float
+
+    @property
+    def name(self) -> str:
+        return self.profile.spec.name
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class ExecutionResult:
+    """Full result of scheduling one launch graph."""
+
+    entries: List[TimelineEntry] = field(default_factory=list)
+    device: Optional[GpuSpec] = None
+
+    @property
+    def elapsed_us(self) -> float:
+        return max((e.end_us for e in self.entries), default=0.0)
+
+    @property
+    def kernel_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def profiles(self) -> List[KernelProfile]:
+        return [e.profile for e in self.entries]
+
+    def total_stalls(self):
+        merged = None
+        for e in self.entries:
+            merged = (
+                e.profile.stalls
+                if merged is None
+                else merged.merged_with(e.profile.stalls)
+            )
+        return merged
+
+    def by_name(self) -> Dict[str, List[TimelineEntry]]:
+        groups: Dict[str, List[TimelineEntry]] = {}
+        for e in self.entries:
+            groups.setdefault(e.name, []).append(e)
+        return groups
+
+
+def run_serial(kernels: Sequence[KernelSpec], device: GpuSpec,
+               ) -> ExecutionResult:
+    """Execute kernels back-to-back in a single stream."""
+    return run_streams([list(kernels)], device)
+
+
+def run_streams(streams: Sequence[Sequence[KernelSpec]], device: GpuSpec,
+                ) -> ExecutionResult:
+    """Event-driven scheduling of multiple streams sharing the SM array.
+
+    A kernel starts when its stream's predecessor finished and enough SMs
+    are free (``sm_used = min(blocks, sm_count)``). Grids that span the
+    device therefore serialize even across streams, reproducing the
+    observation in §III-A.
+    """
+    result = ExecutionResult(device=device)
+    profiles = [
+        [simulate_kernel(k, device) for k in stream] for stream in streams
+    ]
+    stream_ready = [0.0] * len(streams)
+    next_idx = [0] * len(streams)
+    #: (end_time_us, sm_count) of currently running kernels.
+    running: List[tuple] = []
+    now = 0.0
+
+    def free_sms(at: float) -> int:
+        return device.sm_count - sum(
+            sms for end, sms in running if end > at
+        )
+
+    pending = sum(len(s) for s in streams)
+    while pending:
+        progressed = False
+        for sid, stream in enumerate(profiles):
+            i = next_idx[sid]
+            if i >= len(stream):
+                continue
+            prof = stream[i]
+            sms_needed = prof.occupancy.sm_used
+            start = max(now, stream_ready[sid])
+            if stream_ready[sid] <= now and free_sms(now) >= sms_needed:
+                end = now + prof.elapsed_us
+                running.append((end, sms_needed))
+                result.entries.append(
+                    TimelineEntry(
+                        profile=prof, stream=sid, start_us=now, end_us=end
+                    )
+                )
+                stream_ready[sid] = end
+                next_idx[sid] += 1
+                pending -= 1
+                progressed = True
+        if pending and not progressed:
+            # Advance time to the next completion or stream-ready event.
+            horizon = [end for end, _ in running if end > now]
+            horizon += [t for t in stream_ready if t > now]
+            if not horizon:
+                raise RuntimeError("scheduler deadlock (no runnable kernel)")
+            now = min(horizon)
+            running = [(end, sms) for end, sms in running if end > now]
+    return result

@@ -1,0 +1,82 @@
+"""NTT algorithm suite: every transform strategy the paper discusses.
+
+- :mod:`.reference` — O(N^2) ground truth;
+- :mod:`.radix2` — iterative Cooley-Tukey workhorse;
+- :mod:`.fourstep` — single-level 4-step (Eq. 2);
+- :mod:`.decompose` / :mod:`.hierarchical` — WarpDrive's multi-level
+  decomposition (Fig. 2, Table IV) with pluggable leaf engines;
+- :mod:`.gemm` / :mod:`.bitsplit` — CUDA-core and tensor-core (uint8 limb)
+  GEMM inner NTTs;
+- :mod:`.butterfly` — high-radix butterfly inner NTTs (WD-BO);
+- :mod:`.negacyclic` — polynomial products and Galois automorphisms.
+"""
+
+from .bitsplit import bitsplit_matmul_mod, count_limb_gemms
+from .butterfly import SUPPORTED_RADICES, butterfly_inner_ntt, choose_radix
+from .decompose import (
+    DEFAULT_LEAF_SIZE,
+    DecompositionCost,
+    NttPlan,
+    build_plan,
+    table_iv_rows,
+)
+from .fourstep import fourstep_cyclic_ntt, fourstep_negacyclic_ntt
+from .gemm import gemm_inner_ntt, matmul_mod_uint32
+from .hierarchical import LEAF_ENGINES, ExecutionStats, HierarchicalNtt
+from .negacyclic import (
+    apply_automorphism,
+    conjugate_automorphism,
+    pointwise_mul,
+    poly_add,
+    poly_mul,
+    poly_neg,
+    rotate_galois,
+)
+from .radix2 import cyclic_ntt, negacyclic_intt, negacyclic_ntt
+from .reference import (
+    cyclic_convolution,
+    negacyclic_convolution,
+    reference_cyclic_intt,
+    reference_cyclic_ntt,
+    reference_negacyclic_intt,
+    reference_negacyclic_ntt,
+)
+from .tables import NttTables, get_tables
+
+__all__ = [
+    "DEFAULT_LEAF_SIZE",
+    "DecompositionCost",
+    "ExecutionStats",
+    "HierarchicalNtt",
+    "LEAF_ENGINES",
+    "NttPlan",
+    "NttTables",
+    "SUPPORTED_RADICES",
+    "apply_automorphism",
+    "bitsplit_matmul_mod",
+    "build_plan",
+    "butterfly_inner_ntt",
+    "choose_radix",
+    "conjugate_automorphism",
+    "count_limb_gemms",
+    "cyclic_convolution",
+    "cyclic_ntt",
+    "fourstep_cyclic_ntt",
+    "fourstep_negacyclic_ntt",
+    "gemm_inner_ntt",
+    "get_tables",
+    "matmul_mod_uint32",
+    "negacyclic_convolution",
+    "negacyclic_intt",
+    "negacyclic_ntt",
+    "pointwise_mul",
+    "poly_add",
+    "poly_mul",
+    "poly_neg",
+    "reference_cyclic_intt",
+    "reference_cyclic_ntt",
+    "reference_negacyclic_intt",
+    "reference_negacyclic_ntt",
+    "rotate_galois",
+    "table_iv_rows",
+]

@@ -1,0 +1,141 @@
+"""UINT8 bit-splitting GEMM — the tensor-core dataflow, executed exactly.
+
+Tensor cores multiply INT8 matrices with INT32 accumulation. A 32-bit NTT
+operand therefore travels as four uint8 limbs, the twiddle matrix as four
+more, and one modular matrix product becomes 16 small GEMMs (9 with the
+Karatsuba variant the paper evaluates and rejects, §IV-A-4) whose partial
+sums are shifted and merged before modular reduction.
+
+This module performs that *exact* dataflow in numpy: real limb splits, real
+int32-range accumulations (range-checked), real merges. The GPU simulator
+charges these steps as tensor-core MMA ops plus CUDA-core split/merge work;
+the numerics here prove the dataflow is lossless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..numtheory import BarrettReducer
+from ..numtheory.karatsuba import LIMB_BITS, split_limbs
+
+#: INT32 accumulator capacity of a tensor-core MMA chain.
+_ACC_LIMIT = 1 << 31
+
+#: (shift, sign, accumulated GEMM) partial product entries.
+_Partial = Tuple[int, int, np.ndarray]
+
+
+def bitsplit_matmul_mod(x: np.ndarray, w: np.ndarray, reducer: BarrettReducer,
+                        *, use_karatsuba: bool = False) -> np.ndarray:
+    """``(x @ w) mod q`` through the uint8-limb tensor-core dataflow.
+
+    Parameters
+    ----------
+    x:
+        ``(..., m, k)`` matrix of residues below ``q < 2**31``.
+    w:
+        ``(k, n)`` twiddle matrix of residues below ``q``.
+    reducer:
+        Barrett reducer for the target modulus.
+    use_karatsuba:
+        Evaluate the 9-multiplication Karatsuba limb scheme instead of the
+        16-multiplication schoolbook.
+
+    Notes
+    -----
+    The merge interleaves modular reductions: a full 64-bit merge of a deep
+    GEMM would overflow (products reach ``2**16`` per MAC and the limb
+    shifts add up to 48 bits), so each limb-pair GEMM is reduced *before*
+    its shift is applied — exactly the "reassembling 16 elements and
+    perform ModRedc" steps of Algorithms 1 and 2 in the paper.
+    """
+    k = x.shape[-1]
+    if w.shape[0] != k:
+        raise ValueError(f"inner dimensions differ: {k} vs {w.shape[0]}")
+    # Karatsuba operand sums cost 2 extra bits (the paper's word-length loss).
+    acc_bits = 2 * LIMB_BITS + (2 if use_karatsuba else 0)
+    if (1 << acc_bits) * k > _ACC_LIMIT:
+        raise ValueError(
+            f"GEMM depth {k} overflows the int32 tensor-core accumulator; "
+            "decompose the NTT further (the paper's 2-level split keeps "
+            "inner dimensions at 16)"
+        )
+    x_limbs = split_limbs(x.astype(np.uint64, copy=False))
+    w_limbs = split_limbs(w.astype(np.uint64, copy=False))
+
+    if use_karatsuba:
+        partials = _karatsuba_partials(x_limbs, w_limbs)
+    else:
+        partials = _schoolbook_partials(x_limbs, w_limbs)
+
+    two_pow = [np.uint64(pow(2, LIMB_BITS * s, reducer.modulus))
+               for s in range(8)]
+    result = None
+    for shift, sign, acc in partials:
+        reduced = reducer.reduce_vec(acc)
+        term = reducer.mul_vec(reduced, two_pow[shift])
+        if result is None:
+            result = term if sign > 0 else reducer.sub_vec(
+                np.zeros_like(term), term
+            )
+        elif sign > 0:
+            result = reducer.add_vec(result, term)
+        else:
+            result = reducer.sub_vec(result, term)
+    return result
+
+
+def count_limb_gemms(use_karatsuba: bool = False) -> int:
+    """Number of uint8 GEMMs one 32-bit modular GEMM expands into."""
+    return 9 if use_karatsuba else 16
+
+
+def _schoolbook_partials(x_limbs, w_limbs) -> List[_Partial]:
+    """All 16 limb GEMMs, tagged with limb shift ``i + j`` and sign +1."""
+    partials: List[_Partial] = []
+    for i, xl in enumerate(x_limbs):
+        for j, wl in enumerate(w_limbs):
+            partials.append((i + j, +1, xl @ wl))
+    return partials
+
+
+def _karatsuba_partials(x_limbs, w_limbs) -> List[_Partial]:
+    """9 limb GEMMs via two-level Karatsuba.
+
+    Each 2-limb half-product uses 3 GEMMs (low, high, (a0+a1)(b0+b1));
+    the outer level combines three half-products the same way. The
+    middle-term subtractions reuse already-computed GEMMs with negative
+    signs, so the GEMM count stays at 9 while the merge list grows.
+    """
+    x0, x1, x2, x3 = x_limbs
+    w0, w1, w2, w3 = w_limbs
+
+    def kara2(a0, a1, b0, b1):
+        """3 GEMMs -> partials of (a0 + a1*2^8)(b0 + b1*2^8) at local shifts."""
+        low = a0 @ b0
+        high = a1 @ b1
+        cross = (a0 + a1) @ (b0 + b1)
+        return [
+            (0, +1, low),
+            (1, +1, cross),
+            (1, -1, low),
+            (1, -1, high),
+            (2, +1, high),
+        ]
+
+    lo = kara2(x0, x1, w0, w1)          # A_lo * B_lo
+    hi = kara2(x2, x3, w2, w3)          # A_hi * B_hi
+    cross = kara2(x0 + x2, x1 + x3, w0 + w2, w1 + w3)
+
+    partials: List[_Partial] = []
+    partials.extend((s, sign, acc) for s, sign, acc in lo)
+    # Middle term: (cross - lo - hi) << 2 limbs.
+    partials.extend((s + 2, sign, acc) for s, sign, acc in cross)
+    partials.extend((s + 2, -sign, acc) for s, sign, acc in lo)
+    partials.extend((s + 2, -sign, acc) for s, sign, acc in hi)
+    # High term: hi << 4 limbs.
+    partials.extend((s + 4, sign, acc) for s, sign, acc in hi)
+    return partials

@@ -1,0 +1,102 @@
+"""High-radix butterfly inner NTTs (the WD-BO CUDA-core path).
+
+§IV-B-2: to keep CUDA cores off the GEMM treadmill, WarpDrive lets them run
+the inner NTTs as *butterfly networks* instead — radix 16 by default (the
+tensor tile size), with radix 8 and 4 for smaller dimensions, holding all
+intermediates in registers to dodge the RAW-dependency stalls TensorFHE
+reports.
+
+Functionally a radix-``r`` butterfly network over ``log_r(n)`` stages is
+just another factorization of the same DFT matrix, so the implementation
+below computes each radix-``r`` stage as a batched ``r``-point transform
+plus inter-stage twiddles, and is tested bit-exact against the reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory import BarrettReducer
+from .tables import _power_table
+
+#: Radix preference order from the paper (§IV-B-2).
+SUPPORTED_RADICES = (16, 8, 4, 2)
+
+
+def choose_radix(n: int) -> int:
+    """Largest supported radix that divides ``n`` exactly at every stage.
+
+    Picks the biggest ``r`` in :data:`SUPPORTED_RADICES` such that ``n`` is
+    a power of ``r``; falls back to mixed-radix (the remainder handled by a
+    final smaller stage) by returning the largest ``r`` dividing ``n``.
+    """
+    for r in (16, 8, 4):
+        if n >= r and _is_power_of(n, r):
+            return r
+    for r in SUPPORTED_RADICES:
+        if n % r == 0:
+            return r
+    return 2
+
+
+def _is_power_of(n: int, r: int) -> bool:
+    while n % r == 0:
+        n //= r
+    return n == 1
+
+
+def butterfly_inner_ntt(x: np.ndarray, size: int, omega: int,
+                        reducer: BarrettReducer) -> np.ndarray:
+    """``size``-point cyclic NTT over the last axis via high-radix stages.
+
+    ``omega`` is a primitive ``size``-th root of unity mod ``reducer.modulus``.
+    Implemented as a recursive Cooley-Tukey split with radix
+    :func:`choose_radix`; the base case applies the radix-point DFT matrix
+    directly (those are the in-register butterflies).
+    """
+    if x.shape[-1] != size:
+        raise ValueError(f"last axis must be {size}, got {x.shape[-1]}")
+    q = reducer.modulus
+    radix = choose_radix(size)
+    return _radix_ct(x.astype(np.uint64, copy=False), size, omega, radix,
+                     reducer, _power_table(omega, size, q))
+
+
+def _radix_ct(x: np.ndarray, n: int, omega: int, radix: int,
+              reducer: BarrettReducer, omega_pows: np.ndarray) -> np.ndarray:
+    """Recursive radix-``r`` decimation (4-step with ``n1 = radix``)."""
+    if n <= radix or n <= 2:
+        return _small_dft(x, n, omega, reducer)
+    n1 = radix
+    n2 = n // radix
+    batch = x.shape[:-1]
+    # Rows j1 (length n2) <- x[j1 + n1*j2].
+    a = x.reshape(*batch, n2, n1)
+    a = np.swapaxes(a, -1, -2)  # (..., n1, n2)
+    omega_n2 = pow(omega, n1, reducer.modulus)
+    b = _radix_ct(a, n2, omega_n2, radix, reducer,
+                  _power_table(omega_n2, n2, reducer.modulus))
+    # Twiddle: T[j1, k2] = omega^(j1*k2).
+    j1 = np.arange(n1, dtype=np.uint64)[:, None]
+    k2 = np.arange(n2, dtype=np.uint64)[None, :]
+    tw = omega_pows[(j1 * k2) % np.uint64(n)]
+    b = reducer.mul_vec(b, tw)
+    # Column transforms of size n1 (the register-resident butterflies).
+    c = _small_dft(np.swapaxes(b, -1, -2), n1, pow(omega, n2, reducer.modulus),
+                   reducer)  # (..., n2, n1) -> transformed over last axis
+    # Output X[k2 + n2*k1] = C[k2][k1] -> flatten (k1, k2) C-order.
+    return np.swapaxes(c, -1, -2).reshape(*batch, n)
+
+
+def _small_dft(x: np.ndarray, n: int, omega: int,
+               reducer: BarrettReducer) -> np.ndarray:
+    """Direct ``n``-point DFT over the last axis (product-reduce-accumulate)."""
+    if x.shape[-1] != n:
+        raise ValueError("size mismatch in small DFT")
+    pow_table = _power_table(omega, n, reducer.modulus)
+    idx = np.arange(n, dtype=np.uint64)
+    dft = pow_table[(np.outer(idx, idx) % n).astype(np.intp)]
+    prods = reducer.mul_vec(
+        x[..., None, :], dft[tuple([None] * (x.ndim - 1))]
+    )
+    return reducer.reduce_vec(prods.sum(axis=-1, dtype=np.uint64))

@@ -1,0 +1,173 @@
+"""NTT decomposition planning and the Table IV cost model.
+
+The paper's key algorithmic move (§IV-A-2) is a *multi-level* 4-step
+decomposition: each level splits one NTT into (inner NTTs, twiddle Hadamard,
+inner NTTs), and two levels take an ``N = 2^16`` transform down to 16-point
+inner NTTs whose twiddle matrices fit in shared memory. This module builds
+the recursive plan tree and reproduces the analytic operation counts of
+Table IV that justify stopping at two levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Inner NTT dimension matched to the tensor-core MMA tile (§IV-B-2).
+DEFAULT_LEAF_SIZE = 16
+
+
+@dataclass(frozen=True)
+class NttPlan:
+    """A node of the recursive 4-step decomposition tree.
+
+    A *leaf* executes a direct ``n``-point inner NTT (by GEMM on tensor or
+    CUDA cores, or by butterflies). An internal node splits ``n = n1 * n2``
+    into column transforms (``left``, size ``n1``), a twiddle Hadamard
+    product, and row transforms (``right``, size ``n2``).
+    """
+
+    n: int
+    left: Optional["NttPlan"] = None
+    right: Optional["NttPlan"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def n1(self) -> int:
+        if self.is_leaf:
+            raise ValueError("leaf plans have no split")
+        return self.left.n
+
+    @property
+    def n2(self) -> int:
+        if self.is_leaf:
+            raise ValueError("leaf plans have no split")
+        return self.right.n
+
+    @property
+    def depth(self) -> int:
+        """Number of decomposition levels below this node."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth, self.right.depth)
+
+    def leaf_sizes(self) -> list:
+        """Inner NTT sizes in execution order (right/rows first)."""
+        if self.is_leaf:
+            return [self.n]
+        return self.right.leaf_sizes() + self.left.leaf_sizes()
+
+    def num_steps(self) -> int:
+        """Total steps in the flattened schedule (Fig. 2: 7 for 2 levels).
+
+        Each internal node contributes its two children's steps plus one
+        twiddle/transpose step in between.
+        """
+        if self.is_leaf:
+            return 1
+        return self.left.num_steps() + self.right.num_steps() + 1
+
+    def describe(self) -> str:
+        """Nested-product notation, e.g. ``(16x16)x(16x16)``."""
+        if self.is_leaf:
+            return str(self.n)
+        left = self.left.describe()
+        right = self.right.describe()
+        if not self.left.is_leaf:
+            left = f"({left})"
+        if not self.right.is_leaf:
+            right = f"({right})"
+        return f"{left}x{right}"
+
+
+def build_plan(n: int, *, max_leaf: int = DEFAULT_LEAF_SIZE) -> NttPlan:
+    """Build the decomposition plan WarpDrive uses for an ``n``-point NTT.
+
+    Policy from §IV-A-2: decompose until every inner NTT dimension is at
+    most ``max_leaf`` (16, the tensor-core tile), but no further — deeper
+    levels shrink the GEMMs below tensor-core efficiency and inflate the
+    CUDA-core twiddle work (Table IV). Large sizes split off 256-point
+    chunks (which decompose into 16x16), giving ``(16x16)x(16x16)`` at
+    ``N = 2^16`` and ``(16x16)x16`` at ``N = 4096``, exactly as the paper
+    describes.
+    """
+    if n < 2:
+        raise ValueError(f"NTT size must be >= 2, got {n}")
+    if n & (n - 1):
+        raise ValueError(f"NTT size must be a power of two, got {n}")
+    bits = n.bit_length() - 1
+    leaf_bits = max_leaf.bit_length() - 1
+    if bits <= leaf_bits:
+        return NttPlan(n)
+    if bits > 2 * leaf_bits:
+        left_bits = 2 * leaf_bits  # a further-decomposed 256-point block
+    else:
+        left_bits = (bits + 1) // 2
+    right_bits = bits - left_bits
+    return NttPlan(
+        n,
+        left=build_plan(1 << left_bits, max_leaf=max_leaf),
+        right=build_plan(1 << right_bits, max_leaf=max_leaf),
+    )
+
+
+@dataclass(frozen=True)
+class DecompositionCost:
+    """Operation counts for an ``l``-level balanced decomposition (Table IV).
+
+    All counts are per single N-point NTT:
+
+    - ``matrix_size``: entries of one inner-NTT twiddle matrix
+      (``N^(1/2^(l-1))``, i.e. the square of the inner dimension).
+    - ``ew_mul``: element-wise multiplications inside the inner-NTT GEMMs.
+    - ``mod_red``: modular reductions after the GEMM accumulations.
+    - ``mod_mul``: modular multiplications in the twiddle Hadamard steps.
+    - ``bit_dec_mer``: bit decomposition + merge operations (tensor path).
+    """
+
+    level: int
+    n: int
+    matrix_size: int
+    ew_mul: int
+    mod_red: int
+    mod_mul: int
+    bit_dec_mer: int
+
+    @classmethod
+    def for_level(cls, n: int, level: int) -> "DecompositionCost":
+        """Evaluate the closed forms of Table IV for an ``l``-level split."""
+        if level < 0:
+            raise ValueError("decomposition level must be >= 0")
+        inner_dim_sq = _integer_root_pow(n, level)
+        return cls(
+            level=level,
+            n=n,
+            matrix_size=inner_dim_sq,
+            ew_mul=n * _integer_root_pow(n, level + 1) * (2**level)
+            if level > 0
+            else n * n,
+            mod_red=n * (2**level) if level > 0 else 2 * n,
+            mod_mul=(2**level - 1) * n if level > 0 else n,
+            bit_dec_mer=(2 ** (level + 1) - 2) * n if level > 0 else 2 * n,
+        )
+
+
+def _integer_root_pow(n: int, level: int) -> int:
+    """``N^(1 / 2^(level-1))`` for powers of two — the Table IV matrix size.
+
+    ``level = 0`` means no decomposition (full ``N x N`` matrix, returns
+    ``N**2``); each further level takes a square root of the inner
+    dimension, and the matrix size is the square of that dimension:
+    ``N^(1/2^(l-1)) = (N^(1/2^l))^2``.
+    """
+    bits = n.bit_length() - 1
+    inner_bits = bits / (2**level)
+    return 1 << round(2 * inner_bits)
+
+
+def table_iv_rows(n: int = 65536, max_level: int = 3) -> list:
+    """Return the rows of Table IV for the paper's ``N = 65536`` example."""
+    return [DecompositionCost.for_level(n, lvl) for lvl in range(max_level + 1)]

@@ -1,0 +1,73 @@
+"""Single-level 4-step NTT (Eq. 2 of the paper).
+
+Decomposes an ``n = n1*n2`` cyclic NTT into: (a) ``n1`` rows of
+``n2``-point inner NTTs, (b) transpose, (c) twiddle Hadamard product,
+(d) ``n2`` columns of ``n1``-point inner NTTs. TensorFHE's kernel-level
+method is exactly this with GEMM inner NTTs; WarpDrive recurses it
+(:mod:`.hierarchical`).
+
+Index convention (matching the derivation in the paper):
+``x[j1 + n1*j2]`` in, ``X[k2 + n2*k1]`` out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory import BarrettReducer
+from .tables import NttTables, _power_table
+
+
+def fourstep_cyclic_ntt(x: np.ndarray, n1: int, n2: int, omega: int,
+                        modulus: int, *, inner=None) -> np.ndarray:
+    """4-step cyclic NTT over the last axis.
+
+    Parameters
+    ----------
+    x:
+        ``(..., n1*n2)`` input in natural order.
+    omega:
+        Primitive ``n1*n2``-th root of unity mod ``modulus``.
+    inner:
+        Callable ``inner(matrix, size, omega_size) -> matrix`` running the
+        inner transforms over the last axis; defaults to a direct DFT
+        matrix product. Injecting this is how the engine variants choose
+        tensor GEMM / CUDA GEMM / butterfly execution.
+    """
+    n = n1 * n2
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must be {n}, got {x.shape[-1]}")
+    reducer = BarrettReducer(modulus)
+    if inner is None:
+        def inner(mat, size, w):
+            pow_table = _power_table(w, size, modulus)
+            idx = np.arange(size, dtype=np.uint64)
+            dft = pow_table[(np.outer(idx, idx) % size).astype(np.intp)]
+            prods = reducer.mul_vec(
+                mat[..., None, :], dft[tuple([None] * (mat.ndim - 1))]
+            )
+            return reducer.reduce_vec(prods.sum(axis=-1, dtype=np.uint64))
+
+    batch = x.shape[:-1]
+    # Step (a): rows j1 hold x[j1 + n1*j2]; inner NTTs of size n2.
+    a = np.swapaxes(
+        x.astype(np.uint64, copy=False).reshape(*batch, n2, n1), -1, -2
+    )
+    b = inner(a, n2, pow(omega, n1, modulus))
+    # Steps (b)+(c): transpose folded into indexing; twiddle Hadamard.
+    omega_pows = _power_table(omega, n, modulus)
+    j1 = np.arange(n1, dtype=np.uint64)[:, None]
+    k2 = np.arange(n2, dtype=np.uint64)[None, :]
+    b = reducer.mul_vec(b, omega_pows[(j1 * k2) % np.uint64(n)])
+    # Step (d): inner NTTs of size n1 over columns.
+    c = inner(np.swapaxes(b, -1, -2), n1, pow(omega, n2, modulus))
+    return np.swapaxes(c, -1, -2).reshape(*batch, n)
+
+
+def fourstep_negacyclic_ntt(x: np.ndarray, n1: int, n2: int,
+                            tables: NttTables) -> np.ndarray:
+    """Negacyclic forward NTT via psi pre-scale + 4-step cyclic core."""
+    scaled = tables.mont.mul_vec(
+        x.astype(np.uint64, copy=False), tables.psi_pows_mont
+    )
+    return fourstep_cyclic_ntt(scaled, n1, n2, tables.omega, tables.modulus)

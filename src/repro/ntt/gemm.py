@@ -1,0 +1,67 @@
+"""Matrix-multiplication inner NTTs (CUDA-core and tensor-core forms).
+
+The hierarchical decomposition reduces an NTT to many small inner NTTs,
+each a multiplication by a tiny twiddle matrix. WarpDrive executes those
+inner products three ways (§IV-B-2):
+
+* **tensor** — uint8 limb GEMMs on tensor cores (:mod:`.bitsplit`);
+* **cuda-gemm** — full 32-bit GEMM directly on INT32 CUDA cores, no
+  splitting/merging needed;
+* **butterfly** — high-radix butterfly networks on CUDA cores
+  (:mod:`.butterfly`).
+
+All three produce bit-identical results; they differ only in the hardware
+cost profile the simulator charges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory import BarrettReducer
+from .bitsplit import bitsplit_matmul_mod
+
+
+def matmul_mod_uint32(x: np.ndarray, w: np.ndarray,
+                      reducer: BarrettReducer) -> np.ndarray:
+    """``(x @ w) mod q`` with native 32-bit products (CUDA-core GEMM).
+
+    Each scalar product is reduced before accumulation so the running sum of
+    a depth-``k`` GEMM stays below ``k * q`` — the same
+    multiply-reduce-accumulate loop an INT32 core runs. Accumulation depth
+    is limited only by uint64 headroom (``k < 2**33 / q``), far beyond any
+    inner NTT here.
+    """
+    if x.ndim < 2:
+        raise ValueError("x must be a (..., m, k) matrix, not a vector")
+    k = x.shape[-1]
+    if w.shape[0] != k:
+        raise ValueError(f"inner dimensions differ: {k} vs {w.shape[0]}")
+    if k * reducer.modulus >= 1 << 62:
+        raise ValueError(f"GEMM depth {k} too deep for uint64 accumulation")
+    # Reduce each product, then one reduction of the (small) sum.
+    prods = reducer.mul_vec(
+        x.astype(np.uint64, copy=False)[..., :, None],
+        w.astype(np.uint64, copy=False)[None, :, :],
+    )
+    return reducer.reduce_vec(prods.sum(axis=-2, dtype=np.uint64))
+
+
+def gemm_inner_ntt(x: np.ndarray, dft: np.ndarray, reducer: BarrettReducer,
+                   *, engine: str = "cuda-gemm",
+                   use_karatsuba: bool = False) -> np.ndarray:
+    """Apply an inner NTT matrix to the last axis of ``x``.
+
+    ``dft`` is the ``(n, n)`` matrix with ``dft[k, j] = w^(jk)``; the result
+    is ``y[..., k] = sum_j x[..., j] * dft[k, j]`` — i.e. ``x @ dft.T``.
+
+    ``engine`` selects the functional dataflow: ``"cuda-gemm"`` (32-bit
+    products) or ``"tensor"`` (uint8 limb GEMMs).
+    """
+    wt = np.ascontiguousarray(dft.T)
+    if engine == "cuda-gemm":
+        return matmul_mod_uint32(x, wt, reducer)
+    if engine == "tensor":
+        return bitsplit_matmul_mod(x, wt, reducer,
+                                   use_karatsuba=use_karatsuba)
+    raise ValueError(f"unknown GEMM engine {engine!r}")

@@ -1,0 +1,170 @@
+"""Plan-driven hierarchical NTT — the WarpDrive decomposition, executed.
+
+Executes the recursive decomposition trees built by
+:func:`repro.ntt.decompose.build_plan`: every internal node is a 4-step
+split (inner NTTs / twiddle Hadamard / inner NTTs) and every leaf is a
+small inner NTT run by a pluggable engine — tensor-core limb GEMM,
+CUDA-core 32-bit GEMM, or high-radix butterflies. The flattened schedule of
+a 2-level tree is the 7-step structure of Fig. 2.
+
+The executor also *meters* itself: it counts leaf GEMM invocations, twiddle
+multiplications and element traffic, which the GPU simulator lowering uses
+to charge cycles without re-deriving algorithm shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..numtheory import BarrettReducer
+from .butterfly import butterfly_inner_ntt
+from .decompose import NttPlan, build_plan
+from .gemm import gemm_inner_ntt
+from .tables import NttTables, _power_table
+
+#: Functional engines for leaf inner NTTs.
+LEAF_ENGINES = ("tensor", "cuda-gemm", "butterfly")
+
+
+@dataclass
+class ExecutionStats:
+    """Operation counts gathered during one hierarchical NTT execution."""
+
+    leaf_invocations: int = 0
+    leaf_elements: int = 0
+    twiddle_muls: int = 0
+    steps: int = 0
+    leaf_calls_by_size: Dict[int, int] = field(default_factory=dict)
+
+    def record_leaf(self, size: int, batch_elems: int) -> None:
+        self.leaf_invocations += 1
+        self.leaf_elements += batch_elems
+        self.leaf_calls_by_size[size] = (
+            self.leaf_calls_by_size.get(size, 0) + 1
+        )
+        self.steps += 1
+
+    def record_twiddle(self, count: int) -> None:
+        self.twiddle_muls += count
+        self.steps += 1
+
+
+class HierarchicalNtt:
+    """Executor for one ``(tables, plan)`` pair with a chosen leaf engine.
+
+    Parameters
+    ----------
+    tables:
+        Twiddle tables of the target ``(q, N)``.
+    plan:
+        Decomposition tree; defaults to the paper's policy via
+        :func:`build_plan`.
+    leaf_engine:
+        One of :data:`LEAF_ENGINES`; selects the functional dataflow used
+        for leaf inner NTTs (all produce identical results).
+    use_karatsuba:
+        Forwarded to the tensor leaf engine (§IV-A-4 ablation).
+    """
+
+    def __init__(self, tables: NttTables, plan: NttPlan = None, *,
+                 leaf_engine: str = "tensor", use_karatsuba: bool = False):
+        if leaf_engine not in LEAF_ENGINES:
+            raise ValueError(
+                f"unknown leaf engine {leaf_engine!r}; choose from "
+                f"{LEAF_ENGINES}"
+            )
+        self.tables = tables
+        self.plan = plan if plan is not None else build_plan(tables.n)
+        if self.plan.n != tables.n:
+            raise ValueError(
+                f"plan is for size {self.plan.n}, tables for {tables.n}"
+            )
+        self.leaf_engine = leaf_engine
+        self.use_karatsuba = use_karatsuba
+        self.reducer = BarrettReducer(tables.modulus)
+        self.last_stats: ExecutionStats = ExecutionStats()
+        self._dft_cache: Dict[tuple, np.ndarray] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT over the last axis (natural order)."""
+        scaled = self.tables.mont.mul_vec(
+            x.astype(np.uint64, copy=False), self.tables.psi_pows_mont
+        )
+        self.last_stats = ExecutionStats()
+        return self._execute(scaled, self.plan, self.tables.omega)
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT over the last axis."""
+        self.last_stats = ExecutionStats()
+        raw = self._execute(
+            x.astype(np.uint64, copy=False), self.plan, self.tables.omega_inv
+        )
+        unscaled = self.tables.mont.mul_vec(
+            raw, self.tables.psi_inv_pows_mont
+        )
+        n_inv = np.uint64(self.tables.n_inv)
+        return self.reducer.mul_vec(unscaled, n_inv)
+
+    def forward_cyclic(self, x: np.ndarray) -> np.ndarray:
+        """Cyclic forward NTT (no negacyclic pre-scale)."""
+        self.last_stats = ExecutionStats()
+        return self._execute(
+            x.astype(np.uint64, copy=False), self.plan, self.tables.omega
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, x: np.ndarray, plan: NttPlan, omega: int) -> np.ndarray:
+        if x.shape[-1] != plan.n:
+            raise ValueError(
+                f"last axis {x.shape[-1]} does not match plan size {plan.n}"
+            )
+        if plan.is_leaf:
+            return self._leaf(x, plan.n, omega)
+        n1, n2 = plan.n1, plan.n2
+        batch = x.shape[:-1]
+        a = np.swapaxes(x.reshape(*batch, n2, n1), -1, -2)
+        b = self._execute(a, plan.right, pow(omega, n1, self.tables.modulus))
+        b = self.reducer.mul_vec(b, self._twiddles(plan.n, n1, n2, omega))
+        self.last_stats.record_twiddle(int(np.prod(b.shape)))
+        c = self._execute(
+            np.swapaxes(b, -1, -2), plan.left,
+            pow(omega, n2, self.tables.modulus),
+        )
+        return np.swapaxes(c, -1, -2).reshape(*batch, plan.n)
+
+    def _leaf(self, x: np.ndarray, size: int, omega: int) -> np.ndarray:
+        self.last_stats.record_leaf(size, int(np.prod(x.shape)))
+        if self.leaf_engine == "butterfly":
+            return butterfly_inner_ntt(x, size, omega, self.reducer)
+        dft = self._dft_matrix(size, omega)
+        flat = x.reshape(-1, size) if x.ndim == 1 else x
+        out = gemm_inner_ntt(
+            flat, dft, self.reducer, engine=self.leaf_engine,
+            use_karatsuba=self.use_karatsuba,
+        )
+        return out.reshape(x.shape)
+
+    def _dft_matrix(self, size: int, omega: int) -> np.ndarray:
+        key = (size, omega)
+        if key not in self._dft_cache:
+            pow_table = _power_table(omega, size, self.tables.modulus)
+            idx = np.arange(size, dtype=np.uint64)
+            self._dft_cache[key] = pow_table[
+                (np.outer(idx, idx) % size).astype(np.intp)
+            ]
+        return self._dft_cache[key]
+
+    def _twiddles(self, n: int, n1: int, n2: int, omega: int) -> np.ndarray:
+        key = ("tw", n, n1, n2, omega)
+        if key not in self._dft_cache:
+            pow_table = _power_table(omega, n, self.tables.modulus)
+            j1 = np.arange(n1, dtype=np.uint64)[:, None]
+            k2 = np.arange(n2, dtype=np.uint64)[None, :]
+            self._dft_cache[key] = pow_table[(j1 * k2) % np.uint64(n)]
+        return self._dft_cache[key]

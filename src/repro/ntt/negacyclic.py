@@ -1,0 +1,84 @@
+"""Negacyclic polynomial multiplication through the NTT engines.
+
+The reason NTTs dominate FHE runtime: multiplication in
+``Z_q[X]/(X^N + 1)`` is forward-NTT, Hadamard product, inverse-NTT. These
+helpers tie the transforms to that use, and are cross-checked against the
+O(N^2) schoolbook in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import radix2
+from .tables import NttTables, get_tables
+
+
+def poly_mul(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Product of two polynomials in ``Z_q[X]/(X^N + 1)`` via radix-2 NTT."""
+    n = a.shape[-1]
+    if b.shape[-1] != n:
+        raise ValueError("operand degrees differ")
+    tables = get_tables(modulus, n)
+    fa = radix2.negacyclic_ntt(a, tables)
+    fb = radix2.negacyclic_ntt(b, tables)
+    return radix2.negacyclic_intt(pointwise_mul(fa, fb, tables), tables)
+
+
+def pointwise_mul(fa: np.ndarray, fb: np.ndarray,
+                  tables: NttTables) -> np.ndarray:
+    """Hadamard product in the evaluation domain."""
+    mont = tables.mont
+    return mont.mul_vec(mont.to_montgomery_vec(fa), fb)
+
+
+def poly_add(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Coefficient-wise addition mod q."""
+    q = np.uint64(modulus)
+    s = a.astype(np.uint64, copy=False) + b.astype(np.uint64, copy=False)
+    return np.where(s >= q, s - q, s)
+
+
+def poly_neg(a: np.ndarray, modulus: int) -> np.ndarray:
+    """Coefficient-wise negation mod q."""
+    q = np.uint64(modulus)
+    a = a.astype(np.uint64, copy=False)
+    return np.where(a == 0, a, q - a)
+
+
+def rotate_galois(coeffs: np.ndarray, step: int, modulus: int) -> np.ndarray:
+    """Apply the Galois automorphism ``X -> X^(5^step)`` to a polynomial.
+
+    This is the coefficient-domain permutation behind HROTATE: rotating the
+    message slots by ``step`` corresponds to the automorphism with exponent
+    ``5^step mod 2N`` (negacyclic sign flips included).
+    """
+    n = coeffs.shape[-1]
+    exp = pow(5, step, 2 * n)
+    return apply_automorphism(coeffs, exp, modulus)
+
+
+def conjugate_automorphism(coeffs: np.ndarray, modulus: int) -> np.ndarray:
+    """The automorphism ``X -> X^(2N-1)`` (complex conjugation on slots)."""
+    n = coeffs.shape[-1]
+    return apply_automorphism(coeffs, 2 * n - 1, modulus)
+
+
+def apply_automorphism(coeffs: np.ndarray, exponent: int,
+                       modulus: int) -> np.ndarray:
+    """Map ``sum a_j X^j`` to ``sum a_j X^(j*exponent mod 2N)`` in the
+    negacyclic ring (an odd ``exponent`` is required for a ring
+    automorphism)."""
+    n = coeffs.shape[-1]
+    if exponent % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    j = np.arange(n)
+    targets = (j * exponent) % (2 * n)
+    dest = targets % n
+    flip = targets >= n
+    out = np.zeros_like(coeffs, dtype=np.uint64)
+    vals = coeffs.astype(np.uint64, copy=False)
+    q = np.uint64(modulus)
+    negated = np.where(vals == 0, vals, q - vals)
+    out[..., dest] = np.where(flip, negated, vals)
+    return out

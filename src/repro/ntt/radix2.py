@@ -1,0 +1,69 @@
+"""Iterative radix-2 Cooley-Tukey NTT, vectorized over batches.
+
+This is the workhorse transform of the functional CKKS layer: a classic
+decimation-in-time butterfly network with twiddles held in the Montgomery
+domain (one REDC per modular product, per §IV-A-4 of the paper). It accepts
+arrays of shape ``(..., N)`` and transforms the last axis, so a whole RNS
+polynomial — or a batch of them — goes through in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numtheory import bit_reverse_permutation
+from .tables import NttTables
+
+
+def cyclic_ntt(x: np.ndarray, tables: NttTables, *,
+               inverse: bool = False) -> np.ndarray:
+    """Cyclic (I)NTT over the last axis; natural order in and out.
+
+    The inverse includes the ``1/N`` normalization.
+    """
+    n = tables.n
+    if x.shape[-1] != n:
+        raise ValueError(f"last axis must have length {n}, got {x.shape[-1]}")
+    mont = tables.mont
+    omega_table = (
+        tables.omega_inv_pows_mont if inverse else tables.omega_pows_mont
+    )
+
+    perm = np.array(bit_reverse_permutation(n), dtype=np.intp)
+    a = np.ascontiguousarray(x.astype(np.uint64, copy=True)[..., perm])
+    q64 = np.uint64(tables.modulus)
+
+    length = 2
+    while length <= n:
+        half = length // 2
+        stride = n // length
+        # Twiddles w^(stride*j) for j < half, already in Montgomery form.
+        w = omega_table[:: stride][:half]
+        view = a.reshape(*a.shape[:-1], n // length, length)
+        lo = view[..., :half]
+        hi = mont.mul_vec(view[..., half:], w)
+        s = lo + hi
+        np.subtract(s, q64, out=s, where=s >= q64)
+        d = lo + q64 - hi
+        np.subtract(d, q64, out=d, where=d >= q64)
+        view[..., :half] = s
+        view[..., half:] = d
+        length *= 2
+
+    if inverse:
+        a = mont.mul_vec(a, np.uint64(tables.n_inv_mont))
+    return a
+
+
+def negacyclic_ntt(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Forward negacyclic NTT: pre-scale by ``psi^j`` then cyclic NTT."""
+    scaled = tables.mont.mul_vec(
+        x.astype(np.uint64, copy=False), tables.psi_pows_mont
+    )
+    return cyclic_ntt(scaled, tables)
+
+
+def negacyclic_intt(x: np.ndarray, tables: NttTables) -> np.ndarray:
+    """Inverse negacyclic NTT: cyclic INTT then post-scale by ``psi^-j``."""
+    raw = cyclic_ntt(x, tables, inverse=True)
+    return tables.mont.mul_vec(raw, tables.psi_inv_pows_mont)

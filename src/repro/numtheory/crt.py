@@ -1,0 +1,81 @@
+"""Chinese Remainder Theorem reconstruction helpers.
+
+CKKS decryption/decoding needs the coefficient values over the full modulus
+``Q_l = q0*...*ql``, which the RNS representation only holds as residues.
+These helpers reconstruct big-integer coefficients (Garner-style mixed radix
+or direct CRT) and provide the signed-centering used before decoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .modmath import modinv
+
+
+class CRTReconstructor:
+    """Reconstructs integers from residues over a fixed co-prime basis."""
+
+    def __init__(self, moduli: Sequence[int]):
+        if not moduli:
+            raise ValueError("CRT basis must contain at least one modulus")
+        self.moduli = list(moduli)
+        self.product = 1
+        for q in self.moduli:
+            self.product *= q
+        # Precompute Q/qi and (Q/qi)^{-1} mod qi for direct CRT.
+        self._hats = [self.product // q for q in self.moduli]
+        self._hat_invs = [
+            modinv(hat % q, q) for hat, q in zip(self._hats, self.moduli)
+        ]
+
+    def reconstruct(self, residues: Sequence[int]) -> int:
+        """Return the unique ``x`` in ``[0, Q)`` with the given residues."""
+        if len(residues) != len(self.moduli):
+            raise ValueError(
+                f"expected {len(self.moduli)} residues, got {len(residues)}"
+            )
+        total = 0
+        for r, hat, hat_inv, q in zip(
+            residues, self._hats, self._hat_invs, self.moduli
+        ):
+            total += hat * ((int(r) * hat_inv) % q)
+        return total % self.product
+
+    def reconstruct_signed(self, residues: Sequence[int]) -> int:
+        """Reconstruct into the centered range ``(-Q/2, Q/2]``."""
+        x = self.reconstruct(residues)
+        if x > self.product // 2:
+            x -= self.product
+        return x
+
+    def reconstruct_array(self, residue_matrix: np.ndarray, *,
+                          signed: bool = False) -> List[int]:
+        """Reconstruct a whole polynomial.
+
+        ``residue_matrix`` has shape ``(len(moduli), n)``: one residue row
+        per modulus. Returns ``n`` Python ints (arbitrary precision).
+        """
+        if residue_matrix.shape[0] != len(self.moduli):
+            raise ValueError(
+                f"residue matrix has {residue_matrix.shape[0]} rows, "
+                f"basis has {len(self.moduli)} moduli"
+            )
+        columns = residue_matrix.T.tolist()
+        if signed:
+            return [self.reconstruct_signed(col) for col in columns]
+        return [self.reconstruct(col) for col in columns]
+
+    def decompose(self, value: int) -> List[int]:
+        """Map a (possibly signed) big integer to its residue vector."""
+        return [value % q for q in self.moduli]
+
+    def decompose_array(self, values: Sequence[int]) -> np.ndarray:
+        """Map big-int coefficients to a ``(len(moduli), n)`` residue matrix."""
+        rows = [
+            np.array([int(v) % q for v in values], dtype=np.uint64)
+            for q in self.moduli
+        ]
+        return np.stack(rows)

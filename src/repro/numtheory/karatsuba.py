@@ -1,0 +1,114 @@
+"""Karatsuba limb multiplication for the tensor-core GEMM path.
+
+The paper evaluates a 4-term Karatsuba on the uint8 limb products inside the
+tensor-core NTT (§IV-A-4): it cuts the limb GEMMs from 16 to 9 at the price
+of 5 extra additions and 2 bits of effective word length, and ultimately is
+*not* adopted. We implement both the schoolbook and the Karatsuba limb
+schemes so the ablation benchmark can quantify that trade-off, and so the
+multiplication-count claim (16 -> 9) is checkable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+LIMB_BITS = 8
+LIMB_BASE = 1 << LIMB_BITS
+NUM_LIMBS = 4  # a 32-bit word as four uint8 limbs
+
+
+def split_limbs(values: np.ndarray, num_limbs: int = NUM_LIMBS) -> List[np.ndarray]:
+    """Split uint32-range values into ``num_limbs`` uint8-range limbs.
+
+    Limb 0 is the least significant. The output arrays stay uint64 so they
+    can feed numpy GEMMs without overflow; each entry is below 256.
+    """
+    values = values.astype(np.uint64, copy=False)
+    return [
+        (values >> np.uint64(LIMB_BITS * i)) & np.uint64(LIMB_BASE - 1)
+        for i in range(num_limbs)
+    ]
+
+
+def merge_limbs(limbs: Sequence[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`split_limbs` for limb values below 256."""
+    result = np.zeros_like(limbs[0], dtype=np.uint64)
+    for i, limb in enumerate(limbs):
+        result += limb.astype(np.uint64, copy=False) << np.uint64(LIMB_BITS * i)
+    return result
+
+
+@dataclass
+class LimbProductCost:
+    """Operation counts of one multi-precision limb product scheme."""
+
+    multiplications: int
+    extra_additions: int
+    effective_word_bits_lost: int
+
+
+SCHOOLBOOK_COST = LimbProductCost(
+    multiplications=16, extra_additions=0, effective_word_bits_lost=0
+)
+KARATSUBA_COST = LimbProductCost(
+    multiplications=9, extra_additions=5, effective_word_bits_lost=2
+)
+
+
+def schoolbook_limb_product(a_limbs: Sequence[np.ndarray],
+                            b_limbs: Sequence[np.ndarray]) -> np.ndarray:
+    """Full product of two 4-limb numbers via all 16 limb multiplications.
+
+    Returns the exact (up to 64-bit) integer product; callers reduce mod q.
+    This mirrors the 16 uint8 GEMMs the non-Karatsuba tensor path issues.
+    """
+    if len(a_limbs) != NUM_LIMBS or len(b_limbs) != NUM_LIMBS:
+        raise ValueError("schoolbook_limb_product expects 4-limb operands")
+    total = np.zeros_like(a_limbs[0], dtype=np.uint64)
+    for i, a_i in enumerate(a_limbs):
+        for j, b_j in enumerate(b_limbs):
+            total += (a_i * b_j) << np.uint64(LIMB_BITS * (i + j))
+    return total
+
+
+def karatsuba_limb_product(a_limbs: Sequence[np.ndarray],
+                           b_limbs: Sequence[np.ndarray]) -> np.ndarray:
+    """Full product of two 4-limb numbers using 9 limb multiplications.
+
+    Two-level Karatsuba: the 4-limb operands are treated as two 2-limb
+    halves (3 half-products), and each half-product is itself a 2-limb
+    Karatsuba (3 limb multiplications) — 9 total. The cross terms introduce
+    the 5 extra additions and the 2-bit headroom loss Table/§IV-A-4 cites.
+
+    The arithmetic here is exact because numpy uint64 lanes absorb the
+    +2-bit growth; on real INT8 tensor cores that growth is what eats into
+    the usable word length.
+    """
+    if len(a_limbs) != NUM_LIMBS or len(b_limbs) != NUM_LIMBS:
+        raise ValueError("karatsuba_limb_product expects 4-limb operands")
+
+    def kara2(a0, a1, b0, b1):
+        """2-limb Karatsuba returning (low, mid, high) partial products."""
+        low = a0 * b0
+        high = a1 * b1
+        mid = (a0 + a1) * (b0 + b1) - low - high
+        return low, mid, high
+
+    a0, a1, a2, a3 = (limb.astype(np.uint64, copy=False) for limb in a_limbs)
+    b0, b1, b2, b3 = (limb.astype(np.uint64, copy=False) for limb in b_limbs)
+
+    shift = np.uint64(LIMB_BITS)
+
+    def combine2(low, mid, high):
+        return low + (mid << shift) + (high << (shift + shift))
+
+    # Half products via 2-limb Karatsuba (3 muls each).
+    lo = combine2(*kara2(a0, a1, b0, b1))          # A_lo * B_lo
+    hi = combine2(*kara2(a2, a3, b2, b3))          # A_hi * B_hi
+    mid = combine2(*kara2(a0 + a2, a1 + a3, b0 + b2, b1 + b3)) - lo - hi
+
+    two_limbs = np.uint64(2 * LIMB_BITS)
+    return lo + (mid << two_limbs) + (hi << (two_limbs + two_limbs))

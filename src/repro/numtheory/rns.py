@@ -1,0 +1,285 @@
+"""Residue Number System bases and conversions.
+
+The RNS layer is the substrate beneath every homomorphic operation in this
+library: polynomials live as ``(num_primes, N)`` uint64 residue matrices,
+and hybrid key-switching is built from the two conversions implemented
+here —
+
+* **ModUp** (fast basis extension): raise a digit from its sub-basis to the
+  full ``Q*P`` basis. We provide both the *approximate* extension (the
+  standard HPS/BEHZ form that tolerates a small multiple-of-Q additive
+  term, which CKKS absorbs as noise) and an *exact* variant that removes
+  the overshoot with a floating-point quotient estimate.
+* **ModDown**: divide by the special-prime product ``P`` with rounding and
+  return to the ciphertext basis, as required at the end of KeySwitch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .barrett import BarrettReducer
+from .modmath import modinv
+
+
+class RNSBasis:
+    """An ordered co-prime basis with cached per-prime reducers."""
+
+    def __init__(self, moduli: Sequence[int]):
+        if not moduli:
+            raise ValueError("RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        self.moduli = list(moduli)
+        self.reducers = [BarrettReducer(q) for q in self.moduli]
+        self.product = 1
+        for q in self.moduli:
+            self.product *= q
+        # hat_i = (Q / q_i) mod q_i inverse, used in basis extension.
+        self._hats = [self.product // q for q in self.moduli]
+        self.hat_invs = [
+            modinv(hat % q, q) for hat, q in zip(self._hats, self.moduli)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RNSBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.moduli))
+
+    def sub_basis(self, indices: Sequence[int]) -> "RNSBasis":
+        """Return the basis restricted to the given modulus indices."""
+        return RNSBasis([self.moduli[i] for i in indices])
+
+    def zero(self, n: int) -> np.ndarray:
+        """A zero residue matrix of shape ``(len(self), n)``."""
+        return np.zeros((len(self), n), dtype=np.uint64)
+
+    def random(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform residue matrix (independent per prime — a uniform RNS
+        value over the full product by CRT)."""
+        rows = [
+            rng.integers(0, q, size=n, dtype=np.uint64) for q in self.moduli
+        ]
+        return np.stack(rows)
+
+    def reduce_signed(self, coeffs: np.ndarray) -> np.ndarray:
+        """Map signed int64 coefficients into residue rows."""
+        rows = []
+        for q in self.moduli:
+            rows.append(np.mod(coeffs.astype(np.int64), q).astype(np.uint64))
+        return np.stack(rows)
+
+
+def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
+                 *, exact: bool = False) -> np.ndarray:
+    """Fast basis extension (the ModUp core).
+
+    Parameters
+    ----------
+    residues:
+        ``(len(source), n)`` uint64 matrix of residues w.r.t. ``source``.
+    source, target:
+        Source and destination bases; they need not overlap.
+    exact:
+        When False (default) the result may exceed the true value by a small
+        multiple ``u * prod(source)`` with ``0 <= u < len(source)`` — the
+        approximate extension used inside key-switching. When True the
+        overshoot ``u`` is estimated with a float sum and subtracted, giving
+        the exact value whenever the input is below ``prod(source)``.
+
+    Returns
+    -------
+    ``(len(target), n)`` uint64 matrix of residues w.r.t. ``target``.
+    """
+    if residues.shape[0] != len(source):
+        raise ValueError(
+            f"residue rows ({residues.shape[0]}) != source basis size "
+            f"({len(source)})"
+        )
+    n = residues.shape[1]
+    # y_i = x_i * hat_inv_i mod q_i  (all < q_i < 2**31).
+    y = np.empty_like(residues)
+    for i, (red, hat_inv) in enumerate(zip(source.reducers, source.hat_invs)):
+        y[i] = red.mul_vec(residues[i], np.uint64(hat_inv))
+
+    out = np.zeros((len(target), n), dtype=np.uint64)
+    for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
+        acc = np.zeros(n, dtype=np.uint64)
+        for i, q_i in enumerate(source.moduli):
+            hat_mod_t = np.uint64((source.product // q_i) % t)
+            acc = red_t.add_vec(acc, red_t.mul_vec(y[i], hat_mod_t))
+        out[j] = acc
+
+    if exact:
+        # The approximate result equals x + u*Q with
+        # u = floor(sum_i y_i / q_i); float64 is ample for |source| <= ~64
+        # 31-bit primes (relative error ~ 2**-52 per term).
+        ratio = np.zeros(n, dtype=np.float64)
+        for i, q_i in enumerate(source.moduli):
+            ratio += y[i].astype(np.float64) / float(q_i)
+        u = np.floor(ratio).astype(np.uint64)
+        for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
+            q_mod_t = np.uint64(source.product % t)
+            correction = red_t.mul_vec(red_t.reduce_vec(u), q_mod_t)
+            out[j] = red_t.sub_vec(out[j], correction)
+    return out
+
+
+def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
+             ) -> np.ndarray:
+    """Divide by ``P = prod(special)`` with rounding (KeySwitch ModDown).
+
+    ``residues`` holds the value over the concatenated basis ``main ++
+    special`` (main rows first). Returns ``round(x / P)`` over ``main``.
+    """
+    n_main = len(main)
+    if residues.shape[0] != n_main + len(special):
+        raise ValueError(
+            "ModDown input must cover the concatenated main+special basis"
+        )
+    x_main = residues[:n_main]
+    x_special = residues[n_main:]
+    # Extend (x mod P) back onto the main basis, then subtract and divide.
+    x_special_on_main = extend_basis(x_special, special, main, exact=True)
+    p_inv = [modinv(special.product % q, q) for q in main.moduli]
+    out = np.empty_like(x_main)
+    for i, (red, q) in enumerate(zip(main.reducers, main.moduli)):
+        diff = red.sub_vec(x_main[i], red.reduce_vec(x_special_on_main[i]))
+        out[i] = red.mul_vec(diff, np.uint64(p_inv[i]))
+    return out
+
+
+def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
+                        target: RNSBasis) -> np.ndarray:
+    """Exact extension of the *centered* representative.
+
+    ``residues`` encode a value ``x`` in ``[0, Q)``; this returns the
+    target-basis residues of the signed representative in
+    ``[-Q/2, Q/2)`` — i.e. values at or above ``Q/2`` are extended as
+    ``x - Q``. BFV's cross-basis tensor products need this: the product
+    of two centered lifts must be the centered product, not the product
+    of positive representatives.
+
+    The sign decision reuses the float quotient estimate of the exact
+    extension (``x/Q`` as a float64 sum — ample separation unless ``x``
+    sits within ~2^-40 Q of Q/2, which for uniformly random RLWE values
+    has negligible probability and merely flips a representative).
+    """
+    if residues.shape[0] != len(source):
+        raise ValueError(
+            f"residue rows ({residues.shape[0]}) != source basis size "
+            f"({len(source)})"
+        )
+    out = extend_basis(residues, source, target, exact=True)
+    # Recompute the fractional part x/Q to decide the sign.
+    y = np.empty_like(residues)
+    for i, (red, hat_inv) in enumerate(zip(source.reducers,
+                                           source.hat_invs)):
+        y[i] = red.mul_vec(residues[i], np.uint64(hat_inv))
+    ratio = np.zeros(residues.shape[1], dtype=np.float64)
+    for i, q_i in enumerate(source.moduli):
+        ratio += y[i].astype(np.float64) / float(q_i)
+    frac = ratio - np.floor(ratio)
+    negative = frac >= 0.5
+    for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
+        q_mod_t = np.uint64(source.product % t)
+        shifted = red_t.sub_vec(out[j], np.full_like(out[j], q_mod_t))
+        out[j] = np.where(negative, shifted, out[j])
+    return out
+
+
+def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
+                     special: RNSBasis, t: int) -> np.ndarray:
+    """BGV/BFV-style ModDown: divide by ``P`` *preserving residues mod t*.
+
+    CKKS tolerates ModDown's rounding as noise; BGV cannot — the rounding
+    must be a multiple of the plaintext modulus ``t``. Following
+    Gentry-Halevi-Smart modulus switching: with ``delta = [x]_P``,
+    subtract ``delta' = delta - P * [delta * P^{-1}]_t`` (centered), which
+    is ≡ delta (mod P) and ≡ 0 (mod t), then divide by P exactly. The
+    result ``y`` satisfies ``y ≡ x * P^{-1} (mod t)`` and
+    ``|y - x/P| <= (t+1)/2``.
+    """
+    n_main = len(main)
+    if residues.shape[0] != n_main + len(special):
+        raise ValueError(
+            "ModDown input must cover the concatenated main+special basis"
+        )
+    if any(q % t == 0 for q in main.moduli + special.moduli):
+        raise ValueError("plaintext modulus must be coprime to the chain")
+    x_main = residues[:n_main]
+    x_special = residues[n_main:]
+    delta_on_main = extend_basis(x_special, special, main, exact=True)
+    # delta mod t, via an exact extension onto the singleton basis {t}.
+    delta_mod_t = extend_basis(
+        x_special, special, RNSBasis([t]), exact=True
+    )[0]
+    p_inv_t = modinv(special.product % t, t)
+    # centered [delta * P^{-1}]_t as signed int64.
+    correction = (
+        delta_mod_t.astype(object) * p_inv_t % t
+    ).astype(np.int64)
+    correction[correction > t // 2] -= t
+
+    p_inv = [modinv(special.product % q, q) for q in main.moduli]
+    out = np.empty_like(x_main)
+    for i, (red, q) in enumerate(zip(main.reducers, main.moduli)):
+        p_mod_q = special.product % q
+        corr_mod_q = np.mod(
+            correction.astype(np.int64) * 1, q
+        ).astype(np.uint64)
+        corr_term = red.mul_vec(corr_mod_q, np.uint64(p_mod_q))
+        delta_prime = red.sub_vec(delta_on_main[i], corr_term)
+        diff = red.sub_vec(x_main[i], delta_prime)
+        out[i] = red.mul_vec(diff, np.uint64(p_inv[i]))
+    return out
+
+
+def rescale_rows(residues: np.ndarray, basis: RNSBasis) -> np.ndarray:
+    """Drop the last prime of ``basis`` and divide by it (CKKS RESCALE).
+
+    Returns residues over ``basis.moduli[:-1]`` equal to
+    ``round-ish(x / q_last)`` (the standard RNS rescale: exact division of
+    ``x - [x]_{q_last}``, the rounding error being absorbed as noise).
+    """
+    if residues.shape[0] != len(basis):
+        raise ValueError("residue rows do not match basis size")
+    if len(basis) < 2:
+        raise ValueError("cannot rescale below one modulus")
+    last = residues[-1]
+    q_last = basis.moduli[-1]
+    out = np.empty((len(basis) - 1, residues.shape[1]), dtype=np.uint64)
+    for i in range(len(basis) - 1):
+        q_i = basis.moduli[i]
+        red = basis.reducers[i]
+        inv = np.uint64(modinv(q_last % q_i, q_i))
+        last_mod_qi = red.reduce_vec(last)
+        diff = red.sub_vec(residues[i], last_mod_qi)
+        out[i] = red.mul_vec(diff, inv)
+    return out
+
+
+def digit_partition(num_primes: int, dnum: int) -> List[List[int]]:
+    """Partition modulus indices ``0..num_primes-1`` into ``dnum`` digits.
+
+    Hybrid key-switching groups the ciphertext primes into ``dnum``
+    contiguous digits of ``alpha = ceil(num_primes / dnum)`` primes each
+    (the last digit may be short).
+    """
+    if dnum < 1:
+        raise ValueError("dnum must be >= 1")
+    alpha = -(-num_primes // dnum)  # ceil division
+    digits = []
+    for d in range(dnum):
+        lo = d * alpha
+        hi = min(lo + alpha, num_primes)
+        if lo >= hi:
+            break
+        digits.append(list(range(lo, hi)))
+    return digits

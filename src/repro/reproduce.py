@@ -1,0 +1,84 @@
+"""One-shot reproduction summary: ``python -m repro.reproduce``.
+
+Runs the headline experiments (no pytest needed) and prints paper-style
+tables with the published numbers alongside. For the full set of tables
+and figures run ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .analysis import format_table
+from .baselines import TensorFheNtt, cpu_ntt_throughput_kops
+from .baselines.published import TABLE_VII_NTT_KOPS, TABLE_VIII_LATENCY_US
+from .ckks import ParameterSets
+from .core import VARIANTS, OperationScheduler, WarpDriveNtt
+
+
+def ntt_summary() -> str:
+    sets = ["SET-A", "SET-B", "SET-C", "SET-D", "SET-E"]
+    rows = []
+    wd_row, tf_row = ["WarpDrive (sim)"], ["TensorFHE (sim)"]
+    for s in sets:
+        n = ParameterSets.by_name(s).n
+        wd_row.append(round(WarpDriveNtt(n).throughput_kops(1024)))
+        tf_row.append(round(TensorFheNtt(n).throughput_kops(1024), 1))
+    rows.append(tf_row)
+    rows.append(["  paper"] + [TABLE_VII_NTT_KOPS["TensorFHE"][s]
+                               for s in sets])
+    rows.append(wd_row)
+    rows.append(["  paper"] + [TABLE_VII_NTT_KOPS["WarpDrive"][s]
+                               for s in sets])
+    rows.append(
+        ["CPU (sim)"]
+        + [round(cpu_ntt_throughput_kops(ParameterSets.by_name(s).n), 2)
+           if ParameterSets.by_name(s).n <= 2**14 else None
+           for s in sets]
+    )
+    return format_table(["scheme"] + sets, rows,
+                        title="NTT throughput, KOPS (Table VII)")
+
+
+def variant_summary() -> str:
+    n = 2**16
+    rows = [
+        [v, round(WarpDriveNtt(n, variant=v).throughput_kops(1024))]
+        for v in VARIANTS
+    ]
+    return format_table(
+        ["variant", "KOPS"], rows,
+        title="NTT variants at N=2^16 (Fig. 6) — fused beats single-pipe",
+    )
+
+
+def hmult_summary() -> str:
+    sets = ["SET-C", "SET-D", "SET-E"]
+    rows = []
+    sim = ["WarpDrive HMULT us (sim)"]
+    for s in sets:
+        sim.append(round(
+            OperationScheduler(ParameterSets.by_name(s)).latency_us("hmult")
+        ))
+    rows.append(sim)
+    rows.append(
+        ["  paper"]
+        + [TABLE_VIII_LATENCY_US["HMULT"]["WarpDrive"][s] for s in sets]
+    )
+    return format_table(["metric"] + sets, rows,
+                        title="HMULT latency (Table VIII)")
+
+
+def main(argv=None) -> int:
+    print("WarpDrive reproduction — headline results")
+    print("=" * 64)
+    for section in (ntt_summary, variant_summary, hmult_summary):
+        print()
+        print(section())
+    print()
+    print("Full tables/figures: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

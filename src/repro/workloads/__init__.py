@@ -1,0 +1,77 @@
+"""FHE workloads: packed bootstrapping, HELR, ResNet-20, transciphering.
+
+Each workload has a full-scale *operation schedule* priced by the GPU
+simulator (for the Table XIV/XV reproductions) and, where feasible, a
+*functional mini* that really runs under encryption at toy ring sizes.
+"""
+
+from .aes import ctr_encrypt, ctr_keystream, encrypt_block, expand_key
+from .aes_transcipher import (
+    TranscipherResult,
+    cpu_transcipher_minutes,
+    simulate_transcipher,
+    transcipher_schedule,
+)
+from .bootstrap_workload import (
+    bootstrap_schedule,
+    eval_mod_schedule,
+    linear_transform_schedule,
+    simulate_bootstrap,
+)
+from .mlp import (
+    DenseLayer,
+    EncryptedMlp,
+    plaintext_mlp,
+    random_mlp,
+)
+from .helr import (
+    EncryptedLogisticRegression,
+    helr_iteration_schedule,
+    plaintext_reference,
+    simulate_helr_iteration,
+)
+from .resnet import (
+    EncryptedConv2d,
+    conv2d_reference,
+    resnet20_schedule,
+    simulate_resnet20,
+)
+from .statistics import EncryptedStatistics
+from .schedules import (
+    HOISTED_ROTATION_FACTOR,
+    ScheduleItem,
+    WorkloadSchedule,
+    WorkloadTiming,
+)
+
+__all__ = [
+    "EncryptedConv2d",
+    "EncryptedLogisticRegression",
+    "HOISTED_ROTATION_FACTOR",
+    "ScheduleItem",
+    "TranscipherResult",
+    "WorkloadSchedule",
+    "WorkloadTiming",
+    "bootstrap_schedule",
+    "conv2d_reference",
+    "cpu_transcipher_minutes",
+    "ctr_encrypt",
+    "DenseLayer",
+    "EncryptedMlp",
+    "plaintext_mlp",
+    "random_mlp",
+    "ctr_keystream",
+    "encrypt_block",
+    "eval_mod_schedule",
+    "expand_key",
+    "helr_iteration_schedule",
+    "linear_transform_schedule",
+    "plaintext_reference",
+    "resnet20_schedule",
+    "simulate_bootstrap",
+    "simulate_helr_iteration",
+    "simulate_resnet20",
+    "EncryptedStatistics",
+    "simulate_transcipher",
+    "transcipher_schedule",
+]

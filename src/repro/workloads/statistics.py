@@ -1,0 +1,85 @@
+"""Private statistics: mean, variance, covariance, standardization.
+
+The "secure data analysis" use case from the paper's introduction,
+implemented with the slot utilities: aggregate statistics computed over
+encrypted data vectors without decrypting individual records.
+"""
+
+from __future__ import annotations
+
+from ..ckks import CkksContext
+from ..ckks.ciphertext import Ciphertext
+from ..ckks.keys import KeySet
+from ..ckks.slots import SlotOps
+
+
+class EncryptedStatistics:
+    """Aggregate statistics on slot-packed encrypted samples."""
+
+    def __init__(self, ctx: CkksContext):
+        self.ctx = ctx
+        self.ev = ctx.evaluator
+        self.slots = SlotOps(ctx)
+
+    def mean(self, ct: Ciphertext, keys: KeySet, *,
+             count: int = None) -> Ciphertext:
+        """Every slot holds the mean of the (first ``count``) samples.
+
+        With ``count`` set, unused slots are masked out first."""
+        n = count if count is not None else self.ctx.slots
+        if count is not None and count < self.ctx.slots:
+            ct = self.slots.mask(ct, list(range(count)))
+        total = self.slots.sum_all(ct, keys)
+        return self.ev.rescale(self.ev.pmult_scalar(total, 1.0 / n))
+
+    def variance(self, ct: Ciphertext, keys: KeySet, *,
+                 count: int = None) -> Ciphertext:
+        """Population variance: ``E[x^2] - E[x]^2``."""
+        n = count if count is not None else self.ctx.slots
+        if count is not None and count < self.ctx.slots:
+            ct = self.slots.mask(ct, list(range(count)))
+        sq = self.ev.hmult(ct, ct, keys)
+        mean_sq = self.ev.rescale(self.ev.pmult_scalar(
+            self.slots.sum_all(sq, keys), 1.0 / n
+        ))
+        mean = self.mean(ct, keys, count=None if count is None else count)
+        mean2 = self.ev.hmult(
+            mean, self.ev.level_down(mean, mean.level), keys
+        )
+        lvl = min(mean_sq.level, mean2.level)
+        return self.ev.hsub_matched(
+            self.ev.level_down(mean_sq, lvl),
+            self.ev.level_down(mean2, lvl),
+        )
+
+    def covariance(self, ct_x: Ciphertext, ct_y: Ciphertext,
+                   keys: KeySet, *, count: int = None) -> Ciphertext:
+        """Population covariance: ``E[xy] - E[x]E[y]``."""
+        n = count if count is not None else self.ctx.slots
+        if count is not None and count < self.ctx.slots:
+            positions = list(range(count))
+            ct_x = self.slots.mask(ct_x, positions)
+            ct_y = self.slots.mask(ct_y, positions)
+        prod = self.ev.hmult(ct_x, ct_y, keys)
+        mean_xy = self.ev.rescale(self.ev.pmult_scalar(
+            self.slots.sum_all(prod, keys), 1.0 / n
+        ))
+        mx = self.mean(ct_x, keys)
+        my = self.mean(ct_y, keys)
+        lvl = min(mx.level, my.level)
+        mxy = self.ev.hmult(
+            self.ev.level_down(mx, lvl), self.ev.level_down(my, lvl), keys
+        )
+        lvl = min(mean_xy.level, mxy.level)
+        return self.ev.hsub_matched(
+            self.ev.level_down(mean_xy, lvl),
+            self.ev.level_down(mxy, lvl),
+        )
+
+    def center(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """Subtract the (encrypted) mean from every sample."""
+        mean = self.mean(ct, keys)
+        lvl = min(ct.level, mean.level)
+        return self.ev.hsub_matched(
+            self.ev.level_down(ct, lvl), self.ev.level_down(mean, lvl)
+        )

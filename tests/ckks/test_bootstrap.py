@@ -1,0 +1,109 @@
+"""Tests for slim bootstrapping (functional, toy ring).
+
+Precision expectations: toy-scale slim bootstrap carries ~1e-2 absolute
+error (sine-approximation systematic error plus CKKS noise amplified by
+q0/Delta); the assertions below use that budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckks.bootstrap import BootstrapConfig, Bootstrapper
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParams(
+        n=64, max_level=14, num_special=2, dnum=15, scale_bits=26,
+        secret_hamming_weight=8, name="boot-toy",
+    )
+    return CkksContext.create(params, seed=7)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen(
+        rotations=Bootstrapper.required_rotations_for(ctx.params),
+        conjugation=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def boot(ctx):
+    return Bootstrapper(ctx, BootstrapConfig(sine_degree=63, eval_range=4.5))
+
+
+class TestFullBootstrap:
+    def test_refreshes_level(self, ctx, keys, boot):
+        vals = np.zeros(ctx.slots)
+        vals[:4] = [0.5, -0.25, 0.125, 0.75]
+        ct = ctx.encrypt(vals, keys, level=1)
+        out = boot.bootstrap(ct, keys)
+        assert out.level > ct.level
+
+    def test_preserves_message(self, ctx, keys, boot):
+        vals = np.zeros(ctx.slots)
+        vals[:4] = [0.5, -0.25, 0.125, 0.75]
+        ct = ctx.encrypt(vals, keys, level=1)
+        out = boot.bootstrap(ct, keys)
+        dec = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(dec - vals)) < 5e-2
+
+    def test_enables_further_multiplication(self, ctx, keys, boot):
+        """The point of bootstrapping: multiply after refresh."""
+        vals = np.zeros(ctx.slots)
+        vals[:3] = [0.5, -0.5, 0.25]
+        ct = ctx.encrypt(vals, keys, level=1)
+        refreshed = boot.bootstrap(ct, keys)
+        sq = ctx.hmult(refreshed, refreshed, keys)
+        dec = ctx.decrypt_decode_real(sq, keys)
+        assert np.max(np.abs(dec - vals**2)) < 1e-1
+
+
+class TestStages:
+    def test_slot_to_coeff_places_message_in_coefficients(
+        self, ctx, keys, boot
+    ):
+        vals = np.zeros(ctx.slots)
+        vals[:4] = [0.5, -0.25, 0.125, 0.75]
+        ct = ctx.encrypt(vals, keys, level=1)
+        stc = boot.slot_to_coeff(ct, keys)
+        coeffs = np.array(
+            ctx.evaluator.decrypt_coefficients(stc, keys.secret),
+            dtype=float,
+        ) / stc.scale
+        assert np.max(np.abs(coeffs[: ctx.slots] - vals)) < 1e-3
+        assert np.max(np.abs(coeffs[ctx.slots:])) < 1e-3
+
+    def test_mod_raise_adds_q0_multiples(self, ctx, keys, boot):
+        vals = np.zeros(ctx.slots)
+        vals[0] = 0.5
+        ct = ctx.evaluator.level_down(
+            boot.slot_to_coeff(ctx.encrypt(vals, keys, level=1), keys), 0
+        )
+        raised = boot.mod_raise(ct)
+        assert raised.level == ctx.params.max_level
+        coeffs = np.array(
+            ctx.evaluator.decrypt_coefficients(raised, keys.secret),
+            dtype=float,
+        )
+        q0 = ctx.evaluator.q_moduli[0]
+        fractional = coeffs / q0 - np.round(coeffs / q0)
+        # Integer parts are the I(X) overflow, bounded by ~(h+1)/2.
+        assert np.max(np.abs(np.round(coeffs / q0))) <= 4.5
+        # Fractional part of coefficient 0 holds the message.
+        assert abs(fractional[0] - 0.5 * ct.scale / q0) < 1e-3
+
+    def test_mod_raise_requires_level_zero(self, ctx, keys, boot):
+        vals = np.zeros(ctx.slots)
+        ct = ctx.encrypt(vals, keys, level=1)
+        with pytest.raises(ValueError):
+            boot.mod_raise(ct)
+
+    def test_required_rotations(self, ctx, boot):
+        rots = Bootstrapper.required_rotations_for(ctx.params)
+        # BSGS needs only ~2*sqrt(slots) steps, all covered by the
+        # conservative static list.
+        assert set(boot.required_rotations()).issubset(set(rots))
+        assert len(rots) < ctx.slots

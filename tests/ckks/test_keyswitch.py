@@ -1,0 +1,114 @@
+"""Tests of hybrid key-switching internals and key generation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    CkksParams,
+    KeyGenerator,
+    ParameterSets,
+    keyswitch,
+)
+from repro.ckks.poly import EVAL, RnsPoly
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(ParameterSets.toy(), seed=11)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen(rotations=[1])
+
+
+class TestKeyGeneration:
+    def test_secret_is_ternary(self, keys):
+        assert set(np.unique(keys.secret.coeffs)).issubset({-1, 0, 1})
+
+    def test_sparse_secret(self):
+        params = CkksParams(n=64, max_level=3, num_special=2, dnum=2,
+                            secret_hamming_weight=8)
+        gen = KeyGenerator(params, np.random.default_rng(0))
+        sk = gen.generate_secret()
+        assert np.count_nonzero(sk.coeffs) == 8
+
+    def test_public_key_is_valid_rlwe(self, ctx, keys):
+        """b + a*s must be small (it is the error polynomial)."""
+        ev = ctx.evaluator
+        s = keys.secret.poly.take_primes(range(len(ev.q_moduli)))
+        noise = (keys.public.b + keys.public.a * s).to_coeff()
+        from repro.numtheory import CRTReconstructor
+
+        crt = CRTReconstructor(list(ev.q_moduli))
+        coeffs = crt.reconstruct_array(noise.data, signed=True)
+        assert max(abs(c) for c in coeffs) < 64  # ~ 6 sigma of 3.2
+
+    def test_relin_key_digit_count(self, ctx, keys):
+        assert keys.relin.dnum == ctx.params.dnum
+
+    def test_noise_guard_rejects_thin_special_primes(self):
+        # One 31-bit special prime cannot cover two-prime digits.
+        params = CkksParams(n=64, max_level=3, num_special=1, dnum=2)
+        gen = KeyGenerator(params, np.random.default_rng(0))
+        sk = gen.generate_secret()
+        with pytest.raises(ValueError):
+            gen.generate_relin(sk)
+
+
+class TestKeyswitchPrimitive:
+    def test_switch_preserves_product_with_source_key(self, ctx, keys):
+        """keyswitch(d, ksk(s')) yields (k0, k1) with k0 + k1*s = d*s'."""
+        ev = ctx.evaluator
+        rng = np.random.default_rng(1)
+        n = ctx.params.n
+        level_moduli = ev.q_moduli
+        from repro.numtheory.rns import RNSBasis
+
+        d = RnsPoly(
+            RNSBasis(level_moduli).random(n, rng), level_moduli, EVAL
+        )
+        ks0, ks1 = keyswitch(d, keys.relin, ev.p_moduli)
+        s = keys.secret.poly.take_primes(range(len(level_moduli)))
+        s_sq = s * s
+        got = (ks0 + ks1 * s).to_coeff()
+        expected = (d * s_sq).to_coeff()
+        diff = (got - expected).data
+        # Difference is key-switching noise: small relative to q.
+        from repro.numtheory import CRTReconstructor
+
+        crt = CRTReconstructor(list(level_moduli))
+        coeffs = crt.reconstruct_array(diff, signed=True)
+        q_total = 1
+        for q in level_moduli:
+            q_total *= q
+        assert max(abs(c) for c in coeffs) < q_total / 2**40
+
+    def test_requires_eval_domain(self, ctx, keys):
+        d = RnsPoly.zero(ctx.evaluator.q_moduli, ctx.params.n)
+        with pytest.raises(ValueError):
+            keyswitch(d, keys.relin, ctx.evaluator.p_moduli)
+
+    def test_works_at_lower_level(self, ctx, keys):
+        """Digits whose primes are gone at low level are skipped."""
+        ev = ctx.evaluator
+        rng = np.random.default_rng(2)
+        level_moduli = ev.q_moduli[:2]  # level 1
+        from repro.numtheory.rns import RNSBasis
+
+        d = RnsPoly(
+            RNSBasis(level_moduli).random(ctx.params.n, rng),
+            level_moduli, EVAL,
+        )
+        ks0, ks1 = keyswitch(d, keys.relin, ev.p_moduli)
+        assert ks0.moduli == level_moduli
+        s = keys.secret.poly.take_primes(range(2))
+        got = (ks0 + ks1 * s).to_coeff()
+        expected = (d * (s * s)).to_coeff()
+        from repro.numtheory import CRTReconstructor
+
+        crt = CRTReconstructor(list(level_moduli))
+        diff = crt.reconstruct_array((got - expected).data, signed=True)
+        q_total = level_moduli[0] * level_moduli[1]
+        assert max(abs(c) for c in diff) < q_total / 2**20

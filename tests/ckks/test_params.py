@@ -1,0 +1,99 @@
+"""Tests for CKKS parameter sets."""
+
+import pytest
+
+from repro.ckks import CkksParams, ParameterSets
+
+
+class TestValidation:
+    def test_bad_ring_degree(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=100, max_level=2)
+        with pytest.raises(ValueError):
+            CkksParams(n=4, max_level=2)
+
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=64, max_level=0)
+
+    def test_needs_special_prime(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=64, max_level=2, num_special=0)
+
+    def test_rescale_primes_range(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=64, max_level=2, rescale_primes=3)
+
+    def test_dnum_range(self):
+        with pytest.raises(ValueError):
+            CkksParams(n=64, max_level=2, dnum=0)
+        with pytest.raises(ValueError):
+            CkksParams(n=64, max_level=2, dnum=99)
+
+
+class TestDerived:
+    def test_slots(self):
+        assert ParameterSets.toy().slots == 32
+
+    def test_scale(self):
+        p = ParameterSets.toy()
+        assert p.scale == 2.0**26
+
+    def test_double_prime_effective_scale(self):
+        p = ParameterSets.double_rescale_toy()
+        assert p.effective_scale_bits == 32
+        assert p.scale == 2.0**32
+
+    def test_prime_counts(self):
+        p = ParameterSets.toy()
+        assert p.num_primes == 4
+        assert p.total_primes == 6
+
+    def test_chain_is_cached_and_consistent(self):
+        p = ParameterSets.toy()
+        chain = p.chain()
+        assert chain is p.chain()
+        assert len(chain.moduli) == p.num_primes
+        assert len(chain.special_primes) == p.num_special
+
+    def test_ciphertext_bytes(self):
+        p = ParameterSets.toy()
+        # 2 polys x (level+1) primes x N coeffs x 4 bytes
+        assert p.ciphertext_bytes() == 2 * 4 * 64 * 4
+        assert p.ciphertext_bytes(level=0) == 2 * 1 * 64 * 4
+
+
+class TestPaperSets:
+    """Table VI and Table XIII parameter sets match the paper."""
+
+    @pytest.mark.parametrize("name,n,level", [
+        ("SET-A", 2**12, 2), ("SET-B", 2**13, 6), ("SET-C", 2**14, 14),
+        ("SET-D", 2**15, 24), ("SET-E", 2**16, 34),
+    ])
+    def test_table_vi(self, name, n, level):
+        p = ParameterSets.by_name(name)
+        assert p.n == n
+        assert p.max_level == level
+        assert p.num_special == 1  # Table VI: k = 1
+
+    @pytest.mark.parametrize("name,n,level,k", [
+        ("ResNet", 2**16, 37, 13), ("HELR", 2**16, 37, 13),
+        ("Boot", 2**16, 34, 12), ("AES", 2**16, 46, 10),
+    ])
+    def test_table_xiii(self, name, n, level, k):
+        p = ParameterSets.by_name(name)
+        assert p.n == n
+        assert p.max_level == level
+        assert p.num_special == k
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            ParameterSets.by_name("SET-Z")
+
+    def test_table_vi_collection_ordered(self):
+        sets = ParameterSets.table_vi()
+        assert list(sets) == ["SET-A", "SET-B", "SET-C", "SET-D", "SET-E"]
+
+    def test_log_qp_toy_plausible(self):
+        # toy: 31 (base) + 3*26 (scale) + 2*31 (special) ~ 171
+        assert 150 <= ParameterSets.toy().log_qp <= 180

@@ -1,0 +1,50 @@
+"""Tests for composed rotations via power-of-two key networks."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, ParameterSets
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(ParameterSets.toy(), seed=21)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    pow2 = ctx.evaluator.power_of_two_rotations(ctx.slots)
+    return ctx.keygen(rotations=pow2)
+
+
+class TestRotationNetwork:
+    def test_key_set_is_logarithmic(self, ctx):
+        steps = ctx.evaluator.power_of_two_rotations(ctx.slots)
+        assert steps == [1, 2, 4, 8, 16]
+
+    @pytest.mark.parametrize("step", [1, 3, 7, 13, 31])
+    def test_arbitrary_steps(self, ctx, keys, step):
+        vals = np.arange(ctx.slots, dtype=float) / 11
+        ct = ctx.encrypt(vals, keys)
+        out = ctx.evaluator.hrotate_composed(ct, step, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - np.roll(vals, -step))) < 1e-3
+
+    def test_zero_step_is_identity(self, ctx, keys):
+        ct = ctx.encrypt([1.0, 2.0], keys)
+        assert ctx.evaluator.hrotate_composed(ct, 0, keys) is ct
+
+    def test_full_cycle_is_identity(self, ctx, keys):
+        vals = np.arange(ctx.slots, dtype=float) / 11
+        ct = ctx.encrypt(vals, keys)
+        out = ctx.evaluator.hrotate_composed(ct, ctx.slots, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - vals)) < 1e-3
+
+    def test_negative_equivalent(self, ctx, keys):
+        """Step -1 == slots - 1 (cyclic)."""
+        vals = np.arange(ctx.slots, dtype=float) / 11
+        ct = ctx.encrypt(vals, keys)
+        out = ctx.evaluator.hrotate_composed(ct, -1, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - np.roll(vals, 1))) < 1e-3

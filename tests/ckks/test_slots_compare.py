@@ -1,0 +1,136 @@
+"""Tests for slot utilities and approximate comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckks.compare import (
+    approx_max,
+    approx_relu,
+    approx_sign,
+    levels_for_sign,
+    sign_reference,
+)
+from repro.ckks.slots import SlotOps
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParams(n=64, max_level=12, num_special=2, dnum=13,
+                        scale_bits=26, name="slots-toy")
+    return CkksContext.create(params, seed=23)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen(rotations=SlotOps.required_rotations(ctx.slots))
+
+
+@pytest.fixture(scope="module")
+def slots(ctx):
+    return SlotOps(ctx)
+
+
+class TestSlotOps:
+    def test_mask(self, ctx, keys, slots):
+        vals = np.arange(ctx.slots, dtype=float) / 10
+        ct = ctx.encrypt(vals, keys)
+        out = slots.mask(ct, [0, 3, 5])
+        got = ctx.decrypt_decode_real(out, keys)
+        expected = np.zeros_like(vals)
+        expected[[0, 3, 5]] = vals[[0, 3, 5]]
+        assert np.max(np.abs(got - expected)) < 1e-3
+
+    def test_select(self, ctx, keys, slots):
+        a = ctx.encrypt(np.full(ctx.slots, 1.0), keys)
+        b = ctx.encrypt(np.full(ctx.slots, 2.0), keys)
+        out = slots.select(a, b, [0, 1])
+        got = ctx.decrypt_decode_real(out, keys)
+        assert abs(got[0] - 1.0) < 1e-3
+        assert abs(got[5] - 2.0) < 1e-3
+
+    def test_sum_all(self, ctx, keys, slots):
+        vals = np.arange(ctx.slots, dtype=float) / 50
+        ct = ctx.encrypt(vals, keys)
+        out = slots.sum_all(ct, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - vals.sum())) < 2e-3
+
+    def test_average_all(self, ctx, keys, slots):
+        vals = np.arange(ctx.slots, dtype=float) / 50
+        out = slots.average_all(ctx.encrypt(vals, keys), keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - vals.mean())) < 1e-3
+
+    def test_sum_blocks(self, ctx, keys, slots):
+        vals = np.arange(ctx.slots, dtype=float) / 50
+        out = slots.sum_blocks(ctx.encrypt(vals, keys), 4, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        # Block-start slots hold contiguous 4-sums.
+        for start in range(0, 16, 4):
+            assert abs(got[start] - vals[start: start + 4].sum()) < 2e-3
+
+    def test_sum_blocks_validates(self, ctx, keys, slots):
+        ct = ctx.encrypt([1.0], keys)
+        with pytest.raises(ValueError):
+            slots.sum_blocks(ct, 3, keys)
+
+    def test_inner_product(self, ctx, keys, slots):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-0.5, 0.5, ctx.slots)
+        b = rng.uniform(-0.5, 0.5, ctx.slots)
+        out = slots.inner_product(
+            ctx.encrypt(a, keys), ctx.encrypt(b, keys), keys
+        )
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - a @ b)) < 5e-3
+
+    def test_replicate(self, ctx, keys, slots):
+        vals = np.arange(ctx.slots, dtype=float) / 10
+        out = slots.replicate(ctx.encrypt(vals, keys), 7, keys)
+        got = ctx.decrypt_decode_real(out, keys)
+        assert np.max(np.abs(got - vals[7])) < 2e-3
+
+
+class TestComparisons:
+    def test_sign_reference_sharpens(self):
+        x = np.array([-0.8, -0.1, 0.05, 0.9])
+        r3 = sign_reference(x, rounds=3)
+        assert np.all(np.sign(r3) == np.sign(x))
+        assert np.all(np.abs(r3) >= np.abs(x))
+
+    def test_approx_sign_matches_reference(self, ctx, keys):
+        x = np.array([-0.9, -0.4, 0.2, 0.7, 0.05])
+        ct = ctx.encrypt(x, keys)
+        out = approx_sign(ctx.evaluator, ct, keys, rounds=2)
+        got = ctx.decrypt_decode_real(out, keys)[:5]
+        assert np.max(np.abs(got - sign_reference(x, rounds=2))) < 1e-2
+
+    def test_sign_depth_accounting(self, ctx, keys):
+        ct = ctx.encrypt([0.5], keys)
+        out = approx_sign(ctx.evaluator, ct, keys, rounds=2)
+        assert ct.level - out.level == levels_for_sign(2)
+
+    def test_sign_validates_rounds(self, ctx, keys):
+        ct = ctx.encrypt([0.5], keys)
+        with pytest.raises(ValueError):
+            approx_sign(ctx.evaluator, ct, keys, rounds=0)
+
+    def test_relu(self, ctx, keys):
+        x = np.array([-0.8, -0.2, 0.3, 0.9])
+        ct = ctx.encrypt(x, keys)
+        out = approx_relu(ctx.evaluator, ct, keys, rounds=2)
+        got = ctx.decrypt_decode_real(out, keys)[:4]
+        # Positive inputs pass through; negatives are strongly damped.
+        assert np.max(np.abs(got[2:] - x[2:])) < 0.12
+        assert np.all(np.abs(got[:2]) < 0.12)
+
+    def test_max(self, ctx, keys):
+        a = np.array([0.3, -0.5, 0.8, -0.1])
+        b = np.array([-0.2, 0.4, 0.1, -0.6])
+        out = approx_max(
+            ctx.evaluator, ctx.encrypt(a, keys), ctx.encrypt(b, keys),
+            keys, rounds=2,
+        )
+        got = ctx.decrypt_decode_real(out, keys)[:4]
+        assert np.max(np.abs(got - np.maximum(a, b))) < 0.12

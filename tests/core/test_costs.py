@@ -1,0 +1,55 @@
+"""Tests for the instruction-cost model and plan-derived work counts."""
+
+import pytest
+
+from repro.core import costs, plan_work_counts
+from repro.ntt import build_plan
+
+
+class TestPlanWorkCounts:
+    def test_matches_table_iv_level2(self):
+        """The 2-level plan for N=2^16 must reproduce Table IV's row."""
+        counts = plan_work_counts(build_plan(65536))
+        assert counts.ew_mul == 2**22
+        assert counts.mod_mul == 3 * 2**16
+        assert counts.mod_red == 4 * 2**16
+        assert counts.bit_dec_mer == 3 * 2**17
+
+    def test_matches_table_iv_level1(self):
+        """A (256 x 256) plan reproduces the 1-level row."""
+        from repro.ntt.decompose import NttPlan
+
+        plan = NttPlan(65536, left=NttPlan(256), right=NttPlan(256))
+        counts = plan_work_counts(plan)
+        assert counts.ew_mul == 2**25
+        assert counts.mod_mul == 2**16
+        assert counts.bit_dec_mer == 2**17
+
+    def test_unbalanced_plan(self):
+        counts = plan_work_counts(build_plan(4096))
+        # leaves 16,16,16: ew = 4096 * 48
+        assert counts.ew_mul == 4096 * 48
+        assert counts.leaf_steps == 3
+
+    def test_tensor_macs_is_16x(self):
+        counts = plan_work_counts(build_plan(4096))
+        assert counts.tensor_macs == 16 * counts.ew_mul
+
+    def test_butterfly_count(self):
+        counts = plan_work_counts(build_plan(1024))
+        assert counts.butterfly_count == 512 * 10
+
+    def test_support_ops_include_bit_path(self):
+        counts = plan_work_counts(build_plan(4096))
+        with_bits = counts.support_ops(include_bit_ops=True)
+        without = counts.support_ops(include_bit_ops=False)
+        assert with_bits > without
+
+
+class TestConstants:
+    def test_montgomery_cheaper_than_barrett(self):
+        """§IV-A-4: Montgomery ~10% faster than Barrett."""
+        assert costs.MONTGOMERY_MULMOD_OPS < costs.BARRETT_MULMOD_OPS
+
+    def test_limb_gemm_count(self):
+        assert costs.LIMB_GEMMS == 16

@@ -1,0 +1,76 @@
+"""Tests for the kernel builders' operation accounting."""
+
+import pytest
+
+from repro.core import costs
+from repro.core import kernels as K
+from repro.core.kernels import GeometryConfig
+
+
+class TestGeometry:
+    def test_default_follows_paper(self):
+        geo = K.DEFAULT_GEOMETRY
+        assert geo.threads_per_block == 256
+        assert geo.warps_per_block == 8
+        assert geo.ntt_coeffs_per_thread == 8
+
+    def test_blocks_for(self):
+        geo = GeometryConfig(threads_per_block=256)
+        assert geo.blocks_for(256) == 1
+        assert geo.blocks_for(257) == 2
+        assert geo.blocks_for(2048, per_thread=8) == 1
+        assert geo.blocks_for(0) == 1  # at least one block
+
+    def test_custom_thread_counts(self):
+        geo = GeometryConfig(threads_per_block=64)
+        assert geo.warps_per_block == 2
+
+
+class TestElementwiseBuilders:
+    def test_modmul_cost_accounting(self):
+        k = K.modmul_kernel("m", 1000)
+        assert k.int32_ops == 1000 * costs.BARRETT_MULMOD_OPS
+        assert k.gmem_read_bytes == 2 * 1000 * K.WORD_BYTES
+        assert k.gmem_write_bytes == 1000 * K.WORD_BYTES
+
+    def test_modadd_cheaper_than_modmul(self):
+        add = K.modadd_kernel("a", 1000)
+        mul = K.modmul_kernel("m", 1000)
+        assert add.int32_ops < mul.int32_ops
+
+    def test_default_efficiency_applied(self):
+        assert K.modadd_kernel("a", 10).efficiency == \
+            K.DEFAULT_KERNEL_EFFICIENCY
+
+    def test_tags_threaded_through(self):
+        k = K.modmul_kernel("m", 10, stage="demo")
+        assert k.tags["stage"] == "demo"
+        assert k.tags["kind"] == "elementwise"
+
+
+class TestConversionBuilders:
+    def test_modup_work_scales_with_bases(self):
+        small = K.modup_kernel("u", 1024, 2, 6)
+        big = K.modup_kernel("u", 1024, 4, 12)
+        assert big.int32_ops > small.int32_ops
+        assert big.gmem_write_bytes > small.gmem_write_bytes
+
+    def test_modup_polys_multiply_work(self):
+        one = K.modup_kernel("u", 1024, 2, 6, polys=1)
+        four = K.modup_kernel("u", 1024, 2, 6, polys=4)
+        assert four.int32_ops == pytest.approx(4 * one.int32_ops)
+
+    def test_moddown_reads_concatenated_basis(self):
+        k = K.moddown_kernel("d", 1024, main_primes=10, special_primes=2)
+        assert k.gmem_read_bytes == 1024 * 12 * K.WORD_BYTES
+        assert k.gmem_write_bytes == 1024 * 10 * K.WORD_BYTES
+
+    def test_inner_product_reads_dominate(self):
+        """Table III: InProd is the memory-heavy kernel — its evk reads
+        are several times the output writes."""
+        k = K.inner_product_kernel("i", 1024, primes=16, digits=4)
+        assert k.gmem_read_bytes > 5 * k.gmem_write_bytes
+
+    def test_automorphism_coalescing_penalty(self):
+        k = K.automorphism_kernel("r", 1024, primes=4)
+        assert k.coalescing < 1.0

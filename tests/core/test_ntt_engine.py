@@ -1,0 +1,137 @@
+"""Tests for WarpDrive-NTT: functional correctness and the Fig. 6 claims."""
+
+import numpy as np
+import pytest
+
+from repro.core import VARIANTS, WarpDriveNtt
+from repro.gpusim import A100_PCIE_80G, V100
+from repro.ntt import NttTables, negacyclic_ntt
+from repro.numtheory import find_ntt_prime
+
+N = 256
+Q = find_ntt_prime(28, N)
+TABLES = NttTables(Q, N)
+RNG = np.random.default_rng(0)
+
+
+class TestFunctionalEquivalence:
+    """All five variants compute the same transform, bit-exactly."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_forward_matches_radix2(self, variant):
+        engine = WarpDriveNtt(N, variant=variant)
+        x = RNG.integers(0, Q, size=N, dtype=np.uint64)
+        assert np.array_equal(
+            engine.forward(x, TABLES), negacyclic_ntt(x, TABLES)
+        )
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_roundtrip(self, variant):
+        engine = WarpDriveNtt(N, variant=variant)
+        x = RNG.integers(0, Q, size=(3, N), dtype=np.uint64)
+        assert np.array_equal(engine.inverse(engine.forward(x, TABLES),
+                                             TABLES), x)
+
+    def test_karatsuba_variant_identical(self):
+        a = WarpDriveNtt(N, variant="wd-tensor")
+        b = WarpDriveNtt(N, variant="wd-tensor", use_karatsuba=True)
+        x = RNG.integers(0, Q, size=N, dtype=np.uint64)
+        assert np.array_equal(a.forward(x, TABLES), b.forward(x, TABLES))
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            WarpDriveNtt(N, variant="wd-quantum")
+
+
+class TestKernelPlans:
+    def test_single_kernel_below_smem_limit(self):
+        assert not WarpDriveNtt(2**15).uses_dual_kernel
+        assert len(WarpDriveNtt(2**15).kernel_plan(16)) == 1
+
+    def test_dual_kernel_at_2_16(self):
+        """§IV-D-2: N*w > S_shared forces the dual-kernel form."""
+        assert WarpDriveNtt(2**16).uses_dual_kernel
+        assert len(WarpDriveNtt(2**16).kernel_plan(16)) == 2
+
+    def test_batch_scales_work(self):
+        e = WarpDriveNtt(2**14)
+        k1 = e.kernel_plan(1)[0]
+        k8 = e.kernel_plan(8)[0]
+        assert k8.int32_ops == pytest.approx(8 * k1.int32_ops)
+        assert k8.gmem_read_bytes == pytest.approx(8 * k1.gmem_read_bytes)
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            WarpDriveNtt(2**14).kernel_plan(0)
+
+    def test_tensor_variant_uses_tensor_cores(self):
+        k = WarpDriveNtt(2**14, variant="wd-tensor").kernel_plan(1)[0]
+        assert k.tensor_macs > 0
+
+    def test_cuda_variants_avoid_tensor_cores(self):
+        for v in ("wd-cuda", "wd-bo"):
+            k = WarpDriveNtt(2**14, variant=v).kernel_plan(1)[0]
+            assert k.tensor_macs == 0
+
+    def test_cuda_variant_runs_on_v100(self):
+        """WD-BO/WD-CUDA work on tensor-less devices (generality §VI-B)."""
+        e = WarpDriveNtt(2**14, variant="wd-bo", device=V100)
+        assert e.throughput_kops(64) > 0
+
+    def test_warp_allocation_is_4_plus_4(self):
+        """Fig. 3: fused kernels pair 4 tensor with 4 CUDA warps."""
+        k = WarpDriveNtt(2**14, variant="wd-fuse").kernel_plan(1)[0]
+        assert k.warps_per_block == 8
+
+
+class TestFig6Ordering:
+    """The concurrency claims of §V-D, at the paper's batch size."""
+
+    @pytest.fixture(scope="class")
+    def kops(self):
+        return {
+            n: {
+                v: WarpDriveNtt(n, variant=v).throughput_kops(1024)
+                for v in VARIANTS
+            }
+            for n in (2**12, 2**14, 2**16)
+        }
+
+    def test_fuse_beats_every_single_pipe_variant(self, kops):
+        for n, row in kops.items():
+            assert row["wd-fuse"] > row["wd-tensor"]
+            assert row["wd-fuse"] > row["wd-bo"]
+            assert row["wd-fuse"] > row["wd-cuda"]
+
+    def test_fuse_gain_is_single_digit_percent(self, kops):
+        """Paper: WD-FUSE beats WD-Tensor by 4% to 7%."""
+        for n, row in kops.items():
+            gain = row["wd-fuse"] / row["wd-tensor"] - 1
+            assert 0.02 < gain < 0.12
+
+    def test_tensor_beats_bo(self, kops):
+        """Paper: 4-10% advantage over WD-BO."""
+        for n, row in kops.items():
+            assert row["wd-tensor"] > row["wd-bo"]
+
+    def test_tensor_beats_cuda(self, kops):
+        for n, row in kops.items():
+            assert row["wd-tensor"] > row["wd-cuda"]
+
+    def test_ftc_between_cuda_and_tensor(self, kops):
+        for n, row in kops.items():
+            assert row["wd-cuda"] < row["wd-ftc"] < row["wd-tensor"]
+
+
+class TestThroughputScaling:
+    def test_throughput_decreases_with_n(self):
+        ks = [WarpDriveNtt(1 << b).throughput_kops(512)
+              for b in (12, 14, 16)]
+        assert ks[0] > ks[1] > ks[2]
+
+    def test_batching_amortizes_launch_overhead(self):
+        e = WarpDriveNtt(2**13)
+        assert e.throughput_kops(1024) > e.throughput_kops(1)
+
+    def test_latency_positive(self):
+        assert WarpDriveNtt(2**12).latency_us() > 0

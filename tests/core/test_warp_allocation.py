@@ -1,0 +1,73 @@
+"""Tests for tensor/CUDA warp allocation and work balancing."""
+
+import pytest
+
+from repro.core import balance_fraction, default_allocation, fused_times
+from repro.gpusim import A100_PCIE_80G, V100
+
+DEV = A100_PCIE_80G
+
+
+class TestDefaultAllocation:
+    def test_four_plus_four(self):
+        alloc = default_allocation(DEV)
+        assert alloc.tensor_warps == 4
+        assert alloc.cuda_warps == 4
+        assert alloc.warps_per_block == 8
+
+    def test_covers_all_subpartitions(self):
+        alloc = default_allocation(DEV)
+        assert alloc.tensor_warps == DEV.subpartitions_per_sm
+
+
+class TestBalanceFraction:
+    def test_no_tensor_cores_means_zero(self):
+        assert balance_fraction(
+            V100, tensor_macs_per_unit=100, cuda_ops_per_unit=100
+        ) == 0.0
+
+    def test_fraction_in_unit_interval(self):
+        f = balance_fraction(
+            DEV, tensor_macs_per_unit=2**26, cuda_ops_per_unit=3 * 10**6
+        )
+        assert 0.0 <= f <= 1.0
+
+    def test_balances_pipe_times(self):
+        tm, co = 2**26, 3 * 10**6
+        f = balance_fraction(DEV, tensor_macs_per_unit=tm,
+                             cuda_ops_per_unit=co)
+        t_tensor = f * tm / DEV.tensor_macs_per_cycle
+        t_cuda = (1 - f) * co / DEV.int32_ops_per_cycle
+        assert t_tensor == pytest.approx(t_cuda, rel=1e-6)
+
+    def test_heavy_fixed_cuda_work_pushes_to_tensor(self):
+        f = balance_fraction(
+            DEV, tensor_macs_per_unit=1000, cuda_ops_per_unit=1000,
+            cuda_fixed_ops=10**9,
+        )
+        assert f == 1.0
+
+
+class TestFusedTimes:
+    def test_fused_never_worse_than_best_single(self):
+        """The §IV-B headline: concurrent use beats any single pipe."""
+        times = fused_times(
+            DEV, 0.6, tensor_macs=2**30, cuda_gemm_ops=10**8,
+            cuda_fixed_ops=10**6,
+        )
+        f_opt = balance_fraction(
+            DEV, tensor_macs_per_unit=2**30, cuda_ops_per_unit=10**8,
+            cuda_fixed_ops=10**6,
+        )
+        best = fused_times(
+            DEV, f_opt, tensor_macs=2**30, cuda_gemm_ops=10**8,
+            cuda_fixed_ops=10**6,
+        )
+        assert best["fused"] <= times["tensor_only"] + 1e-9
+        assert best["fused"] <= times["cuda_only"] + 1e-9
+
+    def test_keys_present(self):
+        times = fused_times(DEV, 0.5, tensor_macs=1e6, cuda_gemm_ops=1e6,
+                            cuda_fixed_ops=0)
+        for key in ("tensor", "cuda", "fused", "tensor_only", "cuda_only"):
+            assert key in times

@@ -1,0 +1,82 @@
+"""Tests for the device catalogue and cross-device behaviour."""
+
+import pytest
+
+from repro.gpusim import (
+    A100_PCIE_80G,
+    A100_SXM_40G,
+    H100_SXM,
+    KNOWN_DEVICES,
+    MI100,
+    V100,
+    KernelSpec,
+    simulate_kernel,
+)
+
+
+class TestCatalogue:
+    def test_all_registered(self):
+        for spec in (A100_PCIE_80G, A100_SXM_40G, H100_SXM, V100, MI100):
+            assert KNOWN_DEVICES[spec.name] is spec
+
+    def test_a100_headline_numbers(self):
+        dev = A100_PCIE_80G
+        assert dev.sm_count == 108
+        assert dev.int32_ops_per_cycle == 108 * 64
+        # 2048 MACs/cycle/SM * 108 SM * 1.41 GHz * 2 ops/MAC ~ 624 TOPS.
+        tops = dev.tensor_macs_per_cycle * dev.clock_ghz * 2 / 1e3
+        assert tops == pytest.approx(624, rel=0.01)
+
+    def test_sxm40_differs_only_in_bandwidth(self):
+        assert A100_SXM_40G.sm_count == A100_PCIE_80G.sm_count
+        assert A100_SXM_40G.dram_gbps < A100_PCIE_80G.dram_gbps
+
+    def test_v100_has_no_int8_tensor_path(self):
+        assert V100.tensor_int8_macs_per_cycle_per_sm == 0
+
+    def test_h100_outclasses_a100(self):
+        assert H100_SXM.tensor_macs_per_cycle > A100_PCIE_80G.tensor_macs_per_cycle
+        assert H100_SXM.dram_gbps > A100_PCIE_80G.dram_gbps
+        assert H100_SXM.smem_per_sm_bytes > A100_PCIE_80G.smem_per_sm_bytes
+
+    def test_cycle_time_conversions(self):
+        dev = A100_PCIE_80G
+        assert dev.cycles_to_us(dev.us_to_cycles(12.5)) == pytest.approx(
+            12.5
+        )
+
+    def test_with_overrides(self):
+        slow = A100_PCIE_80G.with_overrides(dram_gbps=1000.0)
+        assert slow.dram_gbps == 1000.0
+        assert slow.sm_count == A100_PCIE_80G.sm_count
+        # Original untouched (frozen dataclass).
+        assert A100_PCIE_80G.dram_gbps == 1935.0
+
+
+class TestCrossDeviceBehaviour:
+    def make(self, **kw):
+        defaults = dict(name="k", blocks=2048, warps_per_block=8)
+        defaults.update(kw)
+        return KernelSpec(**defaults)
+
+    def test_dram_bound_kernel_scales_with_bandwidth(self):
+        k = self.make(gmem_read_bytes=1e9)
+        t_a100 = simulate_kernel(k, A100_PCIE_80G).exec_us
+        t_h100 = simulate_kernel(k, H100_SXM).exec_us
+        t_v100 = simulate_kernel(k, V100).exec_us
+        assert t_h100 < t_a100 < t_v100
+
+    def test_tensor_kernel_scales_with_tensor_throughput(self):
+        k = self.make(tensor_macs=1e11)
+        t_a100 = simulate_kernel(k, A100_PCIE_80G).exec_cycles
+        t_h100 = simulate_kernel(k, H100_SXM).exec_cycles
+        assert t_h100 < t_a100
+        t_mi100 = simulate_kernel(k, MI100).exec_cycles
+        assert t_mi100 > t_a100
+
+    def test_compute_kernel_uses_more_sms_on_h100(self):
+        k = self.make(blocks=10**5, int32_ops=1e10)
+        p_a = simulate_kernel(k, A100_PCIE_80G)
+        p_h = simulate_kernel(k, H100_SXM)
+        assert p_h.occupancy.sm_used == 132
+        assert p_a.occupancy.sm_used == 108

@@ -1,0 +1,265 @@
+"""Tests for the kernel-pricing engine: occupancy, roofline, stalls."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    A100_PCIE_80G,
+    V100,
+    KernelSpec,
+    StallReason,
+    compute_occupancy,
+    simulate_kernel,
+)
+
+DEV = A100_PCIE_80G
+
+
+def make_kernel(**kwargs):
+    defaults = dict(name="k", blocks=1024, warps_per_block=8)
+    defaults.update(kwargs)
+    return KernelSpec(**defaults)
+
+
+class TestKernelSpec:
+    def test_derived_counts(self):
+        k = make_kernel(int32_ops=3200, tensor_macs=8192,
+                        gmem_read_bytes=1280, smem_read_bytes=256)
+        assert k.alu_warp_instructions == 100
+        assert k.mma_warp_instructions == 2
+        assert k.gmem_warp_instructions == 10
+        assert k.smem_warp_instructions == 2
+        assert k.total_warps == 1024 * 8
+        assert k.threads == 1024 * 8 * 32
+
+    def test_coalescing_inflates_transactions(self):
+        good = make_kernel(gmem_read_bytes=12800)
+        bad = make_kernel(gmem_read_bytes=12800, coalescing=0.25)
+        assert bad.gmem_warp_instructions == 4 * good.gmem_warp_instructions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_kernel(blocks=0)
+        with pytest.raises(ValueError):
+            make_kernel(coalescing=0.0)
+        with pytest.raises(ValueError):
+            make_kernel(int32_ops=-1)
+
+    def test_scaled(self):
+        k = make_kernel(int32_ops=100, gmem_read_bytes=200)
+        s = k.scaled(3)
+        assert s.int32_ops == 300
+        assert s.gmem_read_bytes == 600
+        assert s.blocks == k.blocks
+
+    def test_memory_instruction_fraction(self):
+        k = make_kernel(int32_ops=32, gmem_read_bytes=128)
+        assert k.memory_instruction_fraction == pytest.approx(0.5)
+
+
+class TestOccupancy:
+    def test_smem_limits_blocks(self):
+        k = make_kernel(smem_per_block_bytes=48 * 1024, regs_per_thread=32)
+        occ = compute_occupancy(k, DEV)
+        assert occ.blocks_per_sm == 3  # 164KB / 48KB
+        assert occ.limited_by == "shared memory"
+
+    def test_oversized_smem_rejected(self):
+        k = make_kernel(smem_per_block_bytes=200 * 1024)
+        with pytest.raises(ValueError):
+            compute_occupancy(k, DEV)
+
+    def test_warp_slots_limit(self):
+        k = make_kernel(warps_per_block=32, regs_per_thread=16)
+        occ = compute_occupancy(k, DEV)
+        assert occ.blocks_per_sm == 2  # 64 warp slots / 32
+
+    def test_register_limit(self):
+        k = make_kernel(warps_per_block=8, regs_per_thread=255)
+        occ = compute_occupancy(k, DEV)
+        assert occ.limited_by == "registers"
+
+    def test_small_grid_uses_few_sms(self):
+        k = make_kernel(blocks=4)
+        occ = compute_occupancy(k, DEV)
+        assert occ.sm_used == 4
+
+    def test_large_grid_caps_at_sm_count(self):
+        occ = compute_occupancy(make_kernel(blocks=10**6), DEV)
+        assert occ.sm_used == DEV.sm_count
+
+    def test_resident_warps_bounded(self):
+        k = make_kernel(warps_per_block=8, regs_per_thread=32)
+        occ = compute_occupancy(k, DEV)
+        assert occ.resident_warps_per_sm <= DEV.max_warps_per_sm
+
+
+class TestRoofline:
+    def test_compute_bound_kernel(self):
+        k = make_kernel(int32_ops=1e10, gmem_read_bytes=1e3)
+        p = simulate_kernel(k, DEV)
+        assert p.bound_by == "int32"
+        expected = 1e10 / (DEV.int32_lanes_per_sm * DEV.sm_count)
+        assert p.exec_cycles == pytest.approx(expected)
+
+    def test_dram_bound_kernel(self):
+        k = make_kernel(int32_ops=1e3, gmem_read_bytes=1e9)
+        p = simulate_kernel(k, DEV)
+        assert p.bound_by == "dram"
+        # Full device: bandwidth-limited time = bytes / (GB/s -> B/cycle).
+        assert p.exec_cycles == pytest.approx(
+            1e9 / DEV.dram_bytes_per_cycle, rel=0.01
+        )
+
+    def test_tensor_bound_kernel(self):
+        k = make_kernel(tensor_macs=1e11)
+        p = simulate_kernel(k, DEV)
+        assert p.bound_by == "tensor"
+
+    def test_tensor_on_tensorless_device_rejected(self):
+        k = make_kernel(tensor_macs=100)
+        with pytest.raises(ValueError):
+            simulate_kernel(k, V100)
+
+    def test_small_grid_gets_less_dram_bandwidth(self):
+        big = make_kernel(blocks=1024, gmem_read_bytes=1e9)
+        small = make_kernel(blocks=8, gmem_read_bytes=1e9)
+        t_big = simulate_kernel(big, DEV).exec_cycles
+        t_small = simulate_kernel(small, DEV).exec_cycles
+        assert t_small > 5 * t_big
+
+    def test_low_occupancy_exposes_latency(self):
+        # One warp per block cannot hide DRAM latency.
+        exposed = make_kernel(
+            blocks=1024, warps_per_block=1, gmem_read_bytes=1e8,
+            smem_per_block_bytes=100 * 1024,
+        )
+        hidden = make_kernel(
+            blocks=1024, warps_per_block=16, gmem_read_bytes=1e8
+        )
+        assert (
+            simulate_kernel(exposed, DEV).exec_cycles
+            > simulate_kernel(hidden, DEV).exec_cycles
+        )
+
+    def test_launch_overhead_included(self):
+        p = simulate_kernel(make_kernel(int32_ops=1), DEV)
+        assert p.total_cycles > p.exec_cycles
+        assert p.elapsed_us >= DEV.launch_overhead_us
+
+    def test_empty_kernel_still_runs(self):
+        p = simulate_kernel(make_kernel(), DEV)
+        assert p.exec_cycles > 0
+
+
+class TestStallAttribution:
+    def test_bit_split_kernel_is_lg_throttle_dominated(self):
+        """A kernel with extreme memory-to-compute ratio (TensorFHE's
+        U32ToU8 stage) must stall predominantly on LG Throttle — the
+        Table II signature."""
+        k = make_kernel(
+            int32_ops=8 * 2**20,          # 8 ALU ops per element
+            gmem_read_bytes=4 * 2**20,    # read uint32
+            gmem_write_bytes=4 * 2**20,   # write 4 x uint8
+            coalescing=0.25,              # byte-granular stores
+            warps_per_block=8,
+        )
+        p = simulate_kernel(k, DEV)
+        assert p.stalls.fraction(StallReason.LG_THROTTLE) > 0.3
+        assert p.stalls.memory_related_fraction > 0.6
+
+    def test_compute_bound_kernel_math_stalls(self):
+        k = make_kernel(int32_ops=1e10, gmem_read_bytes=1e4)
+        p = simulate_kernel(k, DEV)
+        assert p.stalls.fraction(StallReason.MATH_THROTTLE) > 0.2
+        assert p.stalls.fraction(StallReason.LG_THROTTLE) < 0.05
+
+    def test_dram_bound_kernel_long_scoreboard(self):
+        # DRAM-bound but with memory instructions sparse amid compute:
+        # the wait shows up on the scoreboard, not the LSU queue.
+        k = make_kernel(int32_ops=4e9, gmem_read_bytes=1e9,
+                        warps_per_block=16)
+        p = simulate_kernel(k, DEV)
+        assert p.bound_by == "dram"
+        assert p.stalls.fraction(StallReason.LONG_SCOREBOARD) > 0.3
+
+    def test_stall_total_consistency(self):
+        k = make_kernel(int32_ops=1e7, gmem_read_bytes=1e7)
+        p = simulate_kernel(k, DEV)
+        warp_cycles = (
+            p.exec_cycles
+            * p.occupancy.resident_warps_per_sm
+            * p.occupancy.sm_used
+        )
+        assert p.stalls.total + p.issued_instructions == pytest.approx(
+            warp_cycles, rel=1e-6
+        )
+
+    def test_stall_cycles_per_issued_positive(self):
+        p = simulate_kernel(make_kernel(gmem_read_bytes=1e8), DEV)
+        assert p.stall_cycles_per_issued > 0
+
+
+class TestUtilizationMetrics:
+    def test_dram_bound_kernel_high_memory_util(self):
+        k = make_kernel(gmem_read_bytes=1e9, int32_ops=1e5)
+        p = simulate_kernel(k, DEV)
+        assert p.memory_throughput_utilization > 80
+        assert p.compute_throughput_utilization < 20
+
+    def test_balanced_kernel_high_both(self):
+        # Work sized so int32 time == dram time on a full grid.
+        bytes_ = 1e8
+        cycles = bytes_ / DEV.dram_bytes_per_cycle
+        ops = cycles * DEV.int32_lanes_per_sm * DEV.sm_count
+        k = make_kernel(gmem_read_bytes=bytes_, int32_ops=ops)
+        p = simulate_kernel(k, DEV)
+        assert p.memory_throughput_utilization > 80
+        assert p.compute_throughput_utilization > 80
+
+    def test_utilization_bounded_by_100(self):
+        p = simulate_kernel(
+            make_kernel(gmem_read_bytes=1e8, int32_ops=1e8), DEV
+        )
+        assert p.compute_throughput_utilization <= 100.0001
+        assert p.memory_throughput_utilization <= 100.0001
+
+
+class TestMonotonicity:
+    """Sanity properties: more work never takes less time."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e3, max_value=1e9),
+           st.floats(min_value=1.1, max_value=10))
+    def test_more_gmem_never_faster(self, base, factor):
+        k1 = make_kernel(gmem_read_bytes=base)
+        k2 = make_kernel(gmem_read_bytes=base * factor)
+        assert (
+            simulate_kernel(k2, DEV).exec_cycles
+            >= simulate_kernel(k1, DEV).exec_cycles
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1e3, max_value=1e11),
+           st.floats(min_value=1.1, max_value=10))
+    def test_more_compute_never_faster(self, base, factor):
+        k1 = make_kernel(int32_ops=base)
+        k2 = make_kernel(int32_ops=base * factor)
+        assert (
+            simulate_kernel(k2, DEV).exec_cycles
+            >= simulate_kernel(k1, DEV).exec_cycles
+        )
+
+    def test_fused_max_beats_serial_sum(self):
+        """Co-scheduling tensor and CUDA work in one kernel (max) always
+        beats running them serially (sum) — the §IV-B premise."""
+        tensor_k = make_kernel(tensor_macs=1e10)
+        cuda_k = make_kernel(int32_ops=1e9)
+        fused = make_kernel(tensor_macs=1e10, int32_ops=1e9)
+        t_serial = (
+            simulate_kernel(tensor_k, DEV).exec_cycles
+            + simulate_kernel(cuda_k, DEV).exec_cycles
+        )
+        t_fused = simulate_kernel(fused, DEV).exec_cycles
+        assert t_fused < t_serial

@@ -1,0 +1,187 @@
+"""Tests for stream scheduling, timelines and the profiler."""
+
+import pytest
+
+from repro.gpusim import (
+    A100_PCIE_80G,
+    KernelSpec,
+    StallReason,
+    aggregate,
+    render_timeline,
+    run_serial,
+    run_streams,
+    scheduler_cycles_breakdown,
+    simulate_kernel,
+    stall_table,
+    summarize,
+    utilization_table,
+)
+
+DEV = A100_PCIE_80G
+
+
+def kernel(name, blocks=1024, **kw):
+    return KernelSpec(name=name, blocks=blocks, warps_per_block=8,
+                      int32_ops=1e7, gmem_read_bytes=1e6, **kw)
+
+
+class TestSerial:
+    def test_kernels_serialize(self):
+        result = run_serial([kernel("a"), kernel("b"), kernel("c")], DEV)
+        assert result.kernel_count == 3
+        entries = sorted(result.entries, key=lambda e: e.start_us)
+        for prev, nxt in zip(entries, entries[1:]):
+            assert nxt.start_us >= prev.end_us - 1e-9
+
+    def test_elapsed_is_sum(self):
+        ks = [kernel("a"), kernel("b")]
+        result = run_serial(ks, DEV)
+        individual = sum(simulate_kernel(k, DEV).elapsed_us for k in ks)
+        assert result.elapsed_us == pytest.approx(individual)
+
+    def test_empty(self):
+        assert run_serial([], DEV).elapsed_us == 0.0
+
+
+class TestMultiStream:
+    def test_large_grids_serialize_across_streams(self):
+        """§III-A: full-device grids in different streams cannot overlap."""
+        s0 = [kernel("a", blocks=2048)]
+        s1 = [kernel("b", blocks=2048)]
+        result = run_streams([s0, s1], DEV)
+        entries = sorted(result.entries, key=lambda e: e.start_us)
+        assert entries[1].start_us >= entries[0].end_us - 1e-9
+
+    def test_small_grids_overlap(self):
+        s0 = [kernel("a", blocks=40)]
+        s1 = [kernel("b", blocks=40)]
+        result = run_streams([s0, s1], DEV)
+        entries = sorted(result.entries, key=lambda e: e.start_us)
+        assert entries[0].start_us == entries[1].start_us
+
+    def test_overlap_bounded_by_sm_capacity(self):
+        streams = [[kernel(f"k{i}", blocks=60)] for i in range(3)]
+        result = run_streams(streams, DEV)
+        # 3 x 60 SMs > 108: at most one other kernel can overlap.
+        starts = sorted(e.start_us for e in result.entries)
+        assert starts[2] > starts[0]
+
+    def test_by_name_grouping(self):
+        result = run_serial([kernel("x"), kernel("x"), kernel("y")], DEV)
+        groups = result.by_name()
+        assert len(groups["x"]) == 2
+        assert len(groups["y"]) == 1
+
+
+class TestTimelineRendering:
+    def test_render_contains_streams_and_total(self):
+        result = run_streams(
+            [[kernel("alpha")], [kernel("beta", blocks=40)]], DEV
+        )
+        art = render_timeline(result, title="demo")
+        assert "demo" in art
+        assert "total:" in art
+        assert "s0" in art and "s1" in art
+
+    def test_render_empty(self):
+        from repro.gpusim.streams import ExecutionResult
+
+        assert "empty" in render_timeline(ExecutionResult())
+
+    def test_summary_lists_all_kernels(self):
+        result = run_serial([kernel("one"), kernel("two")], DEV)
+        text = summarize(result)
+        assert "one" in text and "two" in text
+
+
+class TestProfiler:
+    def test_aggregate_counts(self):
+        profiles = [simulate_kernel(kernel(f"k{i}"), DEV) for i in range(4)]
+        agg = aggregate(profiles)
+        assert agg.kernel_count == 4
+        assert agg.total_us == pytest.approx(
+            sum(p.elapsed_us for p in profiles)
+        )
+        assert agg.issued_instructions == pytest.approx(
+            sum(p.issued_instructions for p in profiles)
+        )
+
+    def test_aggregate_requires_profiles(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_stall_table_renders(self):
+        profiles = {
+            "Stage 1": [simulate_kernel(kernel("s1"), DEV)],
+            "Stage 2": [simulate_kernel(kernel("s2"), DEV)],
+        }
+        text = stall_table(profiles)
+        assert "Stage 1" in text and "Stage 2" in text
+        assert "Stall cycles / issued instruction" in text
+
+    def test_scheduler_breakdown_includes_selected(self):
+        profiles = [simulate_kernel(kernel("k"), DEV)]
+        breakdown = scheduler_cycles_breakdown(profiles)
+        assert "selected" in breakdown
+        assert breakdown["selected"] > 0
+
+    def test_utilization_table(self):
+        profiles = [simulate_kernel(kernel("k"), DEV)]
+        text = utilization_table({"warpdrive": aggregate(profiles)})
+        assert "warpdrive" in text
+
+    def test_total_stalls_merge(self):
+        result = run_serial([kernel("a"), kernel("b")], DEV)
+        merged = result.total_stalls()
+        individual = sum(
+            p.stalls.total for p in result.profiles
+        )
+        assert merged.total == pytest.approx(individual)
+
+
+class TestStallBreakdownContainer:
+    def test_add_and_fraction(self):
+        from repro.gpusim import StallBreakdown
+
+        b = StallBreakdown()
+        b.add(StallReason.LG_THROTTLE, 75)
+        b.add(StallReason.MATH_THROTTLE, 25)
+        assert b.total == 100
+        assert b.fraction(StallReason.LG_THROTTLE) == pytest.approx(0.75)
+        assert b.memory_related == 75
+
+    def test_negative_rejected(self):
+        from repro.gpusim import StallBreakdown
+
+        with pytest.raises(ValueError):
+            StallBreakdown().add(StallReason.WAIT, -1)
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        import json
+
+        from repro.gpusim import to_chrome_trace
+
+        result = run_streams(
+            [[kernel("alpha")], [kernel("beta", blocks=40)]], DEV
+        )
+        trace = to_chrome_trace(result)
+        assert "traceEvents" in trace
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} == {"alpha", "beta"}
+        for e in events:
+            assert e["dur"] > 0
+            assert "bound_by" in e["args"]
+        json.dumps(trace)  # serializable
+
+    def test_save_to_file(self, tmp_path):
+        import json
+
+        from repro.gpusim import save_chrome_trace
+
+        result = run_serial([kernel("a")], DEV)
+        path = tmp_path / "trace.json"
+        save_chrome_trace(result, str(path))
+        loaded = json.loads(path.read_text())
+        assert any(e.get("ph") == "X" for e in loaded["traceEvents"])

@@ -1,0 +1,104 @@
+"""Tests for the decomposition planner and the Table IV cost model."""
+
+import pytest
+
+from repro.ntt.decompose import (
+    DecompositionCost,
+    NttPlan,
+    build_plan,
+    table_iv_rows,
+)
+
+
+class TestBuildPlan:
+    def test_paper_plan_for_65536(self):
+        plan = build_plan(65536)
+        assert plan.describe() == "(16x16)x(16x16)"
+        assert plan.depth == 2
+        assert plan.num_steps() == 7  # the 7-step schedule of Fig. 2
+
+    def test_paper_plan_for_4096(self):
+        plan = build_plan(4096)
+        assert plan.describe() == "(16x16)x16"
+        assert plan.depth == 2
+
+    def test_small_sizes_are_leaves(self):
+        for n in [2, 4, 8, 16]:
+            assert build_plan(n).is_leaf
+
+    def test_leaf_sizes_bounded(self):
+        for logn in range(5, 17):
+            plan = build_plan(1 << logn)
+            assert all(s <= 16 for s in plan.leaf_sizes())
+
+    def test_product_of_leaves(self):
+        for logn in range(1, 17):
+            n = 1 << logn
+            product = 1
+            for s in build_plan(n).leaf_sizes():
+                product *= s
+            assert product == n
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            build_plan(0)
+        with pytest.raises(ValueError):
+            build_plan(48)
+
+    def test_custom_leaf_size(self):
+        plan = build_plan(64, max_leaf=8)
+        assert all(s <= 8 for s in plan.leaf_sizes())
+
+    def test_leaf_accessors_raise(self):
+        leaf = NttPlan(16)
+        with pytest.raises(ValueError):
+            _ = leaf.n1
+        with pytest.raises(ValueError):
+            _ = leaf.n2
+
+
+class TestTableIV:
+    """Exact reproduction of the paper's Table IV at N = 65536."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.level: r for r in table_iv_rows()}
+
+    def test_matrix_sizes(self, rows):
+        assert rows[0].matrix_size == 2**32
+        assert rows[1].matrix_size == 2**16
+        assert rows[2].matrix_size == 2**8
+        assert rows[3].matrix_size == 2**4
+
+    def test_ew_mul(self, rows):
+        assert rows[0].ew_mul == 2**32
+        assert rows[1].ew_mul == 2**25
+        assert rows[2].ew_mul == 2**22
+        assert rows[3].ew_mul == 2**21
+
+    def test_mod_red(self, rows):
+        assert rows[0].mod_red == 2**17
+        assert rows[1].mod_red == 2**17
+        assert rows[2].mod_red == 2**18
+        assert rows[3].mod_red == 2**19
+
+    def test_mod_mul(self, rows):
+        assert rows[0].mod_mul == 2**16
+        assert rows[1].mod_mul == 2**16
+        assert rows[2].mod_mul == 3 * 2**16
+        assert rows[3].mod_mul == 7 * 2**16
+
+    def test_bit_dec_mer(self, rows):
+        assert rows[0].bit_dec_mer == 2**17
+        assert rows[1].bit_dec_mer == 2**17
+        assert rows[2].bit_dec_mer == 3 * 2**17
+        assert rows[3].bit_dec_mer == 7 * 2**17
+
+    def test_level_2_cuts_ew_mul_to_one_eighth(self, rows):
+        """§IV-A-2: 2-level decomposition cuts the GEMM multiplications to
+        1/8 of the single-level amount."""
+        assert rows[1].ew_mul // rows[2].ew_mul == 8
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            DecompositionCost.for_level(65536, -1)

@@ -1,0 +1,57 @@
+"""Coherence between the executed NTT and the analytic cost model.
+
+The simulator prices kernels from `plan_work_counts`; these tests confirm
+the *executed* hierarchical NTT does the amount of work the analytic
+model claims — tying the performance layer's inputs to the functional
+layer's behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_work_counts
+from repro.ntt import HierarchicalNtt, NttTables, build_plan
+from repro.numtheory import find_ntt_prime
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_leaf_elements_match_analytic_ew_mul(n):
+    """Each leaf GEMM multiplies (elements x leaf_dim) scalars; summing
+    over leaf steps must equal the Table IV EW-Mul count."""
+    q = find_ntt_prime(28, n)
+    tables = NttTables(q, n)
+    plan = build_plan(n)
+    engine = HierarchicalNtt(tables, plan=plan, leaf_engine="cuda-gemm")
+    x = np.random.default_rng(0).integers(0, q, size=n, dtype=np.uint64)
+    engine.forward(x)
+    stats = engine.last_stats
+    counts = plan_work_counts(plan)
+
+    # Every element passes through exactly one GEMM per leaf step, each
+    # costing `leaf dim` multiplications — so the executed element count
+    # and the analytic EW-Mul agree.
+    assert stats.leaf_elements == n * counts.leaf_steps
+    assert n * sum(plan.leaf_sizes()) == counts.ew_mul
+
+
+@pytest.mark.parametrize("n", [256, 4096])
+def test_twiddle_muls_match_analytic_mod_mul(n):
+    q = find_ntt_prime(28, n)
+    tables = NttTables(q, n)
+    plan = build_plan(n)
+    engine = HierarchicalNtt(tables, plan=plan, leaf_engine="cuda-gemm")
+    x = np.random.default_rng(1).integers(0, q, size=n, dtype=np.uint64)
+    engine.forward(x)
+    counts = plan_work_counts(plan)
+    assert engine.last_stats.twiddle_muls == counts.mod_mul
+
+
+def test_step_count_matches_plan_schedule():
+    n = 65536 // 16  # 4096: the (16x16)x16 plan
+    q = find_ntt_prime(28, n)
+    tables = NttTables(q, n)
+    plan = build_plan(n)
+    engine = HierarchicalNtt(tables, plan=plan, leaf_engine="butterfly")
+    x = np.random.default_rng(2).integers(0, q, size=n, dtype=np.uint64)
+    engine.forward(x)
+    assert engine.last_stats.steps == plan.num_steps()

@@ -1,0 +1,314 @@
+"""Cross-validation of every NTT engine against the O(N^2) reference.
+
+The paper's correctness claim rests on all execution strategies computing
+the same transform; these tests enforce bit-exact agreement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ntt
+from repro.ntt.tables import NttTables
+from repro.numtheory import BarrettReducer, find_ntt_prime
+
+N = 64
+Q = find_ntt_prime(28, N)
+TABLES = NttTables(Q, N)
+RNG = np.random.default_rng(42)
+
+
+def rand_poly(n=N, q=Q, batch=()):
+    return RNG.integers(0, q, size=(*batch, n), dtype=np.uint64)
+
+
+class TestReference:
+    def test_cyclic_roundtrip(self):
+        x = rand_poly()
+        fx = ntt.reference_cyclic_ntt(x, TABLES.omega, Q)
+        back = ntt.reference_cyclic_intt(fx, TABLES.omega, Q)
+        assert np.array_equal(back, x)
+
+    def test_negacyclic_roundtrip(self):
+        x = rand_poly()
+        fx = ntt.reference_negacyclic_ntt(x, TABLES)
+        back = ntt.reference_negacyclic_intt(fx, TABLES)
+        assert np.array_equal(back, x)
+
+    def test_delta_transforms_to_ones(self):
+        x = np.zeros(N, dtype=np.uint64)
+        x[0] = 1
+        fx = ntt.reference_cyclic_ntt(x, TABLES.omega, Q)
+        assert np.all(fx == 1)
+
+    def test_linear(self):
+        a, b = rand_poly(), rand_poly()
+        fa = ntt.reference_cyclic_ntt(a, TABLES.omega, Q)
+        fb = ntt.reference_cyclic_ntt(b, TABLES.omega, Q)
+        fsum = ntt.reference_cyclic_ntt(
+            ((a.astype(object) + b) % Q).astype(np.uint64), TABLES.omega, Q
+        )
+        assert np.array_equal(fsum.astype(object), (fa.astype(object) + fb) % Q)
+
+
+class TestRadix2:
+    def test_matches_reference_forward(self):
+        x = rand_poly()
+        assert np.array_equal(
+            ntt.negacyclic_ntt(x, TABLES),
+            ntt.reference_negacyclic_ntt(x, TABLES),
+        )
+
+    def test_roundtrip(self):
+        x = rand_poly()
+        assert np.array_equal(
+            ntt.negacyclic_intt(ntt.negacyclic_ntt(x, TABLES), TABLES), x
+        )
+
+    def test_batched(self):
+        x = rand_poly(batch=(3, 2))
+        fx = ntt.negacyclic_ntt(x, TABLES)
+        for i in range(3):
+            for j in range(2):
+                assert np.array_equal(
+                    fx[i, j], ntt.negacyclic_ntt(x[i, j], TABLES)
+                )
+
+    def test_cyclic_matches_reference(self):
+        x = rand_poly()
+        assert np.array_equal(
+            ntt.cyclic_ntt(x, TABLES),
+            ntt.reference_cyclic_ntt(x, TABLES.omega, Q),
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ntt.cyclic_ntt(np.zeros(32, dtype=np.uint64), TABLES)
+
+    def test_various_sizes(self):
+        for n in [4, 8, 16, 128, 256]:
+            q = find_ntt_prime(28, n)
+            t = NttTables(q, n)
+            x = RNG.integers(0, q, size=n, dtype=np.uint64)
+            assert np.array_equal(
+                ntt.negacyclic_intt(ntt.negacyclic_ntt(x, t), t), x
+            )
+
+
+class TestFourStep:
+    @pytest.mark.parametrize("n1,n2", [(8, 8), (4, 16), (16, 4), (2, 32)])
+    def test_matches_reference(self, n1, n2):
+        x = rand_poly()
+        got = ntt.fourstep_cyclic_ntt(x, n1, n2, TABLES.omega, Q)
+        expected = ntt.reference_cyclic_ntt(x, TABLES.omega, Q)
+        assert np.array_equal(got, expected)
+
+    def test_negacyclic_form(self):
+        x = rand_poly()
+        got = ntt.fourstep_negacyclic_ntt(x, 8, 8, TABLES)
+        assert np.array_equal(got, ntt.reference_negacyclic_ntt(x, TABLES))
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            ntt.fourstep_cyclic_ntt(rand_poly(), 8, 4, TABLES.omega, Q)
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("size", [4, 8, 16, 64, 256])
+    def test_matches_reference(self, size):
+        q = find_ntt_prime(28, size)
+        t = NttTables(q, size)
+        red = BarrettReducer(q)
+        x = RNG.integers(0, q, size=(2, size), dtype=np.uint64)
+        got = ntt.butterfly_inner_ntt(x, size, t.omega, red)
+        for row in range(2):
+            assert np.array_equal(
+                got[row], ntt.reference_cyclic_ntt(x[row], t.omega, q)
+            )
+
+    def test_choose_radix(self):
+        assert ntt.choose_radix(16) == 16
+        assert ntt.choose_radix(256) == 16
+        assert ntt.choose_radix(64) == 8
+        assert ntt.choose_radix(4) == 4
+        assert ntt.choose_radix(32) == 16  # mixed radix: 16 divides 32
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            ntt.butterfly_inner_ntt(
+                np.zeros((2, 8), dtype=np.uint64), 16, TABLES.omega,
+                BarrettReducer(Q),
+            )
+
+
+class TestGemmEngines:
+    def test_uint32_gemm_matches_bigint(self):
+        red = BarrettReducer(Q)
+        x = RNG.integers(0, Q, size=(5, 16), dtype=np.uint64)
+        w = RNG.integers(0, Q, size=(16, 16), dtype=np.uint64)
+        got = ntt.matmul_mod_uint32(x, w, red)
+        expected = (x.astype(object) @ w.astype(object)) % Q
+        assert np.array_equal(got.astype(object), expected)
+
+    def test_bitsplit_gemm_matches_bigint(self):
+        red = BarrettReducer(Q)
+        x = RNG.integers(0, Q, size=(5, 16), dtype=np.uint64)
+        w = RNG.integers(0, Q, size=(16, 16), dtype=np.uint64)
+        got = ntt.bitsplit_matmul_mod(x, w, red)
+        expected = (x.astype(object) @ w.astype(object)) % Q
+        assert np.array_equal(got.astype(object), expected)
+
+    def test_bitsplit_karatsuba_matches_schoolbook(self):
+        red = BarrettReducer(Q)
+        x = RNG.integers(0, Q, size=(4, 16), dtype=np.uint64)
+        w = RNG.integers(0, Q, size=(16, 16), dtype=np.uint64)
+        assert np.array_equal(
+            ntt.bitsplit_matmul_mod(x, w, red, use_karatsuba=True),
+            ntt.bitsplit_matmul_mod(x, w, red),
+        )
+
+    def test_bitsplit_depth_guard(self):
+        red = BarrettReducer(Q)
+        big = np.zeros((2, 1 << 16), dtype=np.uint64)
+        w = np.zeros((1 << 16, 4), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            ntt.bitsplit_matmul_mod(big, w, red)
+
+    def test_limb_gemm_counts(self):
+        assert ntt.count_limb_gemms() == 16
+        assert ntt.count_limb_gemms(use_karatsuba=True) == 9
+
+    def test_vector_input_rejected(self):
+        red = BarrettReducer(Q)
+        with pytest.raises(ValueError):
+            ntt.matmul_mod_uint32(
+                np.zeros(16, dtype=np.uint64),
+                np.zeros((16, 16), dtype=np.uint64), red,
+            )
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("engine", ntt.LEAF_ENGINES)
+    def test_forward_matches_reference(self, engine):
+        h = ntt.HierarchicalNtt(TABLES, leaf_engine=engine)
+        x = rand_poly()
+        assert np.array_equal(
+            h.forward(x), ntt.reference_negacyclic_ntt(x, TABLES)
+        )
+
+    @pytest.mark.parametrize("engine", ntt.LEAF_ENGINES)
+    def test_roundtrip(self, engine):
+        h = ntt.HierarchicalNtt(TABLES, leaf_engine=engine)
+        x = rand_poly(batch=(2,))
+        assert np.array_equal(h.inverse(h.forward(x)), x)
+
+    def test_large_n_two_level(self):
+        n = 4096
+        q = find_ntt_prime(28, n)
+        t = NttTables(q, n)
+        h = ntt.HierarchicalNtt(t, leaf_engine="tensor")
+        x = RNG.integers(0, q, size=n, dtype=np.uint64)
+        fast = ntt.negacyclic_ntt(x, t)
+        assert np.array_equal(h.forward(x), fast)
+        assert h.plan.describe() == "(16x16)x16"
+
+    def test_karatsuba_variant_agrees(self):
+        h1 = ntt.HierarchicalNtt(TABLES, leaf_engine="tensor")
+        h2 = ntt.HierarchicalNtt(
+            TABLES, leaf_engine="tensor", use_karatsuba=True
+        )
+        x = rand_poly()
+        assert np.array_equal(h1.forward(x), h2.forward(x))
+
+    def test_stats_collected(self):
+        h = ntt.HierarchicalNtt(TABLES, leaf_engine="tensor")
+        h.forward(rand_poly())
+        stats = h.last_stats
+        assert stats.leaf_invocations > 0
+        assert stats.twiddle_muls > 0
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            ntt.HierarchicalNtt(TABLES, leaf_engine="quantum")
+
+    def test_plan_size_mismatch(self):
+        with pytest.raises(ValueError):
+            ntt.HierarchicalNtt(TABLES, plan=ntt.build_plan(128))
+
+    def test_cyclic_form(self):
+        h = ntt.HierarchicalNtt(TABLES)
+        x = rand_poly()
+        assert np.array_equal(
+            h.forward_cyclic(x), ntt.reference_cyclic_ntt(x, TABLES.omega, Q)
+        )
+
+
+class TestConvolutionTheorem:
+    """NTT(a*b) == NTT(a) . NTT(b) — the property that makes FHE fast."""
+
+    def test_poly_mul_matches_schoolbook(self):
+        a, b = rand_poly(), rand_poly()
+        assert np.array_equal(
+            ntt.poly_mul(a, b, Q), ntt.negacyclic_convolution(a, b, Q)
+        )
+
+    def test_mul_by_one(self):
+        a = rand_poly()
+        one = np.zeros(N, dtype=np.uint64)
+        one[0] = 1
+        assert np.array_equal(ntt.poly_mul(a, one, Q), a)
+
+    def test_mul_by_x_shifts_with_sign(self):
+        a = rand_poly()
+        x_poly = np.zeros(N, dtype=np.uint64)
+        x_poly[1] = 1
+        got = ntt.poly_mul(a, x_poly, Q)
+        assert np.array_equal(got[1:], a[:-1])
+        assert int(got[0]) == (Q - int(a[-1])) % Q
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_scalar_mul_property(self, c):
+        a = rand_poly()
+        c_poly = np.zeros(N, dtype=np.uint64)
+        c_poly[0] = c % Q
+        got = ntt.poly_mul(a, c_poly, Q)
+        expected = (a.astype(object) * (c % Q)) % Q
+        assert np.array_equal(got.astype(object), expected)
+
+
+class TestAutomorphisms:
+    def test_rotation_is_permutation_with_signs(self):
+        a = rand_poly()
+        rotated = ntt.rotate_galois(a, 1, Q)
+        # The multiset of |coefficients| is preserved.
+        orig = sorted(min(int(v), Q - int(v)) for v in a)
+        rot = sorted(min(int(v), Q - int(v)) for v in rotated)
+        assert orig == rot
+
+    def test_even_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ntt.apply_automorphism(rand_poly(), 2, Q)
+
+    def test_identity_automorphism(self):
+        a = rand_poly()
+        assert np.array_equal(ntt.apply_automorphism(a, 1, Q), a)
+
+    def test_automorphism_is_ring_hom(self):
+        """phi(a*b) == phi(a)*phi(b) in the negacyclic ring."""
+        a, b = rand_poly(), rand_poly()
+        exp = 5
+        lhs = ntt.apply_automorphism(ntt.poly_mul(a, b, Q), exp, Q)
+        rhs = ntt.poly_mul(
+            ntt.apply_automorphism(a, exp, Q),
+            ntt.apply_automorphism(b, exp, Q), Q,
+        )
+        assert np.array_equal(lhs, rhs)
+
+    def test_conjugate_is_involution(self):
+        a = rand_poly()
+        twice = ntt.conjugate_automorphism(
+            ntt.conjugate_automorphism(a, Q), Q
+        )
+        assert np.array_equal(twice, a)

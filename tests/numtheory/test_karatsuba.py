@@ -1,0 +1,85 @@
+"""Tests for limb splitting and the Karatsuba ablation (§IV-A-4)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.numtheory import (
+    KARATSUBA_COST,
+    SCHOOLBOOK_COST,
+    karatsuba_limb_product,
+    merge_limbs,
+    schoolbook_limb_product,
+    split_limbs,
+)
+
+
+class TestLimbSplitMerge:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1 << 31, size=1024, dtype=np.uint64)
+        assert np.array_equal(merge_limbs(split_limbs(values)), values)
+
+    def test_limbs_below_256(self):
+        values = np.array([0xFFFFFFFF, 0, 0x01020304], dtype=np.uint64)
+        for limb in split_limbs(values):
+            assert limb.max() < 256
+
+    def test_known_decomposition(self):
+        limbs = split_limbs(np.array([0x01020304], dtype=np.uint64))
+        assert [int(limb[0]) for limb in limbs] == [0x04, 0x03, 0x02, 0x01]
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, v):
+        arr = np.array([v], dtype=np.uint64)
+        assert int(merge_limbs(split_limbs(arr))[0]) == v
+
+
+class TestLimbProducts:
+    def test_schoolbook_exact(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 1 << 31, size=256, dtype=np.uint64)
+        b = rng.integers(0, 1 << 31, size=256, dtype=np.uint64)
+        got = schoolbook_limb_product(split_limbs(a), split_limbs(b))
+        expected = a.astype(object) * b.astype(object)
+        assert np.array_equal(got.astype(object), expected)
+
+    def test_karatsuba_exact(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 1 << 31, size=256, dtype=np.uint64)
+        b = rng.integers(0, 1 << 31, size=256, dtype=np.uint64)
+        got = karatsuba_limb_product(split_limbs(a), split_limbs(b))
+        expected = a.astype(object) * b.astype(object)
+        assert np.array_equal(got.astype(object), expected)
+
+    def test_schemes_agree(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 1 << 31, size=512, dtype=np.uint64)
+        b = rng.integers(0, 1 << 31, size=512, dtype=np.uint64)
+        assert np.array_equal(
+            schoolbook_limb_product(split_limbs(a), split_limbs(b)),
+            karatsuba_limb_product(split_limbs(a), split_limbs(b)),
+        )
+
+    @given(st.integers(min_value=0, max_value=(1 << 31) - 1),
+           st.integers(min_value=0, max_value=(1 << 31) - 1))
+    def test_karatsuba_property(self, x, y):
+        a = np.array([x], dtype=np.uint64)
+        b = np.array([y], dtype=np.uint64)
+        got = karatsuba_limb_product(split_limbs(a), split_limbs(b))
+        assert int(got[0]) == x * y
+
+
+class TestCostClaims:
+    """The paper's §IV-A-4 numbers: 16 -> 9 muls, +5 adds, -2 bits."""
+
+    def test_multiplication_reduction(self):
+        assert SCHOOLBOOK_COST.multiplications == 16
+        assert KARATSUBA_COST.multiplications == 9
+
+    def test_addition_overhead(self):
+        assert KARATSUBA_COST.extra_additions == 5
+
+    def test_word_length_loss(self):
+        assert KARATSUBA_COST.effective_word_bits_lost == 2
+        assert SCHOOLBOOK_COST.effective_word_bits_lost == 0

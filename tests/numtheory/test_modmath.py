@@ -1,0 +1,147 @@
+"""Unit and property tests for scalar modular arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory import modmath
+
+
+class TestModpow:
+    def test_small_cases(self):
+        assert modmath.modpow(2, 10, 1000) == 24
+        assert modmath.modpow(3, 0, 7) == 1
+        assert modmath.modpow(0, 5, 7) == 0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            modmath.modpow(2, -1, 7)
+
+    def test_nonpositive_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            modmath.modpow(2, 3, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=2, max_value=10**9),
+    )
+    def test_matches_builtin(self, base, exp, mod):
+        assert modmath.modpow(base, exp, mod) == pow(base, exp, mod)
+
+
+class TestModinv:
+    def test_known_inverse(self):
+        assert modmath.modinv(3, 7) == 5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            modmath.modinv(0, 7)
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modmath.modinv(6, 9)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property_prime_modulus(self, a):
+        q = 2**31 - 1  # Mersenne prime
+        inv = modmath.modinv(a, q)
+        assert (a * inv) % q == 1
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        primes = [2, 3, 5, 7, 11, 13, 97, 7681, 12289]
+        for p in primes:
+            assert modmath.is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in [0, 1, 4, 9, 15, 561, 1105, 25326001]:
+            assert not modmath.is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes must fail Miller-Rabin.
+        for c in [561, 1105, 1729, 2465, 2821, 6601]:
+            assert not modmath.is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert modmath.is_probable_prime(2**31 - 1)
+        assert not modmath.is_probable_prime(2**32 - 1)
+
+    @given(st.integers(min_value=2, max_value=10**5))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert modmath.is_probable_prime(n) == by_trial
+
+
+class TestFactorize:
+    def test_small(self):
+        assert modmath.factorize(12) == {2: 2, 3: 1}
+        assert modmath.factorize(1) == {}
+        assert modmath.factorize(97) == {97: 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            modmath.factorize(0)
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=2, max_value=10**12))
+    def test_product_roundtrip(self, n):
+        factors = modmath.factorize(n)
+        product = 1
+        for p, e in factors.items():
+            assert modmath.is_probable_prime(p)
+            product *= p**e
+        assert product == n
+
+
+class TestRoots:
+    def test_primitive_root_of_7(self):
+        assert modmath.primitive_root(7) == 3
+
+    def test_primitive_root_rejects_composite(self):
+        with pytest.raises(ValueError):
+            modmath.primitive_root(8)
+
+    def test_root_of_unity_order(self):
+        q = 7681  # 7681 = 1 + 512*15, supports order up to 512
+        for order in [2, 4, 256, 512]:
+            w = modmath.root_of_unity(order, q)
+            assert pow(w, order, q) == 1
+            # primitive: no smaller power hits 1
+            for p in modmath.factorize(order):
+                assert pow(w, order // p, q) != 1
+
+    def test_root_of_unity_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            modmath.root_of_unity(1024, 7681)  # 1024 does not divide 7680
+
+
+class TestBitReverse:
+    def test_examples(self):
+        assert modmath.bit_reverse(0b001, 3) == 0b100
+        assert modmath.bit_reverse(0b110, 3) == 0b011
+        assert modmath.bit_reverse(5, 4) == 10
+
+    def test_permutation_is_involution(self):
+        perm = modmath.bit_reverse_permutation(16)
+        assert sorted(perm) == list(range(16))
+        assert [perm[perm[i]] for i in range(16)] == list(range(16))
+
+    def test_permutation_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            modmath.bit_reverse_permutation(12)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_double_reverse_identity(self, v):
+        assert modmath.bit_reverse(modmath.bit_reverse(v, 16), 16) == v
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert modmath.is_power_of_two(1)
+        assert modmath.is_power_of_two(65536)
+
+    def test_non_powers(self):
+        for n in [0, -2, 3, 12, 65535]:
+            assert not modmath.is_power_of_two(n)

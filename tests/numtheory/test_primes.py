@@ -1,0 +1,85 @@
+"""Tests for NTT-friendly prime chains."""
+
+import pytest
+
+from repro.numtheory import (
+    PrimeChain,
+    build_prime_chain,
+    find_ntt_prime,
+    find_ntt_primes,
+    is_probable_prime,
+)
+
+
+class TestFindNttPrime:
+    def test_congruence_and_primality(self):
+        for logn in [10, 12, 14, 16]:
+            n = 1 << logn
+            p = find_ntt_prime(31, n)
+            assert is_probable_prime(p)
+            assert p % (2 * n) == 1
+            assert p < 1 << 31
+
+    def test_below_constraint_gives_descending_chain(self):
+        n = 4096
+        p1 = find_ntt_prime(31, n)
+        p2 = find_ntt_prime(31, n, below=p1)
+        assert p2 < p1
+        assert p2 % (2 * n) == 1
+
+    def test_rejects_oversized_words(self):
+        with pytest.raises(ValueError):
+            find_ntt_prime(33, 4096)
+
+    def test_exhaustion_raises(self):
+        # No room between floor and ceiling.
+        with pytest.raises(ValueError):
+            find_ntt_prime(31, 4096, below=1 << 30)
+
+
+class TestFindNttPrimes:
+    def test_distinct_and_valid(self):
+        primes = find_ntt_primes(8, 28, 8192)
+        assert len(set(primes)) == 8
+        for p in primes:
+            assert is_probable_prime(p)
+            assert p % (2 * 8192) == 1
+
+
+class TestPrimeChain:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return build_prime_chain(4096, num_levels=4, num_special=2)
+
+    def test_all_distinct(self, chain):
+        mods = chain.all_moduli
+        assert len(set(mods)) == len(mods)
+
+    def test_structure(self, chain):
+        assert chain.max_level == 4
+        assert len(chain.special_primes) == 2
+        assert len(chain.moduli) == 5
+
+    def test_products(self, chain):
+        q2 = chain.q_product(2)
+        assert q2 == chain.base * chain.scale_primes[0] * chain.scale_primes[1]
+        p = chain.p_product()
+        assert p == chain.special_primes[0] * chain.special_primes[1]
+
+    def test_q_product_range_check(self, chain):
+        with pytest.raises(ValueError):
+            chain.q_product(99)
+
+    def test_log_qp_plausible(self, chain):
+        # base 31 + 4 scale ~28 + 2 special 31 => around 31+112+62 = 205 bits
+        assert 190 <= chain.log_qp <= 210
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            build_prime_chain(4096, num_levels=-1, num_special=0)
+
+    def test_empty_chain_products(self):
+        chain = PrimeChain(base=7681)
+        assert chain.p_product() == 1
+        assert chain.q_product(0) == 7681
+        assert chain.max_level == 0

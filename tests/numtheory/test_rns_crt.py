@@ -1,0 +1,222 @@
+"""Tests for CRT reconstruction and RNS basis conversions."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory import (
+    CRTReconstructor,
+    RNSBasis,
+    digit_partition,
+    extend_basis,
+    find_ntt_primes,
+    mod_down,
+    rescale_rows,
+)
+
+PRIMES = find_ntt_primes(6, 28, 1024)
+
+
+@pytest.fixture(scope="module")
+def crt():
+    return CRTReconstructor(PRIMES[:4])
+
+
+class TestCRT:
+    def test_roundtrip_scalar(self, crt):
+        for x in [0, 1, 123456789, crt.product - 1]:
+            assert crt.reconstruct(crt.decompose(x)) == x
+
+    def test_signed_centering(self, crt):
+        assert crt.reconstruct_signed(crt.decompose(-5)) == -5
+        assert crt.reconstruct_signed(crt.decompose(7)) == 7
+
+    def test_array_roundtrip(self, crt):
+        values = [0, 1, 42, crt.product // 3, crt.product - 1]
+        mat = crt.decompose_array(values)
+        assert crt.reconstruct_array(mat) == values
+
+    def test_signed_array(self, crt):
+        values = [-10, -1, 0, 1, 10]
+        mat = crt.decompose_array(values)
+        assert crt.reconstruct_array(mat, signed=True) == values
+
+    def test_wrong_residue_count(self, crt):
+        with pytest.raises(ValueError):
+            crt.reconstruct([1, 2])
+
+    def test_empty_basis_rejected(self):
+        with pytest.raises(ValueError):
+            CRTReconstructor([])
+
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0))
+    def test_roundtrip_property(self, x):
+        crt = CRTReconstructor(PRIMES[:3])
+        x %= crt.product
+        assert crt.reconstruct(crt.decompose(x)) == x
+
+
+class TestRNSBasis:
+    def test_distinct_required(self):
+        with pytest.raises(ValueError):
+            RNSBasis([PRIMES[0], PRIMES[0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RNSBasis([])
+
+    def test_equality_and_hash(self):
+        b1 = RNSBasis(PRIMES[:3])
+        b2 = RNSBasis(PRIMES[:3])
+        assert b1 == b2
+        assert hash(b1) == hash(b2)
+        assert b1 != RNSBasis(PRIMES[:2])
+
+    def test_random_in_range(self):
+        basis = RNSBasis(PRIMES[:3])
+        mat = basis.random(256, np.random.default_rng(0))
+        for row, q in zip(mat, basis.moduli):
+            assert row.max() < q
+
+    def test_reduce_signed(self):
+        basis = RNSBasis(PRIMES[:2])
+        coeffs = np.array([-3, 0, 5], dtype=np.int64)
+        mat = basis.reduce_signed(coeffs)
+        for row, q in zip(mat, basis.moduli):
+            assert row.tolist() == [(-3) % q, 0, 5]
+
+
+class TestExtendBasis:
+    def test_exact_extension_matches_crt(self):
+        source = RNSBasis(PRIMES[:3])
+        target = RNSBasis(PRIMES[3:6])
+        crt = CRTReconstructor(source.moduli)
+        rnd = random.Random(1)
+        values = [rnd.randrange(source.product) for _ in range(64)]
+        residues = np.stack(
+            [np.array([v % q for v in values], dtype=np.uint64)
+             for q in source.moduli]
+        )
+        out = extend_basis(residues, source, target, exact=True)
+        for j, t in enumerate(target.moduli):
+            assert out[j].tolist() == [v % t for v in values]
+
+    def test_approximate_extension_error_bounded(self):
+        """Approximate ModUp may overshoot by u*Q with 0 <= u < |source|."""
+        source = RNSBasis(PRIMES[:3])
+        target = RNSBasis(PRIMES[3:5])
+        rnd = random.Random(2)
+        values = [rnd.randrange(source.product) for _ in range(64)]
+        residues = np.stack(
+            [np.array([v % q for v in values], dtype=np.uint64)
+             for q in source.moduli]
+        )
+        out = extend_basis(residues, source, target)
+        for col, v in enumerate(values):
+            candidates = {
+                (v + u * source.product) % target.moduli[0]
+                for u in range(len(source) + 1)
+            }
+            assert int(out[0][col]) in candidates
+
+    def test_shape_validation(self):
+        source = RNSBasis(PRIMES[:3])
+        target = RNSBasis(PRIMES[3:5])
+        with pytest.raises(ValueError):
+            extend_basis(np.zeros((2, 8), dtype=np.uint64), source, target)
+
+
+class TestModDown:
+    def test_exact_division_case(self):
+        """x = P * y must come back exactly as y."""
+        main = RNSBasis(PRIMES[:3])
+        special = RNSBasis(PRIMES[3:5])
+        rnd = random.Random(3)
+        ys = [rnd.randrange(main.product) for _ in range(32)]
+        xs = [y * special.product for y in ys]
+        stacked = np.stack(
+            [np.array([x % q for x in xs], dtype=np.uint64)
+             for q in main.moduli + special.moduli]
+        )
+        out = mod_down(stacked, main, special)
+        for i, q in enumerate(main.moduli):
+            assert out[i].tolist() == [y % q for y in ys]
+
+    def test_rounding_error_at_most_one(self):
+        main = RNSBasis(PRIMES[:3])
+        special = RNSBasis(PRIMES[3:5])
+        rnd = random.Random(4)
+        # Moderate values x < P * Q_main so floor(x/P) stays in range.
+        xs = [rnd.randrange(special.product * 1000) for _ in range(32)]
+        stacked = np.stack(
+            [np.array([x % q for x in xs], dtype=np.uint64)
+             for q in main.moduli + special.moduli]
+        )
+        out = mod_down(stacked, main, special)
+        for col, x in enumerate(xs):
+            got = int(out[0][col])
+            floor_q = (x // special.product) % main.moduli[0]
+            assert got == floor_q
+
+    def test_shape_validation(self):
+        main = RNSBasis(PRIMES[:2])
+        special = RNSBasis(PRIMES[2:3])
+        with pytest.raises(ValueError):
+            mod_down(np.zeros((2, 4), dtype=np.uint64), main, special)
+
+
+class TestRescaleRows:
+    def test_exact_multiple(self):
+        basis = RNSBasis(PRIMES[:3])
+        q_last = basis.moduli[-1]
+        rnd = random.Random(5)
+        sub_product = basis.moduli[0] * basis.moduli[1]
+        ys = [rnd.randrange(sub_product) for _ in range(32)]
+        xs = [y * q_last for y in ys]
+        stacked = np.stack(
+            [np.array([x % q for x in xs], dtype=np.uint64)
+             for q in basis.moduli]
+        )
+        out = rescale_rows(stacked, basis)
+        assert out.shape == (2, 32)
+        for i, q in enumerate(basis.moduli[:2]):
+            assert out[i].tolist() == [y % q for y in ys]
+
+    def test_refuses_single_modulus(self):
+        basis = RNSBasis(PRIMES[:1])
+        with pytest.raises(ValueError):
+            rescale_rows(np.zeros((1, 4), dtype=np.uint64), basis)
+
+    def test_shape_validation(self):
+        basis = RNSBasis(PRIMES[:3])
+        with pytest.raises(ValueError):
+            rescale_rows(np.zeros((2, 4), dtype=np.uint64), basis)
+
+
+class TestDigitPartition:
+    def test_even_split(self):
+        assert digit_partition(6, 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_split(self):
+        assert digit_partition(5, 2) == [[0, 1, 2], [3, 4]]
+
+    def test_more_digits_than_primes(self):
+        parts = digit_partition(2, 4)
+        assert parts == [[0], [1]]
+
+    def test_single_digit(self):
+        assert digit_partition(4, 1) == [[0, 1, 2, 3]]
+
+    def test_rejects_zero_dnum(self):
+        with pytest.raises(ValueError):
+            digit_partition(4, 0)
+
+    def test_covers_all_indices(self):
+        for n, d in [(7, 3), (10, 4), (1, 1), (34, 7)]:
+            parts = digit_partition(n, d)
+            flat = [i for part in parts for i in part]
+            assert flat == list(range(n))

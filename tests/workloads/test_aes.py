@@ -1,0 +1,88 @@
+"""Tests for the AES-128-CTR substrate (FIPS-197 / SP 800-38A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.aes import (
+    BLOCK_BYTES,
+    ctr_encrypt,
+    ctr_keystream,
+    encrypt_block,
+    expand_key,
+)
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+# NIST AESAVS known-answer (key = 0, varying plaintext) GFSbox vector #1.
+GFSBOX_PT = bytes.fromhex("f34481ec3cc627bacd5dc3fb08f273e6")
+GFSBOX_CT = bytes.fromhex("0336763e966d92595a567cc9ce537f5e")
+
+
+class TestBlockCipher:
+    def test_fips197_appendix_c(self):
+        assert bytes(encrypt_block(list(FIPS_PT), list(FIPS_KEY))) == FIPS_CT
+
+    def test_nist_gfsbox_vector(self):
+        zero_key = [0] * 16
+        assert bytes(encrypt_block(list(GFSBOX_PT), zero_key)) == GFSBOX_CT
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            encrypt_block([0] * 15, list(FIPS_KEY))
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValueError):
+            expand_key([0] * 8)
+
+    def test_key_schedule_shape(self):
+        keys = expand_key(list(FIPS_KEY))
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+
+    def test_key_schedule_first_round_is_key(self):
+        keys = expand_key(list(FIPS_KEY))
+        assert bytes(keys[0]) == FIPS_KEY
+
+    def test_fips197_a1_expanded_key_tail(self):
+        # FIPS-197 Appendix A.1 (key 2b7e1516...): w43 = b6630ca6.
+        a1_key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        keys = expand_key(list(a1_key))
+        assert bytes(keys[10])[-4:] == bytes.fromhex("b6630ca6")
+
+
+class TestCtrMode:
+    def test_roundtrip(self):
+        data = bytes(range(256)) * 3
+        nonce = list(range(12))
+        enc = ctr_encrypt(data, list(FIPS_KEY), nonce)
+        assert enc != data
+        assert ctr_encrypt(enc, list(FIPS_KEY), nonce) == data
+
+    def test_keystream_blocks_differ(self):
+        ks = ctr_keystream(list(FIPS_KEY), [0] * 12, 4)
+        blocks = [ks[i:i + BLOCK_BYTES] for i in range(0, 64, BLOCK_BYTES)]
+        assert len(set(blocks)) == 4
+
+    def test_keystream_matches_block_cipher(self):
+        ks = ctr_keystream(list(FIPS_KEY), [0] * 12, 2)
+        expected0 = bytes(encrypt_block([0] * 12 + [0, 0, 0, 0],
+                                        list(FIPS_KEY)))
+        expected1 = bytes(encrypt_block([0] * 12 + [0, 0, 0, 1],
+                                        list(FIPS_KEY)))
+        assert ks[:16] == expected0
+        assert ks[16:32] == expected1
+
+    def test_bad_nonce(self):
+        with pytest.raises(ValueError):
+            ctr_keystream(list(FIPS_KEY), [0] * 8, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=200))
+    def test_roundtrip_property(self, data):
+        nonce = [7] * 12
+        assert ctr_encrypt(
+            ctr_encrypt(data, list(FIPS_KEY), nonce), list(FIPS_KEY), nonce
+        ) == data

@@ -1,0 +1,98 @@
+"""Functional workload minis: encrypted training and convolution."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.workloads import (
+    EncryptedConv2d,
+    EncryptedLogisticRegression,
+    conv2d_reference,
+    plaintext_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParams(n=64, max_level=12, num_special=2, dnum=13,
+                        scale_bits=26, name="workload-toy")
+    return CkksContext.create(params, seed=4)
+
+
+class TestEncryptedLogisticRegression:
+    @pytest.fixture(scope="class")
+    def trained(self, ctx):
+        rots = EncryptedLogisticRegression.required_rotations(ctx.slots)
+        keys = ctx.keygen(rotations=rots)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 8)) * 0.5
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        model = EncryptedLogisticRegression(ctx, keys, learning_rate=1.0)
+        w_enc = model.train(x, y, iterations=2)
+        w_ref = plaintext_reference(x, y, iterations=2)
+        return x, y, w_enc, w_ref
+
+    def test_matches_plaintext_reference(self, trained):
+        _, _, w_enc, w_ref = trained
+        assert np.max(np.abs(w_enc - w_ref)) < 5e-3
+
+    def test_training_moved_weights(self, trained):
+        _, _, w_enc, _ = trained
+        assert np.max(np.abs(w_enc)) > 0.05
+
+    def test_predictions_separate_classes(self, trained):
+        x, y, w_enc, _ = trained
+        z = x @ w_enc
+        # Higher score for the positive class on average.
+        assert z[y == 1].mean() > z[y == 0].mean()
+
+    def test_feature_limit(self, ctx):
+        keys = ctx.keygen()
+        model = EncryptedLogisticRegression(ctx, keys)
+        with pytest.raises(ValueError):
+            model.train(np.zeros((2, ctx.slots + 1)), np.zeros(2))
+
+
+class TestEncryptedConv2d:
+    @pytest.fixture(scope="class")
+    def setup(self, ctx):
+        height, width = 4, 4
+        rots = EncryptedConv2d.required_rotations(width, ctx.slots)
+        keys = ctx.keygen(rotations=rots)
+        rng = np.random.default_rng(1)
+        image = rng.uniform(-1, 1, size=(height, width))
+        kernel = np.array([[0.1, 0.2, 0.1],
+                           [0.2, 0.4, 0.2],
+                           [0.1, 0.2, 0.1]])
+        return keys, image, kernel, height, width
+
+    def test_matches_reference(self, ctx, setup):
+        keys, image, kernel, h, w = setup
+        conv = EncryptedConv2d(ctx, keys, kernel)
+        flat = np.zeros(ctx.slots)
+        flat[: h * w] = image.reshape(-1)
+        ct = ctx.encrypt(flat, keys)
+        out = conv.forward(ct, h, w)
+        dec = ctx.decrypt_decode_real(out, keys)[: h * w].reshape(h, w)
+        expected = conv2d_reference(image, kernel)
+        assert np.max(np.abs(dec - expected)) < 1e-2
+
+    def test_square_activation(self, ctx, setup):
+        keys, image, kernel, h, w = setup
+        conv = EncryptedConv2d(ctx, keys, kernel)
+        flat = np.zeros(ctx.slots)
+        flat[: h * w] = image.reshape(-1)
+        ct = ctx.encrypt(flat, keys)
+        out = conv.forward(ct, h, w, square_activation=True)
+        dec = ctx.decrypt_decode_real(out, keys)[: h * w].reshape(h, w)
+        expected = conv2d_reference(image, kernel) ** 2
+        assert np.max(np.abs(dec - expected)) < 2e-2
+
+    def test_kernel_shape_check(self, ctx, setup):
+        keys = setup[0]
+        with pytest.raises(ValueError):
+            EncryptedConv2d(ctx, keys, np.zeros((2, 2)))
+
+    def test_required_rotations_nonempty(self, ctx):
+        rots = EncryptedConv2d.required_rotations(4, ctx.slots)
+        assert len(rots) == 8  # 9 positions minus the identity

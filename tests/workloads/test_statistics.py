@@ -1,0 +1,75 @@
+"""Tests for encrypted aggregate statistics."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParams
+from repro.ckks.slots import SlotOps
+from repro.workloads.statistics import EncryptedStatistics
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParams(n=64, max_level=10, num_special=2, dnum=11,
+                        scale_bits=26, name="stats-toy")
+    return CkksContext.create(params, seed=31)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen(rotations=SlotOps.required_rotations(ctx.slots))
+
+
+@pytest.fixture(scope="module")
+def stats(ctx):
+    return EncryptedStatistics(ctx)
+
+
+@pytest.fixture(scope="module")
+def data(ctx):
+    rng = np.random.default_rng(2)
+    return rng.uniform(-0.8, 0.8, ctx.slots)
+
+
+class TestEncryptedStatistics:
+    def test_mean(self, ctx, keys, stats, data):
+        ct = ctx.encrypt(data, keys)
+        got = ctx.decrypt_decode_real(stats.mean(ct, keys), keys)
+        assert np.max(np.abs(got - data.mean())) < 2e-3
+
+    def test_mean_with_count(self, ctx, keys, stats, data):
+        ct = ctx.encrypt(data, keys)
+        got = ctx.decrypt_decode_real(
+            stats.mean(ct, keys, count=10), keys
+        )
+        assert abs(got[0] - data[:10].mean()) < 2e-3
+
+    def test_variance(self, ctx, keys, stats, data):
+        ct = ctx.encrypt(data, keys)
+        got = ctx.decrypt_decode_real(stats.variance(ct, keys), keys)
+        assert np.max(np.abs(got - data.var())) < 5e-3
+
+    def test_covariance(self, ctx, keys, stats, data):
+        rng = np.random.default_rng(3)
+        other = 0.5 * data + rng.uniform(-0.2, 0.2, len(data))
+        ct_x = ctx.encrypt(data, keys)
+        ct_y = ctx.encrypt(other, keys)
+        got = ctx.decrypt_decode_real(
+            stats.covariance(ct_x, ct_y, keys), keys
+        )
+        expected = np.mean(data * other) - data.mean() * other.mean()
+        assert np.max(np.abs(got - expected)) < 5e-3
+
+    def test_covariance_of_self_is_variance(self, ctx, keys, stats, data):
+        ct = ctx.encrypt(data, keys)
+        cov = ctx.decrypt_decode_real(
+            stats.covariance(ct, ctx.encrypt(data, keys), keys), keys
+        )
+        var = ctx.decrypt_decode_real(stats.variance(ct, keys), keys)
+        assert np.max(np.abs(cov - var)) < 5e-3
+
+    def test_center(self, ctx, keys, stats, data):
+        ct = ctx.encrypt(data, keys)
+        got = ctx.decrypt_decode_real(stats.center(ct, keys), keys)
+        assert np.max(np.abs(got - (data - data.mean()))) < 3e-3
+        assert abs(got.mean()) < 3e-3
