@@ -24,6 +24,7 @@ from .ops import Evaluator
 from .params import CkksParams, ParameterSets
 from .poly import COEFF, EVAL, RnsPoly
 from .rescale import rescale_poly
+from .rns_context import RnsContext, all_cache_stats, get_rns_context
 from .sampling import sample_error, sample_ternary, sample_uniform
 from .serialize import (
     deserialize_ciphertext,
@@ -47,7 +48,10 @@ __all__ = [
     "NoiseEstimator",
     "NoiseState",
     "PolynomialEvaluator",
+    "RnsContext",
     "SlotOps",
+    "all_cache_stats",
+    "get_rns_context",
     "approx_max",
     "approx_relu",
     "approx_sign",

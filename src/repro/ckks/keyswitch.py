@@ -12,6 +12,12 @@ InProd). The functional pipeline here mirrors those exact stages:
 5. INTT the accumulators;
 6. **ModDown**: divide by ``P`` with rounding, back to ``Q_l``;
 7. NTT the results back to the eval domain.
+
+Every stage runs through the batched RNS engine: the (I)NTTs transform
+the whole ``(num_primes, N)`` matrix in one vectorized pass (RnsPoly's
+domain conversions), and ModUp/ModDown vectorize across all target
+primes at once (:mod:`repro.numtheory.rns`) — only the digit loop, whose
+trip count is ``dnum``, remains Python.
 """
 
 from __future__ import annotations

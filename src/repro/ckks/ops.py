@@ -5,6 +5,11 @@ hybrid-key relinearization), HROTATE, conjugation and RESCALE (single- or
 double-prime). Operations are functional mirrors of the GPU kernels the
 paper optimizes — the simulator prices them, this module proves them
 correct.
+
+All polynomial arithmetic below runs on the batched RNS engine: each
+HADD/HSUB/PMULT line is one vectorized pass over the ``(num_primes, N)``
+residue matrix, and every NTT/INTT transforms the full matrix at once —
+the functional mirror of the paper's dense limb batching (§IV-A/B).
 """
 
 from __future__ import annotations

@@ -6,6 +6,16 @@ modulus list and a domain tag: ``coeff`` (coefficient representation) or
 automorphisms and basis conversions require ``coeff`` — exactly the
 conversions whose cost the paper's KeySwitch kernel breakdown (NTT, ModUp,
 INTT, ModDown, InProd) accounts for.
+
+All arithmetic and both domain conversions run through the **batched RNS
+engine**: one :class:`~repro.ckks.rns_context.RnsContext` per
+``(moduli, N)`` pair holds broadcastable per-row Barrett/Montgomery
+constants and a stacked twiddle table, so every hot path is a single
+vectorized numpy expression over the whole residue matrix — no Python loop
+over primes, matching how WarpDrive's kernels consume the limb dimension
+as one dense batch (§IV-A, §IV-B). The batched path is bit-identical to
+the historical per-row loop (regression-tested against it and against the
+O(N^2) reference transforms).
 """
 
 from __future__ import annotations
@@ -16,19 +26,35 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..ntt import negacyclic_intt, negacyclic_ntt
-from ..ntt.negacyclic import apply_automorphism
-from ..ntt.tables import get_tables
+from ..ntt.tables import TABLE_CACHE_SIZE
+from ..ntt.twiddles import batched_negacyclic_intt, batched_negacyclic_ntt
 from ..numtheory import BarrettReducer
+from .rns_context import RnsContext, get_rns_context
 
 COEFF = "coeff"
 EVAL = "eval"
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def get_reducer(modulus: int) -> BarrettReducer:
-    """Shared Barrett reducer per modulus (paper: Barrett outside the NTT)."""
+    """Shared Barrett reducer per modulus (paper: Barrett outside the NTT).
+
+    Sized in lockstep with the twiddle-table cache — the two used to
+    disagree (512 vs 256), letting deep chains evict tables mid-operation
+    while their reducers stayed warm.
+    """
     return BarrettReducer(modulus)
+
+
+def reducer_cache_stats() -> dict:
+    """Hit/miss counters of the per-modulus reducer cache."""
+    info = get_reducer.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }
 
 
 @dataclass
@@ -69,11 +95,9 @@ class RnsPoly:
     def from_signed(cls, coeffs: np.ndarray, moduli: Sequence[int]
                     ) -> "RnsPoly":
         """Lift signed int64 coefficients into RNS (coefficient domain)."""
-        rows = [
-            np.mod(coeffs.astype(np.int64), q).astype(np.uint64)
-            for q in moduli
-        ]
-        return cls(np.stack(rows), tuple(moduli), COEFF)
+        q_col = np.array(moduli, dtype=np.int64)[:, None]
+        rows = np.mod(coeffs.astype(np.int64)[None, :], q_col)
+        return cls(rows.astype(np.uint64), tuple(moduli), COEFF)
 
     @classmethod
     def from_bigint(cls, coeffs: Sequence[int], moduli: Sequence[int]
@@ -95,30 +119,45 @@ class RnsPoly:
     def num_primes(self) -> int:
         return len(self.moduli)
 
+    @property
+    def context(self) -> RnsContext:
+        """The shared batched-arithmetic context for this basis."""
+        return get_rns_context(self.moduli, self.data.shape[1])
+
     def copy(self) -> "RnsPoly":
         return RnsPoly(self.data.copy(), self.moduli, self.domain)
 
     # -- domain conversion -----------------------------------------------------
 
     def to_eval(self) -> "RnsPoly":
-        """Forward NTT every residue row (no-op when already in eval)."""
+        """Forward NTT every residue row in one batched pass.
+
+        Always returns a fresh value: when the polynomial is already in
+        the eval domain the residue matrix is *copied*, never aliased —
+        two RnsPoly values must never share a mutable buffer (an in-place
+        write through one would silently corrupt the other).
+        """
         if self.domain == EVAL:
-            return self
-        rows = [
-            negacyclic_ntt(self.data[i], get_tables(q, self.n))
-            for i, q in enumerate(self.moduli)
-        ]
-        return RnsPoly(np.stack(rows), self.moduli, EVAL)
+            return self.copy()
+        ctx = self.context
+        return RnsPoly(
+            batched_negacyclic_ntt(self.data, ctx.twiddles),
+            self.moduli, EVAL,
+        )
 
     def to_coeff(self) -> "RnsPoly":
-        """Inverse NTT every residue row (no-op when already in coeff)."""
+        """Inverse NTT every residue row in one batched pass.
+
+        Returns a copy (never ``self``) when already in the coefficient
+        domain — see :meth:`to_eval`.
+        """
         if self.domain == COEFF:
-            return self
-        rows = [
-            negacyclic_intt(self.data[i], get_tables(q, self.n))
-            for i, q in enumerate(self.moduli)
-        ]
-        return RnsPoly(np.stack(rows), self.moduli, COEFF)
+            return self.copy()
+        ctx = self.context
+        return RnsPoly(
+            batched_negacyclic_intt(self.data, ctx.twiddles),
+            self.moduli, COEFF,
+        )
 
     # -- arithmetic -------------------------------------------------------------
 
@@ -133,24 +172,16 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.moduli):
-            out[i] = get_reducer(q).add_vec(self.data[i], other.data[i])
+        out = self.context.barrett.add_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, self.domain)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.moduli):
-            out[i] = get_reducer(q).sub_vec(self.data[i], other.data[i])
+        out = self.context.barrett.sub_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, self.domain)
 
     def __neg__(self) -> "RnsPoly":
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.moduli):
-            q64 = np.uint64(q)
-            row = self.data[i]
-            out[i] = np.where(row == 0, row, q64 - row)
+        out = self.context.barrett.neg_mat(self.data)
         return RnsPoly(out, self.moduli, self.domain)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
@@ -161,18 +192,13 @@ class RnsPoly:
                 "polynomial products require the eval domain; call "
                 ".to_eval() first (this is the NTT the paper accelerates)"
             )
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.moduli):
-            out[i] = get_reducer(q).mul_vec(self.data[i], other.data[i])
+        out = self.context.barrett.mul_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, EVAL)
 
     def mul_scalar(self, scalar: int) -> "RnsPoly":
         """Multiply by an integer scalar (any domain)."""
-        out = np.empty_like(self.data)
-        for i, q in enumerate(self.moduli):
-            out[i] = get_reducer(q).mul_vec(
-                self.data[i], np.uint64(scalar % q)
-            )
+        ctx = self.context
+        out = ctx.barrett.mul_mat(self.data, ctx.reduce_scalar(scalar))
         return RnsPoly(out, self.moduli, self.domain)
 
     # -- structure -----------------------------------------------------------
@@ -197,14 +223,27 @@ class RnsPoly:
         )
 
     def automorphism(self, exponent: int) -> "RnsPoly":
-        """Apply ``X -> X^exponent`` (requires coefficient domain)."""
+        """Apply ``X -> X^exponent`` (requires coefficient domain).
+
+        The index map is modulus-independent, so all rows permute in one
+        fancy-indexing pass; only the negacyclic sign flip needs the
+        per-row modulus column.
+        """
         if self.domain != COEFF:
             raise ValueError("automorphisms act on the coefficient domain")
-        rows = [
-            apply_automorphism(self.data[i], exponent, q)
-            for i, q in enumerate(self.moduli)
-        ]
-        return RnsPoly(np.stack(rows), self.moduli, COEFF)
+        n = self.n
+        if exponent % 2 == 0:
+            raise ValueError("automorphism exponent must be odd")
+        j = np.arange(n)
+        targets = (j * exponent) % (2 * n)
+        dest = targets % n
+        flip = targets >= n
+        q_col = self.context.q_col
+        vals = self.data
+        negated = np.where(vals == 0, vals, q_col - vals)
+        out = np.zeros_like(vals)
+        out[:, dest] = np.where(flip[None, :], negated, vals)
+        return RnsPoly(out, self.moduli, COEFF)
 
     def __eq__(self, other) -> bool:
         return (

@@ -5,6 +5,10 @@ Standard RNS-CKKS rescaling divides by the last prime of the chain. With
 adopts *double-prime rescaling* [5], [33]: one RESCALE drops two primes
 whose product plays the role of Delta. Both flavours are implemented; the
 parameter set's ``rescale_primes`` chooses between them.
+
+Each dropped prime is divided out of *all* remaining residue rows in one
+batched pass (:func:`repro.numtheory.rns.rescale_rows`); the INTT feeding
+it is likewise a single vectorized transform of the residue matrix.
 """
 
 from __future__ import annotations

@@ -1,0 +1,92 @@
+"""RnsContext: the batched-arithmetic state shared by every RnsPoly.
+
+One context serves one ``(moduli, N)`` pair and owns the row-wise Barrett
+reducer (element-wise ciphertext arithmetic, §IV-A-4) plus the lazily
+built :class:`~repro.ntt.TwiddleStack` (domain conversions). This mirrors
+the paper's initialization phase (§IV-D-1): constants for the whole chain
+are precomputed once and every subsequent operation is a single dense pass
+over the ``(num_primes, N)`` residue matrix.
+
+The twiddle stack is lazy because arithmetic never needs it and not every
+basis is NTT-friendly — BFV's auxiliary bases, for instance, add and
+subtract in the coefficient domain only.
+
+Contexts are cached with the same unified sizing as the twiddle tables
+(:data:`repro.ntt.tables.TABLE_CACHE_SIZE`) so a deep chain cannot evict
+one half of an operation's precompute while keeping the other.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..ntt.tables import TABLE_CACHE_SIZE
+from ..ntt.twiddles import TwiddleStack, get_twiddle_stack
+from ..numtheory import BatchBarrettReducer
+
+
+class RnsContext:
+    """Batched constants for one RNS basis at one ring degree."""
+
+    def __init__(self, moduli: Tuple[int, ...], n: int):
+        self.moduli = tuple(moduli)
+        self.n = n
+        self.barrett = BatchBarrettReducer(self.moduli)
+        #: (num_primes, 1) modulus column for broadcast arithmetic.
+        self.q_col = self.barrett.q_col(2)
+        self._twiddles: Optional[TwiddleStack] = None
+
+    @property
+    def twiddles(self) -> TwiddleStack:
+        """The stacked NTT tables (built on first domain conversion)."""
+        if self._twiddles is None:
+            self._twiddles = get_twiddle_stack(self.moduli, self.n)
+        return self._twiddles
+
+    def reduce_scalar(self, value: int) -> np.ndarray:
+        """``value mod q_i`` per row, as a broadcastable column."""
+        return self.barrett.reduce_scalar(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RnsContext(L={len(self.moduli)}, N={self.n})"
+
+
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
+def get_rns_context(moduli: Tuple[int, ...], n: int) -> RnsContext:
+    """Shared, cached context lookup (unified cache sizing)."""
+    return RnsContext(moduli, n)
+
+
+def rns_context_cache_stats() -> dict:
+    """Hit/miss counters of the context cache."""
+    info = get_rns_context.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }
+
+
+def all_cache_stats() -> dict:
+    """Counters for every precompute cache the hot paths rely on.
+
+    Keys: ``tables`` (per-prime NTT tables), ``reducers`` (per-prime
+    Barrett reducers), ``twiddle_stacks`` (batched tables), ``contexts``
+    (batched contexts). A homomorphic operation run twice must not
+    increase any ``misses`` on its second run — that is the zero
+    mid-op-recomputation invariant the cache-sizing fix restores.
+    """
+    from ..ntt.tables import table_cache_stats
+    from ..ntt.twiddles import twiddle_stack_cache_stats
+    from .poly import reducer_cache_stats
+
+    return {
+        "tables": table_cache_stats(),
+        "reducers": reducer_cache_stats(),
+        "twiddle_stacks": twiddle_stack_cache_stats(),
+        "contexts": rns_context_cache_stats(),
+    }

@@ -13,7 +13,12 @@ from .costs import NttWorkCounts, plan_work_counts
 from .framework import FrameworkConfig, WarpDriveFramework
 from .kernels import DEFAULT_GEOMETRY, WORD_BYTES, GeometryConfig
 from .memory_pool import MemoryPool, max_working_set_bytes
-from .ntt_engine import VARIANTS, WarpDriveNtt
+from .ntt_engine import (
+    VARIANTS,
+    WarpDriveNtt,
+    batched_rns_forward,
+    batched_rns_inverse,
+)
 from .pe_kernel import PeKeySwitchPlan
 from .scheduler import HOMOMORPHIC_OPS, OperationScheduler
 from .warp_allocation import (
@@ -33,6 +38,8 @@ __all__ = [
     "OperationScheduler",
     "PeKeySwitchPlan",
     "VARIANTS",
+    "batched_rns_forward",
+    "batched_rns_inverse",
     "WORD_BYTES",
     "WarpAllocation",
     "WarpDriveFramework",

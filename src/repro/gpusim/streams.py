@@ -111,7 +111,11 @@ def run_streams(streams: Sequence[Sequence[KernelSpec]], device: GpuSpec,
                 continue
             prof = stream[i]
             sms_needed = prof.occupancy.sm_used
-            start = max(now, stream_ready[sid])
+            # A kernel is runnable once its stream predecessor has finished
+            # (ready times are event points, so the loop below always lands
+            # `now` exactly on them — a stream whose predecessor finishes
+            # mid-step resumes at its true ready time) and its grid fits in
+            # the free SMs.
             if stream_ready[sid] <= now and free_sms(now) >= sms_needed:
                 end = now + prof.elapsed_us
                 running.append((end, sms_needed))

@@ -33,6 +33,14 @@ from .negacyclic import (
     rotate_galois,
 )
 from .radix2 import cyclic_ntt, negacyclic_intt, negacyclic_ntt
+from .twiddles import (
+    TwiddleStack,
+    batched_cyclic_ntt,
+    batched_negacyclic_intt,
+    batched_negacyclic_ntt,
+    get_twiddle_stack,
+    twiddle_stack_cache_stats,
+)
 from .reference import (
     cyclic_convolution,
     negacyclic_convolution,
@@ -41,7 +49,12 @@ from .reference import (
     reference_negacyclic_intt,
     reference_negacyclic_ntt,
 )
-from .tables import NttTables, get_tables
+from .tables import (
+    TABLE_CACHE_SIZE,
+    NttTables,
+    get_tables,
+    table_cache_stats,
+)
 
 __all__ = [
     "DEFAULT_LEAF_SIZE",
@@ -52,7 +65,12 @@ __all__ = [
     "NttPlan",
     "NttTables",
     "SUPPORTED_RADICES",
+    "TABLE_CACHE_SIZE",
+    "TwiddleStack",
     "apply_automorphism",
+    "batched_cyclic_ntt",
+    "batched_negacyclic_intt",
+    "batched_negacyclic_ntt",
     "bitsplit_matmul_mod",
     "build_plan",
     "butterfly_inner_ntt",
@@ -65,6 +83,7 @@ __all__ = [
     "fourstep_negacyclic_ntt",
     "gemm_inner_ntt",
     "get_tables",
+    "get_twiddle_stack",
     "matmul_mod_uint32",
     "negacyclic_convolution",
     "negacyclic_intt",
@@ -78,5 +97,7 @@ __all__ = [
     "reference_negacyclic_intt",
     "reference_negacyclic_ntt",
     "rotate_galois",
+    "table_cache_stats",
     "table_iv_rows",
+    "twiddle_stack_cache_stats",
 ]

@@ -123,7 +123,32 @@ def _power_table(base: int, count: int, modulus: int) -> np.ndarray:
     return table
 
 
-@lru_cache(maxsize=256)
+#: Unified sizing for every precompute cache in the library (twiddle
+#: tables, Barrett reducers, twiddle stacks, RNS contexts). The caches
+#: used to disagree — 256 tables vs 512 reducers — so a deep modulus
+#: chain plus bootstrapping could evict twiddle tables mid-operation and
+#: silently recompute them while the matching reducer stayed cached. One
+#: constant, sized for the deepest chain anyone simulates (L+K ≤ ~64
+#: primes x a handful of ring degrees), keeps the caches in lockstep.
+TABLE_CACHE_SIZE = 1024
+
+
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
 def get_tables(modulus: int, n: int) -> NttTables:
     """Shared, cached table lookup — CKKS contexts reuse these across ops."""
     return NttTables(modulus, n)
+
+
+def table_cache_stats() -> dict:
+    """Hit/miss counters of the twiddle-table cache.
+
+    ``misses`` counts table constructions; an operation that runs without
+    increasing it performed zero mid-op recomputation (regression-tested).
+    """
+    info = get_tables.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }

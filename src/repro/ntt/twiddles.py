@@ -1,0 +1,151 @@
+"""TwiddleStack: per-prime NTT tables stacked for the batched RNS engine.
+
+WarpDrive's kernels treat the ``(num_primes, N)`` residue matrix as one
+dense batch (§IV-A, §IV-B): all limbs move through the butterfly network
+together, each row using its own modulus and twiddles. The functional
+mirror of that layout is a :class:`TwiddleStack` — the Montgomery-domain
+twiddle tables of every prime in the chain stacked into ``(num_primes, N)``
+uint64 arrays, plus a :class:`~repro.numtheory.BatchMontgomeryReducer`
+carrying the per-row REDC constants.
+
+:func:`batched_negacyclic_ntt` / :func:`batched_negacyclic_intt` then run
+the whole RNS polynomial through a single vectorized radix-2 network —
+bit-identical to looping :func:`repro.ntt.radix2.negacyclic_ntt` over the
+rows (same constants, same uint64 sequence per element), with no Python
+loop over primes.
+
+The stack is assembled from the per-prime :func:`~repro.ntt.tables.
+get_tables` entries, so a prime's tables are computed exactly once no
+matter which path — per-row or batched — asks for them first. Stacks are
+themselves cached under the same unified cache size (see
+:data:`repro.ntt.tables.TABLE_CACHE_SIZE`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..numtheory import BatchMontgomeryReducer, bit_reverse_permutation
+from .tables import TABLE_CACHE_SIZE, get_tables
+
+
+class TwiddleStack:
+    """Stacked twiddle tables for a fixed ``(moduli, N)`` chain.
+
+    Attributes
+    ----------
+    psi_pows_mont, psi_inv_pows_mont:
+        ``(num_primes, N)`` negacyclic pre/post-scale factors, Montgomery
+        domain.
+    omega_pows_mont, omega_inv_pows_mont:
+        ``(num_primes, N)`` cyclic-core twiddles, Montgomery domain.
+    n_inv_mont:
+        ``(num_primes, 1)`` inverse-transform normalizers.
+    mont:
+        Row-wise Montgomery reducer over the chain.
+    """
+
+    def __init__(self, moduli: Sequence[int], n: int):
+        self.moduli = tuple(moduli)
+        self.n = n
+        tabs = [get_tables(q, n) for q in self.moduli]
+        self.mont = BatchMontgomeryReducer(self.moduli)
+        self.psi_pows_mont = np.stack([t.psi_pows_mont for t in tabs])
+        self.psi_inv_pows_mont = np.stack(
+            [t.psi_inv_pows_mont for t in tabs]
+        )
+        self.omega_pows_mont = np.stack([t.omega_pows_mont for t in tabs])
+        self.omega_inv_pows_mont = np.stack(
+            [t.omega_inv_pows_mont for t in tabs]
+        )
+        self.n_inv_mont = np.array(
+            [t.n_inv_mont for t in tabs], dtype=np.uint64
+        ).reshape(-1, 1)
+        self._perm = np.array(bit_reverse_permutation(n), dtype=np.intp)
+
+    @property
+    def num_primes(self) -> int:
+        return len(self.moduli)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TwiddleStack(L={len(self.moduli)}, N={self.n})"
+
+
+@lru_cache(maxsize=TABLE_CACHE_SIZE)
+def get_twiddle_stack(moduli: Tuple[int, ...], n: int) -> TwiddleStack:
+    """Shared, cached stack lookup (same sizing as the per-prime tables)."""
+    return TwiddleStack(moduli, n)
+
+
+def twiddle_stack_cache_stats() -> dict:
+    """Hit/miss counters of the stack cache (see ISSUE cache-sizing fix)."""
+    info = get_twiddle_stack.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "maxsize": info.maxsize,
+        "currsize": info.currsize,
+    }
+
+
+def batched_cyclic_ntt(x: np.ndarray, stack: TwiddleStack, *,
+                       inverse: bool = False) -> np.ndarray:
+    """Cyclic (I)NTT of every residue row in one vectorized pass.
+
+    ``x`` is the ``(num_primes, N)`` residue matrix; row ``i`` is
+    transformed mod ``stack.moduli[i]``. Natural order in and out; the
+    inverse includes the ``1/N`` normalization. Bit-identical to
+    :func:`repro.ntt.radix2.cyclic_ntt` applied row by row.
+    """
+    n = stack.n
+    if x.ndim != 2 or x.shape != (stack.num_primes, n):
+        raise ValueError(
+            f"expected a ({stack.num_primes}, {n}) residue matrix, "
+            f"got {x.shape}"
+        )
+    mont = stack.mont
+    omega_table = (
+        stack.omega_inv_pows_mont if inverse else stack.omega_pows_mont
+    )
+    num_primes = stack.num_primes
+    a = np.ascontiguousarray(x.astype(np.uint64, copy=True)[:, stack._perm])
+    q3 = mont.q_col(3)
+
+    length = 2
+    while length <= n:
+        half = length // 2
+        stride = n // length
+        # Per-row twiddles w_i^(stride*j) for j < half, Montgomery form,
+        # broadcast over the n//length butterfly groups of each row.
+        w = omega_table[:, ::stride][:, :half][:, None, :]
+        view = a.reshape(num_primes, n // length, length)
+        lo = view[..., :half]
+        hi = mont.mul_mat(view[..., half:], w)
+        s = lo + hi
+        np.subtract(s, q3, out=s, where=s >= q3)
+        d = lo + q3 - hi
+        np.subtract(d, q3, out=d, where=d >= q3)
+        view[..., :half] = s
+        view[..., half:] = d
+        length *= 2
+
+    if inverse:
+        a = mont.mul_mat(a, stack.n_inv_mont)
+    return a
+
+
+def batched_negacyclic_ntt(x: np.ndarray, stack: TwiddleStack) -> np.ndarray:
+    """Forward negacyclic NTT of a whole RNS polynomial, no per-prime loop."""
+    scaled = stack.mont.mul_mat(
+        x.astype(np.uint64, copy=False), stack.psi_pows_mont
+    )
+    return batched_cyclic_ntt(scaled, stack)
+
+
+def batched_negacyclic_intt(x: np.ndarray, stack: TwiddleStack) -> np.ndarray:
+    """Inverse negacyclic NTT of a whole RNS polynomial, no per-prime loop."""
+    raw = batched_cyclic_ntt(x, stack, inverse=True)
+    return stack.mont.mul_mat(raw, stack.psi_inv_pows_mont)

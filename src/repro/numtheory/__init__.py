@@ -1,6 +1,6 @@
 """Number-theory substrate: modular arithmetic, primes, RNS, CRT."""
 
-from .barrett import BarrettReducer
+from .barrett import BarrettReducer, BatchBarrettReducer
 from .crt import CRTReconstructor
 from .karatsuba import (
     KARATSUBA_COST,
@@ -20,7 +20,7 @@ from .modmath import (
     primitive_root,
     root_of_unity,
 )
-from .montgomery import MontgomeryReducer
+from .montgomery import BatchMontgomeryReducer, MontgomeryReducer
 from .primes import (
     MAX_MODULUS_BITS,
     PrimeChain,
@@ -32,6 +32,8 @@ from .rns import RNSBasis, digit_partition, extend_basis, mod_down, rescale_rows
 
 __all__ = [
     "BarrettReducer",
+    "BatchBarrettReducer",
+    "BatchMontgomeryReducer",
     "CRTReconstructor",
     "KARATSUBA_COST",
     "MAX_MODULUS_BITS",

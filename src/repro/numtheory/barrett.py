@@ -99,3 +99,124 @@ class BarrettReducer:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"BarrettReducer(q={self.modulus})"
+
+
+class BatchBarrettReducer:
+    """Barrett arithmetic over a *stack* of moduli, one per matrix row.
+
+    Where :class:`BarrettReducer` serves one modulus and 1-D vectors, this
+    class serves the whole ``(num_primes, N)`` residue matrix of an RNS
+    polynomial in a single numpy expression: the per-row constants are
+    stored as arrays and broadcast down each row. Every elementwise
+    operation is the exact uint64 sequence of the scalar class, so results
+    are bit-identical to looping :class:`BarrettReducer` over the rows —
+    the batched layout only removes the Python interpreter from the loop,
+    the same way WarpDrive's kernels treat the limb dimension as one dense
+    batch (§IV-A, §IV-B).
+    """
+
+    def __init__(self, moduli):
+        self.moduli = tuple(moduli)
+        if not self.moduli:
+            raise ValueError("batch reducer needs at least one modulus")
+        for q in self.moduli:
+            if not 2 < q < (1 << 31):
+                raise ValueError(
+                    f"modulus must lie in (2, 2**31), got {q}"
+                )
+        mu = [(1 << _SHIFT) // q for q in self.moduli]
+        self._q = np.array(self.moduli, dtype=np.uint64)
+        self._mu_hi = np.array([m >> 32 for m in mu], dtype=np.uint64)
+        self._mu_lo = np.array([m & 0xFFFFFFFF for m in mu], dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def _cols(self, ndim: int) -> tuple:
+        """Reshape row constants to broadcast over ``ndim``-D row-major
+        arrays whose leading axis is the prime index."""
+        shape = (-1,) + (1,) * (ndim - 1)
+        return (
+            self._q.reshape(shape),
+            self._mu_hi.reshape(shape),
+            self._mu_lo.reshape(shape),
+        )
+
+    def q_col(self, ndim: int = 2) -> np.ndarray:
+        """The modulus vector shaped ``(num_primes, 1, ...)`` for
+        broadcasting against ``ndim``-D residue arrays."""
+        return self._q.reshape((-1,) + (1,) * (ndim - 1))
+
+    def reduce_mat(self, t: np.ndarray) -> np.ndarray:
+        """Row-wise ``t mod q_i`` for uint64 entries below ``q_i**2``.
+
+        Identical partial-product assembly to
+        :meth:`BarrettReducer.reduce_vec`, with the row's own ``mu``.
+        """
+        t = t.astype(np.uint64, copy=False)
+        q, mu_hi, mu_lo = self._cols(t.ndim)
+        t_hi = t >> np.uint64(32)
+        t_lo = t & np.uint64(0xFFFFFFFF)
+        lo_lo = t_lo * mu_lo
+        mid1 = t_hi * mu_lo
+        mid2 = t_lo * mu_hi
+        carry = (lo_lo >> np.uint64(32)) + (mid1 & np.uint64(0xFFFFFFFF)) + (
+            mid2 & np.uint64(0xFFFFFFFF)
+        )
+        high = (
+            t_hi * mu_hi
+            + (mid1 >> np.uint64(32))
+            + (mid2 >> np.uint64(32))
+            + (carry >> np.uint64(32))
+        )
+        low_word = (carry << np.uint64(32)) | (lo_lo & np.uint64(0xFFFFFFFF))
+        approx = (high << np.uint64(2)) | (low_word >> np.uint64(62))
+        # r = t - approx*q, then up to two conditional subtractions — done
+        # in place to keep the working set small at large (L, N).
+        r = approx * q
+        np.subtract(t, r, out=r)
+        np.subtract(r, q, out=r, where=r >= q)
+        np.subtract(r, q, out=r, where=r >= q)
+        return r
+
+    def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise ``a * b mod q_i`` for entries below ``q_i``."""
+        prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
+        return self.reduce_mat(prod)
+
+    def add_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise ``a + b mod q_i`` for entries below ``q_i``."""
+        s = a.astype(np.uint64, copy=False) + b.astype(np.uint64, copy=False)
+        q = self.q_col(s.ndim)
+        np.subtract(s, q, out=s, where=s >= q)
+        return s
+
+    def sub_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise ``a - b mod q_i`` for entries below ``q_i``.
+
+        Computed as the wrapping difference plus a conditional ``+q``:
+        for ``a < b`` the uint64 wrap gives ``a - b + 2**64``, and adding
+        ``q`` wraps again to exactly ``a + q - b``.
+        """
+        a = a.astype(np.uint64, copy=False)
+        b = b.astype(np.uint64, copy=False)
+        q = self.q_col(a.ndim)
+        d = a - b
+        np.add(d, q, out=d, where=a < b)
+        return d
+
+    def neg_mat(self, a: np.ndarray) -> np.ndarray:
+        """Row-wise ``-a mod q_i`` for entries below ``q_i``."""
+        a = a.astype(np.uint64, copy=False)
+        q = self.q_col(a.ndim)
+        return np.where(a == 0, a, q - a)
+
+    def reduce_scalar(self, value: int) -> np.ndarray:
+        """``value mod q_i`` per row as a ``(num_primes, 1)`` uint64 column
+        (accepts arbitrary-precision integers)."""
+        return np.array(
+            [value % q for q in self.moduli], dtype=np.uint64
+        ).reshape(-1, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BatchBarrettReducer(L={len(self.moduli)})"

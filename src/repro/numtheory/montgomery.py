@@ -97,3 +97,79 @@ class MontgomeryReducer:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MontgomeryReducer(q={self.modulus})"
+
+
+class BatchMontgomeryReducer:
+    """Montgomery arithmetic over a stack of moduli, one per matrix row.
+
+    The batched counterpart of :class:`MontgomeryReducer`: per-row REDC
+    constants are held as broadcastable arrays so the whole
+    ``(num_primes, N)`` residue matrix of an RNS polynomial — or any
+    higher-rank view with the prime index on axis 0 — reduces in one numpy
+    expression. Elementwise the uint64 sequence is exactly the scalar
+    class's, so results are bit-identical to a per-row Python loop.
+    """
+
+    def __init__(self, moduli):
+        self.moduli = tuple(moduli)
+        if not self.moduli:
+            raise ValueError("batch reducer needs at least one modulus")
+        for q in self.moduli:
+            if q % 2 == 0:
+                raise ValueError("Montgomery reduction requires odd moduli")
+            if not 2 < q < (1 << 31):
+                raise ValueError(
+                    f"modulus must lie in (2, 2**31), got {q}"
+                )
+        q_neg_inv = [(-modinv(q, RADIX)) % RADIX for q in self.moduli]
+        r2 = [((RADIX % q) * (RADIX % q)) % q for q in self.moduli]
+        self._q = np.array(self.moduli, dtype=np.uint64)
+        self._qinv = np.array(q_neg_inv, dtype=np.uint64)
+        self._r2 = np.array(r2, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def _col(self, vec: np.ndarray, ndim: int) -> np.ndarray:
+        return vec.reshape((-1,) + (1,) * (ndim - 1))
+
+    def q_col(self, ndim: int = 2) -> np.ndarray:
+        """The modulus vector shaped to broadcast against ``ndim``-D
+        arrays with the prime index on axis 0."""
+        return self._col(self._q, ndim)
+
+    def reduce_mat(self, t: np.ndarray) -> np.ndarray:
+        """Row-wise REDC for uint64 entries below ``q_i * R``.
+
+        The sequence is elementwise identical to
+        :meth:`MontgomeryReducer.reduce_vec`; intermediates are reused in
+        place to keep the working set small at large ``(L, N)``.
+        """
+        t = t.astype(np.uint64, copy=False)
+        q = self._col(self._q, t.ndim)
+        qinv = self._col(self._qinv, t.ndim)
+        m = t & _RADIX_MASK
+        np.multiply(m, qinv, out=m)
+        np.bitwise_and(m, _RADIX_MASK, out=m)
+        np.multiply(m, q, out=m)
+        np.add(m, t, out=m)
+        np.right_shift(m, np.uint64(RADIX_BITS), out=m)
+        np.subtract(m, q, out=m, where=m >= q)
+        return m
+
+    def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise Montgomery product (entries below ``q_i``)."""
+        prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
+        return self.reduce_mat(prod)
+
+    def to_montgomery_mat(self, a: np.ndarray) -> np.ndarray:
+        """Row-wise domain entry: ``a * R mod q_i``."""
+        a = a.astype(np.uint64, copy=False)
+        return self.reduce_mat(a * self._col(self._r2, a.ndim))
+
+    def from_montgomery_mat(self, a_mont: np.ndarray) -> np.ndarray:
+        """Row-wise domain exit."""
+        return self.reduce_mat(a_mont.astype(np.uint64, copy=False))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BatchMontgomeryReducer(L={len(self.moduli)})"

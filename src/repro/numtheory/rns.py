@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .barrett import BarrettReducer
+from .barrett import BarrettReducer, BatchBarrettReducer
 from .modmath import modinv
 
 
@@ -34,6 +34,8 @@ class RNSBasis:
             raise ValueError("RNS moduli must be distinct")
         self.moduli = list(moduli)
         self.reducers = [BarrettReducer(q) for q in self.moduli]
+        #: Row-wise reducer for whole-matrix passes (batched engine).
+        self.batch = BatchBarrettReducer(self.moduli)
         self.product = 1
         for q in self.moduli:
             self.product *= q
@@ -42,6 +44,9 @@ class RNSBasis:
         self.hat_invs = [
             modinv(hat % q, q) for hat, q in zip(self._hats, self.moduli)
         ]
+        self._hat_inv_col = np.array(
+            self.hat_invs, dtype=np.uint64
+        ).reshape(-1, 1)
 
     def __len__(self) -> int:
         return len(self.moduli)
@@ -103,18 +108,19 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
             f"({len(source)})"
         )
     n = residues.shape[1]
-    # y_i = x_i * hat_inv_i mod q_i  (all < q_i < 2**31).
-    y = np.empty_like(residues)
-    for i, (red, hat_inv) in enumerate(zip(source.reducers, source.hat_invs)):
-        y[i] = red.mul_vec(residues[i], np.uint64(hat_inv))
+    # y_i = x_i * hat_inv_i mod q_i  (all < q_i < 2**31) — one row-wise pass.
+    y = source.batch.mul_mat(residues, source._hat_inv_col)
 
+    # Accumulate sum_i y_i * (Q/q_i mod t) over all target rows at once;
+    # only the (small) digit dimension remains a Python loop.
     out = np.zeros((len(target), n), dtype=np.uint64)
-    for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
-        acc = np.zeros(n, dtype=np.uint64)
-        for i, q_i in enumerate(source.moduli):
-            hat_mod_t = np.uint64((source.product // q_i) % t)
-            acc = red_t.add_vec(acc, red_t.mul_vec(y[i], hat_mod_t))
-        out[j] = acc
+    tgt = target.batch
+    for i, q_i in enumerate(source.moduli):
+        hat_col = np.array(
+            [(source.product // q_i) % t for t in target.moduli],
+            dtype=np.uint64,
+        ).reshape(-1, 1)
+        out = tgt.add_mat(out, tgt.mul_mat(y[i][None, :], hat_col))
 
     if exact:
         # The approximate result equals x + u*Q with
@@ -124,10 +130,13 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
         for i, q_i in enumerate(source.moduli):
             ratio += y[i].astype(np.float64) / float(q_i)
         u = np.floor(ratio).astype(np.uint64)
-        for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
-            q_mod_t = np.uint64(source.product % t)
-            correction = red_t.mul_vec(red_t.reduce_vec(u), q_mod_t)
-            out[j] = red_t.sub_vec(out[j], correction)
+        q_mod_t_col = np.array(
+            [source.product % t for t in target.moduli], dtype=np.uint64
+        ).reshape(-1, 1)
+        correction = tgt.mul_mat(
+            tgt.reduce_mat(np.broadcast_to(u, out.shape)), q_mod_t_col
+        )
+        out = tgt.sub_mat(out, correction)
     return out
 
 
@@ -145,14 +154,16 @@ def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
         )
     x_main = residues[:n_main]
     x_special = residues[n_main:]
-    # Extend (x mod P) back onto the main basis, then subtract and divide.
+    # Extend (x mod P) back onto the main basis, then subtract and divide —
+    # all main rows in one batched pass.
     x_special_on_main = extend_basis(x_special, special, main, exact=True)
-    p_inv = [modinv(special.product % q, q) for q in main.moduli]
-    out = np.empty_like(x_main)
-    for i, (red, q) in enumerate(zip(main.reducers, main.moduli)):
-        diff = red.sub_vec(x_main[i], red.reduce_vec(x_special_on_main[i]))
-        out[i] = red.mul_vec(diff, np.uint64(p_inv[i]))
-    return out
+    p_inv_col = np.array(
+        [modinv(special.product % q, q) for q in main.moduli],
+        dtype=np.uint64,
+    ).reshape(-1, 1)
+    mb = main.batch
+    diff = mb.sub_mat(x_main, mb.reduce_mat(x_special_on_main))
+    return mb.mul_mat(diff, p_inv_col)
 
 
 def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
@@ -178,20 +189,19 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
         )
     out = extend_basis(residues, source, target, exact=True)
     # Recompute the fractional part x/Q to decide the sign.
-    y = np.empty_like(residues)
-    for i, (red, hat_inv) in enumerate(zip(source.reducers,
-                                           source.hat_invs)):
-        y[i] = red.mul_vec(residues[i], np.uint64(hat_inv))
+    y = source.batch.mul_mat(residues, source._hat_inv_col)
     ratio = np.zeros(residues.shape[1], dtype=np.float64)
     for i, q_i in enumerate(source.moduli):
         ratio += y[i].astype(np.float64) / float(q_i)
     frac = ratio - np.floor(ratio)
     negative = frac >= 0.5
-    for j, (t, red_t) in enumerate(zip(target.moduli, target.reducers)):
-        q_mod_t = np.uint64(source.product % t)
-        shifted = red_t.sub_vec(out[j], np.full_like(out[j], q_mod_t))
-        out[j] = np.where(negative, shifted, out[j])
-    return out
+    q_mod_t_col = np.array(
+        [source.product % t for t in target.moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    shifted = target.batch.sub_mat(
+        out, np.broadcast_to(q_mod_t_col, out.shape)
+    )
+    return np.where(negative[None, :], shifted, out)
 
 
 def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
@@ -227,18 +237,22 @@ def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
     ).astype(np.int64)
     correction[correction > t // 2] -= t
 
-    p_inv = [modinv(special.product % q, q) for q in main.moduli]
-    out = np.empty_like(x_main)
-    for i, (red, q) in enumerate(zip(main.reducers, main.moduli)):
-        p_mod_q = special.product % q
-        corr_mod_q = np.mod(
-            correction.astype(np.int64) * 1, q
-        ).astype(np.uint64)
-        corr_term = red.mul_vec(corr_mod_q, np.uint64(p_mod_q))
-        delta_prime = red.sub_vec(delta_on_main[i], corr_term)
-        diff = red.sub_vec(x_main[i], delta_prime)
-        out[i] = red.mul_vec(diff, np.uint64(p_inv[i]))
-    return out
+    p_inv_col = np.array(
+        [modinv(special.product % q, q) for q in main.moduli],
+        dtype=np.uint64,
+    ).reshape(-1, 1)
+    p_mod_q_col = np.array(
+        [special.product % q for q in main.moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    q_col = np.array(main.moduli, dtype=np.int64)[:, None]
+    mb = main.batch
+    corr_mod_q = np.mod(
+        correction.astype(np.int64)[None, :], q_col
+    ).astype(np.uint64)
+    corr_term = mb.mul_mat(corr_mod_q, p_mod_q_col)
+    delta_prime = mb.sub_mat(delta_on_main, corr_term)
+    diff = mb.sub_mat(x_main, delta_prime)
+    return mb.mul_mat(diff, p_inv_col)
 
 
 def rescale_rows(residues: np.ndarray, basis: RNSBasis) -> np.ndarray:
@@ -254,15 +268,17 @@ def rescale_rows(residues: np.ndarray, basis: RNSBasis) -> np.ndarray:
         raise ValueError("cannot rescale below one modulus")
     last = residues[-1]
     q_last = basis.moduli[-1]
-    out = np.empty((len(basis) - 1, residues.shape[1]), dtype=np.uint64)
-    for i in range(len(basis) - 1):
-        q_i = basis.moduli[i]
-        red = basis.reducers[i]
-        inv = np.uint64(modinv(q_last % q_i, q_i))
-        last_mod_qi = red.reduce_vec(last)
-        diff = red.sub_vec(residues[i], last_mod_qi)
-        out[i] = red.mul_vec(diff, inv)
-    return out
+    # All remaining rows in one batched pass: subtract [x]_{q_last} and
+    # multiply by q_last^{-1} mod q_i.
+    head = basis.sub_basis(range(len(basis) - 1)).batch
+    inv_col = np.array(
+        [modinv(q_last % q_i, q_i) for q_i in basis.moduli[:-1]],
+        dtype=np.uint64,
+    ).reshape(-1, 1)
+    remaining = residues[:-1]
+    last_mod = head.reduce_mat(np.broadcast_to(last, remaining.shape))
+    diff = head.sub_mat(remaining, last_mod)
+    return head.mul_mat(diff, inv_col)
 
 
 def digit_partition(num_primes: int, dnum: int) -> List[List[int]]:

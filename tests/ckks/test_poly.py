@@ -53,8 +53,28 @@ class TestDomainConversion:
     def test_idempotent(self):
         p = rand_poly()
         e = p.to_eval()
-        assert e.to_eval() is e
-        assert p.to_coeff() is p
+        assert e.to_eval() == e
+        assert p.to_coeff() == p
+
+    def test_noop_conversion_never_aliases(self):
+        """Regression: to_eval()/to_coeff() used to return ``self`` when
+        already in the target domain, sharing the mutable data buffer —
+        an in-place write then corrupted both values."""
+        p = rand_poly()
+        same = p.to_coeff()
+        assert same is not p
+        assert not np.shares_memory(same.data, p.data)
+        original = p.data.copy()
+        same.data[:] = 0
+        assert np.array_equal(p.data, original)
+
+        e = rand_poly(domain=EVAL)
+        same_e = e.to_eval()
+        assert same_e is not e
+        assert not np.shares_memory(same_e.data, e.data)
+        original = e.data.copy()
+        same_e.data += np.uint64(1)
+        assert np.array_equal(e.data, original)
 
 
 class TestArithmetic:

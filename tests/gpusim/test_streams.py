@@ -73,6 +73,51 @@ class TestMultiStream:
         assert len(groups["y"]) == 1
 
 
+class TestStreamReadySemantics:
+    """Regression for the scheduler dead-code fix: a stream whose
+    predecessor finishes while another stream's kernel is still mid-flight
+    must resume at its true ready time (the predecessor's end), not at the
+    other stream's completion."""
+
+    @staticmethod
+    def sized_kernel(name, blocks, ops):
+        return KernelSpec(name=name, blocks=blocks, warps_per_block=8,
+                          int32_ops=ops, gmem_read_bytes=1e6)
+
+    def test_successor_starts_at_predecessor_end_mid_overlap(self):
+        # Two small grids co-reside (40 + 40 <= 108 SMs). Stream 0 runs two
+        # short kernels back-to-back while stream 1's long kernel is still
+        # executing: the second short kernel's start must equal the first's
+        # end, well before the long kernel finishes.
+        short = self.sized_kernel("short", 40, 1e6)
+        long_k = self.sized_kernel("long", 40, 5e8)
+        result = run_streams([[short, short], [long_k]], DEV)
+        by_name = result.by_name()
+        s1, s2 = sorted(by_name["short"], key=lambda e: e.start_us)
+        (lk,) = by_name["long"]
+        assert s1.start_us == 0.0
+        assert lk.start_us == 0.0
+        assert s2.start_us == pytest.approx(s1.end_us)
+        assert s2.end_us < lk.end_us  # overlap really happened mid-flight
+
+    def test_ready_stream_waits_only_for_sms(self):
+        # Stream 0's first kernel (40 SMs) overlaps stream 1's long kernel
+        # (60 SMs). When stream 0 becomes ready mid-flight its follow-up
+        # needs 90 SMs but only 48 are free — it must start exactly when
+        # the long kernel releases its SMs, not sooner or later.
+        small = self.sized_kernel("small", 40, 1e6)
+        long_k = self.sized_kernel("long", 60, 5e8)
+        follow = self.sized_kernel("follow", 90, 1e6)
+        result = run_streams([[small, follow], [long_k]], DEV)
+        by_name = result.by_name()
+        (lk,) = by_name["long"]
+        (fk,) = by_name["follow"]
+        (sk,) = by_name["small"]
+        assert sk.start_us == 0.0 and lk.start_us == 0.0
+        assert sk.end_us < lk.end_us  # stream 0 ready mid-flight
+        assert fk.start_us == pytest.approx(lk.end_us)
+
+
 class TestTimelineRendering:
     def test_render_contains_streams_and_total(self):
         result = run_streams(
