@@ -241,7 +241,7 @@ class BfvContext:
         a0, a1 = lift(a.c0), lift(a.c1)
         b0, b1 = lift(b.c0), lift(b.c1)
         d0 = a0 * b0
-        d1 = a0 * b1 + a1 * b0
+        d1 = (a0 * b1).fma_(a1, b0)
         d2 = a1 * b1
         d0q = self._scale_to_q(d0)
         d1q = self._scale_to_q(d1)

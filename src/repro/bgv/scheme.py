@@ -162,7 +162,7 @@ class BgvContext:
         """Ciphertext product with relinearization (+ modulus switch)."""
         a, b = self._align(a, b)
         d0 = a.c0 * b.c0
-        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d1 = (a.c0 * b.c1).fma_(a.c1, b.c0)
         d2 = a.c1 * b.c1
         ks0, ks1 = keyswitch(
             d2, keys.relin, self.p_moduli, plain_modulus=self.t

@@ -9,29 +9,179 @@ coefficient-wise and therefore commutes with the (coefficient-wise) basis
 extension.
 
 Per extra rotation only the automorphism, the NTTs of the permuted
-digits, the inner product and the ModDown remain — the cost ratio the
-workload schedules model as ``HOISTED_ROTATION_FACTOR``.
+digits, the inner product and the ModDown remain — and this module
+batches *those* across all requested steps too, mirroring how the
+batched key-switch fuses the digit loop: every step's automorphism is one
+gather from shared index tables, all ``steps * dnum`` permuted digits
+ride a single stacked NTT, the inner products reduce against per-step
+evk row stacks in one wide-accumulator pass, and every accumulator (both
+components of every step) shares one INTT → ModDown → NTT tail.
 
-This module implements hoisting *functionally*; tests verify each hoisted
-rotation decrypts to the same message as a plain HROTATE.
+:func:`hoisted_rotations_looped` preserves the per-step pipeline as the
+bit-exactness oracle; tests also verify each hoisted rotation decrypts to
+the same message as a plain HROTATE.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from ..numtheory.rns import RNSBasis, extend_basis, mod_down
+import numpy as np
+
+from ..ntt.stacked import (
+    get_shoup_stack,
+    stacked_negacyclic_intt,
+    stacked_negacyclic_ntt,
+)
+from ..numtheory.rns import (
+    RNSBasis,
+    extend_basis,
+    extend_basis_stacked,
+    mod_down,
+)
 from .ciphertext import Ciphertext
 from .keys import KeySet
+from .ks_common import (
+    full_chain_length,
+    present_digits,
+    select_level_rows,
+    stacked_inner_product,
+    stacked_key_rows,
+)
 from .ops import Evaluator
 from .poly import COEFF, EVAL, RnsPoly
 
 
+def _automorphism_tables(steps: Sequence[int],
+                         n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked gather tables for the rotation automorphisms ``X -> X^(5^s)``.
+
+    Returns ``(src, flip)`` of shape ``(num_steps, n)`` such that
+    ``out[k] = flip[s, k] ? q - x[src[s, k]] : x[src[s, k]]`` reproduces
+    :meth:`RnsPoly.automorphism` for step ``s`` — the scatter of the
+    per-step implementation turned into a gather, so one fancy-indexing
+    pass permutes every (digit, step) pane at once.
+    """
+    two_n = 2 * n
+    j = np.arange(n)
+    src = np.empty((len(steps), n), dtype=np.intp)
+    flip = np.empty((len(steps), n), dtype=bool)
+    for s_idx, step in enumerate(steps):
+        exponent = pow(5, step, two_n)
+        targets = (j * exponent) % two_n
+        dest = targets % n
+        src[s_idx, dest] = j
+        flip[s_idx, dest] = targets >= n
+    return src, flip
+
+
 def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
                       keys: KeySet) -> Dict[int, Ciphertext]:
-    """Rotate ``ct`` by every step in ``steps``, sharing one ModUp.
+    """Rotate ``ct`` by every step in ``steps``, sharing one ModUp and
+    batching the per-step tail across all steps.
 
     Requires a rotation key for each step. Returns ``{step: rotated}``.
+    Bit-identical to :func:`hoisted_rotations_looped`.
+    """
+    missing = [s for s in steps if s not in keys.rotation]
+    if missing:
+        raise KeyError(f"missing rotation keys for steps {missing}")
+    if not steps:
+        return {}
+    steps = list(steps)
+    num_steps = len(steps)
+
+    level_moduli = ct.moduli
+    num_level = len(level_moduli)
+    special = tuple(ev.p_moduli)
+    target_moduli = level_moduli + special
+    target_basis = RNSBasis(target_moduli)
+    n = ct.n
+    num_target = len(target_moduli)
+
+    stack_level = get_shoup_stack(level_moduli, n)
+    stack_target = get_shoup_stack(target_moduli, n)
+
+    # --- the hoisted part: decompose + extend c1 once -----------------------
+    # Canonical residues here: the automorphism's sign flip (q - x) needs
+    # reduced values, unlike the keyswitch path which can stay lazy.
+    any_key = keys.rotation[steps[0]]
+    groups, _ = present_digits(any_key.digits, num_level)
+    c1_coeff = stacked_negacyclic_intt(ct.c1.data, stack_level)
+    ext = extend_basis_stacked(
+        c1_coeff, groups, RNSBasis(level_moduli), target_basis,
+    )  # (L+K, G, N)
+    num_digits = ext.shape[1]
+
+    # --- every step's automorphism as one gather ---------------------------
+    src, flip = _automorphism_tables(steps, n)
+    q_col = target_basis.batch.q_col(3)
+    ext_neg = np.where(ext == 0, ext, q_col - ext)
+    rotated = np.where(
+        flip[None, None, :, :], ext_neg[:, :, src], ext[:, :, src]
+    )  # (L+K, G, S, N)
+    rotated = np.ascontiguousarray(rotated.transpose(0, 2, 1, 3))
+
+    # --- one stacked NTT over all (step, digit) panes ----------------------
+    # Lazy output: the wide-accumulator inner product below accepts < 2q
+    # representatives, so the kernel skips its canonicalization pass.
+    rot_eval = stacked_negacyclic_ntt(
+        rotated.reshape(num_target, num_steps * num_digits, n), stack_target,
+        lazy=True,
+    ).reshape(num_target, num_steps, num_digits, n)
+
+    # --- inner products against every step's key, one wide reduction ------
+    key_stacks = [stacked_key_rows(keys.rotation[s], num_level)
+                  for s in steps]
+    b_stack = np.stack([ks[0] for ks in key_stacks], axis=1)  # (L+K, S, G, N)
+    a_stack = np.stack([ks[1] for ks in key_stacks], axis=1)
+    acc0, acc1 = stacked_inner_product(
+        rot_eval, b_stack, a_stack, target_basis.batch
+    )  # each (L+K, S, N)
+
+    # --- batched tail: INTT + ModDown + NTT of every accumulator -----------
+    acc = np.concatenate([acc0, acc1], axis=1)  # (L+K, 2S, N)
+    acc_coeff = stacked_negacyclic_intt(acc, stack_target)
+    lowered = mod_down(
+        acc_coeff, RNSBasis(level_moduli), RNSBasis(special)
+    )  # (L, 2S, N)
+    parts = stacked_negacyclic_ntt(lowered, stack_level)
+
+    # --- c0 leg: all automorphism gathers + one NTT ------------------------
+    c0_coeff = stacked_negacyclic_intt(ct.c0.data, stack_level)
+    q_col_l = RNSBasis(level_moduli).batch.q_col(2)
+    c0_neg = np.where(c0_coeff == 0, c0_coeff, q_col_l - c0_coeff)
+    rot0 = np.where(flip[None], c0_neg[:, src], c0_coeff[:, src])
+    rot0_eval = stacked_negacyclic_ntt(rot0, stack_level)  # (L, S, N)
+
+    out: Dict[int, Ciphertext] = {}
+    for s_idx, step in enumerate(steps):
+        part0 = RnsPoly(
+            np.ascontiguousarray(parts[:, s_idx]), level_moduli, EVAL
+        )
+        part1 = RnsPoly(
+            np.ascontiguousarray(parts[:, num_steps + s_idx]),
+            level_moduli, EVAL,
+        )
+        rot0_poly = RnsPoly(
+            np.ascontiguousarray(rot0_eval[:, s_idx]), level_moduli, EVAL
+        )
+        out[step] = Ciphertext(
+            rot0_poly + part0, part1, ct.level, ct.scale
+        )
+    return out
+
+
+def hoisted_rotations_looped(ev: Evaluator, ct: Ciphertext,
+                             steps: Sequence[int],
+                             keys: KeySet) -> Dict[int, Ciphertext]:
+    """The per-step reference pipeline (pre-batching implementation).
+
+    Kept as the bit-exactness oracle for :func:`hoisted_rotations` and as
+    the baseline of ``benchmarks/bench_keyswitch.py``. Loop-invariant work
+    is hoisted out of the inner loops: the full chain length is computed
+    once, and each step's evk row selections once before its digit loop
+    (they depend only on the key and the level, not on the digit pass).
     """
     missing = [s for s in steps if s not in keys.rotation]
     if missing:
@@ -50,16 +200,13 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
     # --- the hoisted part: decompose + extend c1 once -----------------------
     c1_coeff = ct.c1.to_coeff()
     any_key = keys.rotation[steps[0]]
+    full_len = full_chain_length(any_key)
+    groups, digit_indices = present_digits(any_key.digits, num_level)
     extended_digits: List[RnsPoly] = []
-    digit_indices: List[int] = []
-    for j, digit in enumerate(any_key.digits):
-        present = [i for i in digit if i < num_level]
-        if not present:
-            continue
+    for present in groups:
         sub = c1_coeff.take_primes(present)
         ext = extend_basis(sub.data, RNSBasis(sub.moduli), target_basis)
         extended_digits.append(RnsPoly(ext, target_moduli, COEFF))
-        digit_indices.append(j)
 
     c0_coeff = ct.c0.to_coeff()
     main = RNSBasis(level_moduli)
@@ -69,15 +216,19 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
     for step in steps:
         exponent = pow(5, step, two_n)
         ksk = keys.rotation[step]
+        # Key-row selections depend only on (key, level): one pass per
+        # step, outside the digit loop.
+        rows = [
+            (select_level_rows(ksk.pairs[j][0], num_level, full_len),
+             select_level_rows(ksk.pairs[j][1], num_level, full_len))
+            for j in digit_indices
+        ]
         acc0 = RnsPoly.zero(target_moduli, n, EVAL)
         acc1 = RnsPoly.zero(target_moduli, n, EVAL)
-        for ext_poly, j in zip(extended_digits, digit_indices):
+        for ext_poly, (b_rows, a_rows) in zip(extended_digits, rows):
             # Automorphism commutes with the extension: permute the
             # already-extended digit, then NTT.
             rotated_digit = ext_poly.automorphism(exponent).to_eval()
-            b_j, a_j = ksk.pairs[j]
-            b_rows = _level_rows(b_j, num_level, _full_len(ksk))
-            a_rows = _level_rows(a_j, num_level, _full_len(ksk))
             acc0 = acc0 + rotated_digit * b_rows
             acc1 = acc1 + rotated_digit * a_rows
         parts = []
@@ -91,15 +242,3 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
             rot0 + parts[0], parts[1], ct.level, ct.scale
         )
     return out
-
-
-def _full_len(ksk) -> int:
-    return max(i for digit in ksk.digits for i in digit) + 1
-
-
-def _level_rows(key_poly: RnsPoly, num_level: int, full_len: int) -> RnsPoly:
-    num_special = key_poly.num_primes - full_len
-    indices = list(range(num_level)) + list(
-        range(full_len, full_len + num_special)
-    )
-    return key_poly.take_primes(indices)

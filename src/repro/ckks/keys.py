@@ -45,6 +45,11 @@ class KeySwitchKey:
 
     pairs: List[Tuple[RnsPoly, RnsPoly]]  # [(b_j, a_j)]
     digits: List[List[int]]
+    #: Per-level cache of the stacked (b, a) evk row tensors the batched
+    #: key-switch consumes (built lazily by ``ks_common.stacked_key_rows``).
+    _row_cache: Dict[int, tuple] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def dnum(self) -> int:

@@ -5,7 +5,7 @@ whose utilization Tables III and IX profile (NTT, ModUp, INTT, ModDown,
 InProd). The functional pipeline here mirrors those exact stages:
 
 1. INTT the input polynomial to the coefficient domain;
-2. **ModUp**: per digit, fast-basis-extend the digit's residues to the full
+2. **ModUp**: fast-basis-extend every digit's residues to the full
    ``Q_l * P`` basis;
 3. NTT the extended digits;
 4. **InnerProduct**: accumulate ``digit * evk_j`` over digits (eval domain);
@@ -13,26 +13,57 @@ InProd). The functional pipeline here mirrors those exact stages:
 6. **ModDown**: divide by ``P`` with rounding, back to ``Q_l``;
 7. NTT the results back to the eval domain.
 
-Every stage runs through the batched RNS engine: the (I)NTTs transform
-the whole ``(num_primes, N)`` matrix in one vectorized pass (RnsPoly's
-domain conversions), and ModUp/ModDown vectorize across all target
-primes at once (:mod:`repro.numtheory.rns`) — only the digit loop, whose
-trip count is ``dnum``, remains Python.
+PR 1 vectorized each stage *within* one polynomial (across primes); this
+module also fuses the ``dnum`` digit loop — the ciphertext-level
+parallelism WarpDrive's PE kernels exploit (§IV-C):
+
+* ModUp emits the whole ``(L+K, dnum, N)`` digit tensor in one pass
+  (:func:`~repro.numtheory.rns.extend_basis_stacked`), lazily when digits
+  are single primes;
+* one stacked Shoup-kernel NTT transforms all ``dnum * (L+K)`` rows
+  (:mod:`repro.ntt.stacked`);
+* the InnerProduct is a single einsum-style wide-accumulator reduction
+  against the stacked evk rows (:func:`~.ks_common.stacked_inner_product`)
+  — no per-digit ``acc = acc + ext * rows`` temporaries;
+* both accumulators ride one batched INTT → ModDown → NTT tail.
+
+:func:`keyswitch_looped` preserves the per-digit pipeline as the
+bit-exactness oracle; the batched path returns identical polynomials
+(property-tested across levels, dnum values and both ModDown branches).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
-from ..numtheory.rns import RNSBasis, extend_basis, mod_down, mod_down_exact_t
+from ..ntt.stacked import (
+    get_shoup_stack,
+    stacked_negacyclic_intt,
+    stacked_negacyclic_ntt,
+)
+from ..numtheory.rns import (
+    RNSBasis,
+    extend_basis,
+    extend_basis_stacked,
+    mod_down,
+    mod_down_exact_t,
+)
 from .keys import KeySwitchKey
+from .ks_common import (
+    full_chain_length,
+    present_digits,
+    select_level_rows,
+    stacked_inner_product,
+    stacked_key_rows,
+)
 from .poly import COEFF, EVAL, RnsPoly
 
 
 def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
-              *, plain_modulus: int = None) -> Tuple[RnsPoly, RnsPoly]:
+              *, plain_modulus: int = None,
+              pool=None) -> Tuple[RnsPoly, RnsPoly]:
     """Switch the polynomial ``d`` (eval domain, level basis) to the key
     encrypted in ``ksk``, returning the eval-domain pair ``(ks0, ks1)``
     with ``ks0 + ks1*s ≈ d*s'``.
@@ -44,6 +75,97 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
 
     ``plain_modulus``: when set (BGV/BFV), ModDown preserves residues mod
     ``t`` (Gentry-Halevi-Smart rounding) instead of plain flooring.
+
+    ``pool``: optional :class:`~repro.core.memory_pool.MemoryPool`; when
+    given, every stage buffer of the batched pipeline is accounted against
+    it (reset first), so tests can assert the working set stays within the
+    paper's ``S_max`` budget. The transient MAC product tensor of the
+    inner product is not charged — on the GPU it lives in tensor-core
+    accumulators, never in pool memory.
+
+    Bit-identical to :func:`keyswitch_looped` (the per-digit reference).
+    """
+    if d.domain != EVAL:
+        raise ValueError("keyswitch input must be in eval domain")
+    level_moduli = d.moduli
+    num_level = len(level_moduli)
+    target_moduli = level_moduli + tuple(special_moduli)
+    target_basis = RNSBasis(target_moduli)
+    n = d.n
+
+    groups, _ = present_digits(ksk.digits, num_level)
+    if not groups:  # no digit survives at this level: result is zero
+        zero = RnsPoly.zero(level_moduli, n, EVAL)
+        return zero, zero.copy()
+
+    stack_level = get_shoup_stack(level_moduli, n)
+    stack_target = get_shoup_stack(target_moduli, n)
+    if pool is not None:
+        pool.reset()
+
+    d_coeff = stacked_negacyclic_intt(d.data, stack_level)  # stage 1: INTT
+
+    # stage 2: ModUp — the whole (L+K, dnum', N) digit tensor in one pass.
+    # Single-prime digits (alpha == 1, the paper's dnum = L+1 sets) stay
+    # lazy: the stacked NTT reduces them for free in its pre-twist.
+    ext = extend_basis_stacked(
+        d_coeff, groups, RNSBasis(level_moduli), target_basis, lazy=True,
+    )
+    if pool is not None:
+        pool.allocate(ext.nbytes, "modup_digits")
+
+    # stage 3: NTT — all dnum'*(L+K) rows in one stacked pass. The output
+    # stays *lazy* (< 2q) and in the kernel's digit-innermost (L+K, N, G)
+    # layout: the wide-accumulator inner product tolerates 32-bit
+    # representatives and reduces over the contiguous digit axis, so both
+    # the canonicalization and the transpose back are skipped.
+    ext_eval = stacked_negacyclic_ntt(
+        ext, stack_target, lazy=True, t_out=True
+    )
+    if pool is not None:
+        pool.allocate(ext_eval.nbytes, "ntt_digits")
+
+    # stage 4: InnerProduct — one wide-accumulator reduction over the
+    # digit axis against the per-level evk row stacks (cached on the key).
+    b_stack, a_stack = stacked_key_rows(ksk, num_level, t_layout=True)
+    acc = np.stack(
+        stacked_inner_product(
+            ext_eval, b_stack, a_stack, target_basis.batch, lane_axis=-1
+        ),
+        axis=1,
+    )
+    if pool is not None:
+        pool.allocate(acc.nbytes, "inner_product")
+
+    # stages 5-7: both accumulators share one INTT, ModDown and NTT.
+    acc_coeff = stacked_negacyclic_intt(acc, stack_target)
+    main = RNSBasis(level_moduli)
+    special = RNSBasis(tuple(special_moduli))
+    if plain_modulus is None:
+        lowered = mod_down(acc_coeff, main, special)
+    else:
+        lowered = mod_down_exact_t(acc_coeff, main, special, plain_modulus)
+    if pool is not None:
+        pool.allocate(lowered.nbytes, "mod_down")
+
+    out = stacked_negacyclic_ntt(lowered, stack_level)
+    if pool is not None:
+        pool.allocate(out.nbytes, "keyswitch_out")
+    return (
+        RnsPoly(np.ascontiguousarray(out[:, 0]), level_moduli, EVAL),
+        RnsPoly(np.ascontiguousarray(out[:, 1]), level_moduli, EVAL),
+    )
+
+
+def keyswitch_looped(d: RnsPoly, ksk: KeySwitchKey,
+                     special_moduli: Tuple[int, ...],
+                     *, plain_modulus: int = None
+                     ) -> Tuple[RnsPoly, RnsPoly]:
+    """The per-digit reference pipeline (pre-batching implementation).
+
+    Runs ModUp, NTT and the inner-product accumulation one digit at a
+    time. Kept verbatim as the bit-exactness oracle for :func:`keyswitch`
+    and as the baseline of ``benchmarks/bench_keyswitch.py``.
     """
     if d.domain != EVAL:
         raise ValueError("keyswitch input must be in eval domain")
@@ -57,7 +179,7 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
 
     acc0 = RnsPoly.zero(target_moduli, n, EVAL)
     acc1 = RnsPoly.zero(target_moduli, n, EVAL)
-    full_len = _full_chain_length(ksk)
+    full_len = full_chain_length(ksk)
     for j, digit in enumerate(ksk.digits):
         present = [i for i in digit if i < num_level]
         if not present:
@@ -68,8 +190,8 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
         )
         ext_poly = RnsPoly(extended, target_moduli, COEFF).to_eval()  # 3: NTT
         b_j, a_j = ksk.pairs[j]
-        b_rows = _select_level_rows(b_j, num_level, full_len)
-        a_rows = _select_level_rows(a_j, num_level, full_len)
+        b_rows = select_level_rows(b_j, num_level, full_len)
+        a_rows = select_level_rows(a_j, num_level, full_len)
         acc0 = acc0 + ext_poly * b_rows   # stage 4: InnerProduct
         acc1 = acc1 + ext_poly * a_rows
 
@@ -86,18 +208,3 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
             )
         out.append(RnsPoly(lowered, level_moduli, COEFF).to_eval())  # 7: NTT
     return out[0], out[1]
-
-
-def _full_chain_length(ksk: KeySwitchKey) -> int:
-    """Number of ciphertext-chain primes the key covers (max digit index+1)."""
-    return max(i for digit in ksk.digits for i in digit) + 1
-
-
-def _select_level_rows(key_poly: RnsPoly, num_level: int,
-                       full_len: int) -> RnsPoly:
-    """Restrict a full-chain key polynomial to level + special rows."""
-    num_special = key_poly.num_primes - full_len
-    indices: List[int] = list(range(num_level)) + list(
-        range(full_len, full_len + num_special)
-    )
-    return key_poly.take_primes(indices)

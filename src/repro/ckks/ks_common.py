@@ -1,0 +1,143 @@
+"""Shared helpers of the key-switch family.
+
+``keyswitch.py`` and ``hoisting.py`` both restrict full-chain key
+polynomials to the current level, enumerate the digits present at that
+level, and accumulate digit-times-key inner products. These helpers used
+to be copy-pasted between the two modules; they live here once, together
+with the batched building blocks the fused pipelines share: the per-level
+stacked key-row cache and the wide-accumulator inner product that mirrors
+the paper's tensor-core MAC kernels (§IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..numtheory.barrett import BatchBarrettReducer
+from .keys import KeySwitchKey
+from .poly import RnsPoly
+
+_U32 = np.uint64(32)
+_LO32 = np.uint64(0xFFFFFFFF)
+
+
+def full_chain_length(ksk: KeySwitchKey) -> int:
+    """Number of ciphertext-chain primes the key covers (max digit index+1)."""
+    return max(i for digit in ksk.digits for i in digit) + 1
+
+
+def level_row_indices(num_level: int, full_len: int,
+                      num_total: int) -> List[int]:
+    """Row indices restricting a full-chain ``q_0..q_full ++ p_0..p_K``
+    polynomial to the current level's primes plus the special primes."""
+    num_special = num_total - full_len
+    return list(range(num_level)) + list(
+        range(full_len, full_len + num_special)
+    )
+
+
+def select_level_rows(key_poly: RnsPoly, num_level: int,
+                      full_len: int) -> RnsPoly:
+    """Restrict a full-chain key polynomial to level + special rows."""
+    return key_poly.take_primes(
+        level_row_indices(num_level, full_len, key_poly.num_primes)
+    )
+
+
+def present_digits(digits: Sequence[Sequence[int]],
+                   num_level: int) -> Tuple[List[List[int]], List[int]]:
+    """``(groups, digit_indices)`` for the digits alive at this level.
+
+    ``groups[g]`` lists the in-level prime indices of the ``g``-th present
+    digit; ``digit_indices[g]`` is its original digit number (needed to
+    pick the matching evk pair). Digits whose primes are all gone at low
+    levels are skipped, exactly as level-aware GPU implementations do.
+    """
+    groups: List[List[int]] = []
+    indices: List[int] = []
+    for j, digit in enumerate(digits):
+        present = [i for i in digit if i < num_level]
+        if present:
+            groups.append(present)
+            indices.append(j)
+    return groups, indices
+
+
+def stacked_key_rows(ksk: KeySwitchKey, num_level: int, *,
+                     t_layout: bool = False
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """``(b_stack, a_stack)``: the key's evk rows restricted to the level,
+    stacked per present digit into ``(num_level + K, G, N)`` tensors —
+    the operand layout of the batched inner product.
+
+    ``t_layout`` returns the digit-innermost ``(num_level + K, N, G)``
+    transpose instead, matching the stacked NTT's working layout so the
+    inner product reduces over a contiguous axis.
+
+    The stacks depend only on ``(key, num_level, layout)``, so they are
+    built once and cached on the key (read-only views; BSGS transforms and
+    bootstrap CoeffToSlot hit the same rotation keys at the same level
+    repeatedly).
+    """
+    cache_key = (num_level, t_layout)
+    cached = ksk._row_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    full_len = full_chain_length(ksk)
+    _, digit_indices = present_digits(ksk.digits, num_level)
+    rows = level_row_indices(
+        num_level, full_len, ksk.pairs[0][0].num_primes
+    )
+    b_stack = np.stack(
+        [ksk.pairs[j][0].data[rows] for j in digit_indices], axis=1
+    )
+    a_stack = np.stack(
+        [ksk.pairs[j][1].data[rows] for j in digit_indices], axis=1
+    )
+    if t_layout:
+        b_stack = np.ascontiguousarray(b_stack.transpose(0, 2, 1))
+        a_stack = np.ascontiguousarray(a_stack.transpose(0, 2, 1))
+    b_stack.setflags(write=False)
+    a_stack.setflags(write=False)
+    ksk._row_cache[cache_key] = (b_stack, a_stack)
+    return b_stack, a_stack
+
+
+def wide_dot(ext: np.ndarray, rows: np.ndarray,
+             reducer: BatchBarrettReducer, *,
+             lane_axis: int = -2) -> np.ndarray:
+    """``sum_g ext[..g..] * rows[..g..] mod q`` without per-digit
+    reduction — the host mirror of a tensor-core MAC tile.
+
+    Operands are ``(P, ..., G, N)`` tensors (prime axis leading, digit
+    axis ``lane_axis``; pass ``lane_axis=-1`` for the digit-innermost
+    ``(P, N, G)`` layout the stacked NTT works in). ``rows`` must be
+    canonical; ``ext`` may be *lazy* — any representatives ``< 2**32``
+    give the same result, so the stacked NTT can skip its final
+    canonicalization. Each ``< 2**63`` product is split into 32-bit
+    halves which accumulate exactly in uint64 over the digit axis (safe
+    for G up to ~2**25), and the two partial sums are folded with a
+    single Barrett pass: ``(hi mod q) * (2**32 mod q) + lo``. The result
+    is canonical and bit-identical to the reference
+    ``acc = acc + reduce(ext_g * rows_g)`` chain.
+    """
+    prod = ext * rows
+    hi = reducer.reduce_mat((prod >> _U32).sum(axis=lane_axis))
+    lo = (prod & _LO32).sum(axis=lane_axis)
+    radix = reducer.reduce_scalar(1 << 32).reshape(
+        (-1,) + (1,) * (lo.ndim - 1)
+    )
+    return reducer.reduce_mat(hi * radix + lo)
+
+
+def stacked_inner_product(ext_eval: np.ndarray, b_stack: np.ndarray,
+                          a_stack: np.ndarray,
+                          reducer: BatchBarrettReducer, *,
+                          lane_axis: int = -2
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """KeySwitch InnerProduct against both evk components in one shape:
+    ``(acc0, acc1) = (ext . b, ext . a)`` reduced over the digit axis."""
+    return wide_dot(ext_eval, b_stack, reducer, lane_axis=lane_axis), \
+        wide_dot(ext_eval, a_stack, reducer, lane_axis=lane_axis)

@@ -118,7 +118,7 @@ class Evaluator:
         """Ciphertext product with relinearization (and optional RESCALE)."""
         a, b = self._align(a, b, match_scale=False)
         d0 = a.c0 * b.c0
-        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d1 = (a.c0 * b.c1).fma_(a.c1, b.c0)
         d2 = a.c1 * b.c1
         ks0, ks1 = keyswitch(d2, keys.relin, self.p_moduli)
         ct = Ciphertext(d0 + ks0, d1 + ks1, a.level, a.scale * b.scale)

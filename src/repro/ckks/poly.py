@@ -195,6 +195,28 @@ class RnsPoly:
         out = self.context.barrett.mul_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, EVAL)
 
+    def fma_(self, a: "RnsPoly", b: "RnsPoly") -> "RnsPoly":
+        """In-place fused multiply-accumulate: ``self += a * b``.
+
+        One reduction pass instead of two and no intermediate product
+        polynomial — the accumulation discipline of the paper's PE MAC
+        kernels (§IV-C). Requires the eval domain (like ``*``); the raw
+        product plus the accumulator stays below ``2**62 + 2**31``, inside
+        the Barrett reducer's input range. Bit-identical to
+        ``self + a * b``; returns ``self`` for chaining.
+        """
+        a._check_compatible(b)
+        self._check_compatible(a)
+        if self.domain != EVAL:
+            raise ValueError(
+                "fused multiply-accumulate requires the eval domain; call "
+                ".to_eval() first (this is the NTT the paper accelerates)"
+            )
+        prod = a.data * b.data
+        prod += self.data
+        self.data = self.context.barrett.reduce_mat(prod)
+        return self
+
     def mul_scalar(self, scalar: int) -> "RnsPoly":
         """Multiply by an integer scalar (any domain)."""
         ctx = self.context

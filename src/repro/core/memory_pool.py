@@ -51,9 +51,17 @@ class MemoryPool:
 
     @classmethod
     def for_params(cls, params: CkksParams, *, batch_size: int = 1,
+                   word_bytes: int = 4,
                    available_bytes: int = 80 * 1024**3) -> "MemoryPool":
-        """Pool sized to min(S_max, available memory) per §IV-D-1."""
-        want = max_working_set_bytes(params, batch_size=batch_size)
+        """Pool sized to min(S_max, available memory) per §IV-D-1.
+
+        ``word_bytes`` defaults to the paper's 32-bit GPU words; the
+        functional host mirror stores residues as uint64, so tests
+        accounting live numpy buffers pass ``word_bytes=8``.
+        """
+        want = max_working_set_bytes(
+            params, batch_size=batch_size, word_bytes=word_bytes
+        )
         return cls(min(want, available_bytes))
 
     def allocate(self, size: int, tag: str = "") -> Allocation:

@@ -33,6 +33,13 @@ from .negacyclic import (
     rotate_galois,
 )
 from .radix2 import cyclic_ntt, negacyclic_intt, negacyclic_ntt
+from .stacked import (
+    ShoupStack,
+    get_shoup_stack,
+    shoup_stack_cache_stats,
+    stacked_negacyclic_intt,
+    stacked_negacyclic_ntt,
+)
 from .twiddles import (
     TwiddleStack,
     batched_cyclic_ntt,
@@ -65,6 +72,7 @@ __all__ = [
     "NttPlan",
     "NttTables",
     "SUPPORTED_RADICES",
+    "ShoupStack",
     "TABLE_CACHE_SIZE",
     "TwiddleStack",
     "apply_automorphism",
@@ -82,6 +90,7 @@ __all__ = [
     "fourstep_cyclic_ntt",
     "fourstep_negacyclic_ntt",
     "gemm_inner_ntt",
+    "get_shoup_stack",
     "get_tables",
     "get_twiddle_stack",
     "matmul_mod_uint32",
@@ -97,6 +106,9 @@ __all__ = [
     "reference_negacyclic_intt",
     "reference_negacyclic_ntt",
     "rotate_galois",
+    "shoup_stack_cache_stats",
+    "stacked_negacyclic_intt",
+    "stacked_negacyclic_ntt",
     "table_cache_stats",
     "table_iv_rows",
     "twiddle_stack_cache_stats",

@@ -28,7 +28,14 @@ from .primes import (
     find_ntt_prime,
     find_ntt_primes,
 )
-from .rns import RNSBasis, digit_partition, extend_basis, mod_down, rescale_rows
+from .rns import (
+    RNSBasis,
+    digit_partition,
+    extend_basis,
+    extend_basis_stacked,
+    mod_down,
+    rescale_rows,
+)
 
 __all__ = [
     "BarrettReducer",
@@ -46,6 +53,7 @@ __all__ = [
     "build_prime_chain",
     "digit_partition",
     "extend_basis",
+    "extend_basis_stacked",
     "find_ntt_prime",
     "find_ntt_primes",
     "is_power_of_two",

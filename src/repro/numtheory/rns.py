@@ -16,12 +16,21 @@ here —
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence
 
 import numpy as np
 
 from .barrett import BarrettReducer, BatchBarrettReducer
 from .modmath import modinv
+
+
+def _col(values, ndim: int) -> np.ndarray:
+    """Shape per-prime constants to broadcast over ``ndim``-D residue
+    arrays whose leading axis is the prime index."""
+    return np.asarray(values, dtype=np.uint64).reshape(
+        (-1,) + (1,) * (ndim - 1)
+    )
 
 
 class RNSBasis:
@@ -88,7 +97,10 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
     Parameters
     ----------
     residues:
-        ``(len(source), n)`` uint64 matrix of residues w.r.t. ``source``.
+        ``(len(source), ..., n)`` uint64 array of residues w.r.t.
+        ``source`` — any number of trailing batch axes (the batched
+        key-switch pipeline passes digit- and accumulator-stacked
+        tensors); the leading axis is always the prime index.
     source, target:
         Source and destination bases; they need not overlap.
     exact:
@@ -100,43 +112,155 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
 
     Returns
     -------
-    ``(len(target), n)`` uint64 matrix of residues w.r.t. ``target``.
+    ``(len(target), ..., n)`` uint64 array of residues w.r.t. ``target``.
     """
     if residues.shape[0] != len(source):
         raise ValueError(
             f"residue rows ({residues.shape[0]}) != source basis size "
             f"({len(source)})"
         )
-    n = residues.shape[1]
+    if len(source) == 1:
+        # Single-prime source (the K=1 ModDown of the Table VI sets): the
+        # lone CRT factor is hat = 1, so y = x, every target row is just
+        # x mod t, and the exact ratio correction is identically zero
+        # (y/q < 1 floors to 0). One reduction replaces the generic
+        # mul/add/ratio passes, bit-identically.
+        return target.batch.reduce_mat(
+            np.broadcast_to(
+                residues[0], (len(target),) + residues.shape[1:]
+            )
+        )
+    ndim = residues.ndim
     # y_i = x_i * hat_inv_i mod q_i  (all < q_i < 2**31) — one row-wise pass.
-    y = source.batch.mul_mat(residues, source._hat_inv_col)
+    y = source.batch.mul_mat(residues, _col(source.hat_invs, ndim))
 
     # Accumulate sum_i y_i * (Q/q_i mod t) over all target rows at once;
     # only the (small) digit dimension remains a Python loop.
-    out = np.zeros((len(target), n), dtype=np.uint64)
+    out = np.zeros((len(target),) + residues.shape[1:], dtype=np.uint64)
     tgt = target.batch
     for i, q_i in enumerate(source.moduli):
-        hat_col = np.array(
-            [(source.product // q_i) % t for t in target.moduli],
-            dtype=np.uint64,
-        ).reshape(-1, 1)
-        out = tgt.add_mat(out, tgt.mul_mat(y[i][None, :], hat_col))
+        hat_col = _col(
+            [(source.product // q_i) % t for t in target.moduli], ndim
+        )
+        out = tgt.add_mat(out, tgt.mul_mat(y[i][None, ...], hat_col))
 
     if exact:
         # The approximate result equals x + u*Q with
         # u = floor(sum_i y_i / q_i); float64 is ample for |source| <= ~64
         # 31-bit primes (relative error ~ 2**-52 per term).
-        ratio = np.zeros(n, dtype=np.float64)
+        ratio = np.zeros(residues.shape[1:], dtype=np.float64)
         for i, q_i in enumerate(source.moduli):
             ratio += y[i].astype(np.float64) / float(q_i)
         u = np.floor(ratio).astype(np.uint64)
-        q_mod_t_col = np.array(
-            [source.product % t for t in target.moduli], dtype=np.uint64
-        ).reshape(-1, 1)
+        q_mod_t_col = _col(
+            [source.product % t for t in target.moduli], ndim
+        )
         correction = tgt.mul_mat(
             tgt.reduce_mat(np.broadcast_to(u, out.shape)), q_mod_t_col
         )
         out = tgt.sub_mat(out, correction)
+    return out
+
+
+@lru_cache(maxsize=256)
+def _stacked_modup_plan(source_moduli: tuple, groups: tuple,
+                        target_moduli: tuple):
+    """Precomputed constants for :func:`extend_basis_stacked`.
+
+    Returns ``(flat_rows, flat_reducer, hat_inv_col, steps)`` where
+    ``steps[k] = (group_positions, y_rows, hat_cols)`` vectorizes the
+    k-th prime of every digit across all digits at once:
+    ``hat_cols[t, j] = (prod(digit_j) / q_{rows[j]}) mod target_t``.
+    """
+    sub_products = []
+    hat_invs = []
+    for g in groups:
+        prod = 1
+        for i in g:
+            prod *= source_moduli[i]
+        sub_products.append(prod)
+        for i in g:
+            q_i = source_moduli[i]
+            hat = prod // q_i
+            hat_invs.append(modinv(hat % q_i, q_i))
+    flat_rows = [i for g in groups for i in g]
+    flat_reducer = BatchBarrettReducer([source_moduli[i] for i in flat_rows])
+    hat_inv_col = np.array(hat_invs, dtype=np.uint64).reshape(-1, 1)
+
+    alpha = max(len(g) for g in groups)
+    steps = []
+    offsets = np.cumsum([0] + [len(g) for g in groups[:-1]])
+    for k in range(alpha):
+        positions = [gi for gi, g in enumerate(groups) if len(g) > k]
+        y_rows = np.array(
+            [offsets[gi] + k for gi in positions], dtype=np.intp
+        )
+        hat_cols = np.array(
+            [[(sub_products[gi] // source_moduli[groups[gi][k]]) % t
+              for gi in positions]
+             for t in target_moduli],
+            dtype=np.uint64,
+        )[:, :, None]
+        steps.append((np.array(positions, dtype=np.intp), y_rows, hat_cols))
+    return flat_rows, flat_reducer, hat_inv_col, steps
+
+
+def extend_basis_stacked(residues: np.ndarray, groups: Sequence[Sequence[int]],
+                         source: RNSBasis, target: RNSBasis, *,
+                         lazy: bool = False) -> np.ndarray:
+    """Digit-batched ModUp: extend every decomposition digit in one pass.
+
+    Where the per-digit pipeline calls :func:`extend_basis` ``dnum`` times
+    (one ``(alpha, n) -> (T, n)`` extension per digit), this produces the
+    whole ``(len(target), len(groups), n)`` digit tensor at once —
+    prime-major, digit-minor, exactly the layout the stacked NTT consumes.
+
+    Parameters
+    ----------
+    residues:
+        ``(len(source), n)`` residue matrix (e.g. a level polynomial in
+        coefficient form).
+    groups:
+        Per digit, the row indices of ``residues`` forming that digit's
+        sub-basis. Groups must be non-empty; they need not cover every row.
+    lazy:
+        Only honored on the single-prime-digit fast path (``alpha == 1``,
+        the paper's ``dnum = L+1`` benchmark sets): the extension of one
+        prime's residue ``x < q_i < 2**31`` is just ``x mod t``, so the
+        unreduced broadcast is already a valid lazy representative for the
+        stacked NTT and the reduction is skipped entirely.
+
+    Per digit, results are bit-identical to ``extend_basis`` on that
+    digit's rows (canonical residues; lazy outputs reduce to them).
+    """
+    if not groups or any(len(g) == 0 for g in groups):
+        raise ValueError("every digit group must hold at least one prime")
+    n = residues.shape[1]
+    num_groups = len(groups)
+    num_target = len(target)
+
+    if all(len(g) == 1 for g in groups):
+        picked = residues[[g[0] for g in groups]]  # (G, n), each < 2**31
+        out = np.broadcast_to(picked[None, :, :], (num_target, num_groups, n))
+        if lazy:
+            return np.ascontiguousarray(out)
+        return target.batch.reduce_mat(np.ascontiguousarray(out))
+
+    plan = _stacked_modup_plan(
+        tuple(source.moduli), tuple(tuple(g) for g in groups),
+        tuple(target.moduli),
+    )
+    flat_rows, flat_reducer, hat_inv_col, steps = plan
+    # y_i = x_i * hat_inv_i mod q_i, every digit's rows in one pass (each
+    # row scaled within its own digit's sub-basis).
+    y = flat_reducer.mul_mat(residues[flat_rows], hat_inv_col)
+
+    out = np.zeros((num_target, num_groups, n), dtype=np.uint64)
+    tgt = target.batch
+    # alpha passes, each handling the k-th prime of every digit at once.
+    for positions, y_rows, hat_cols in steps:
+        contrib = tgt.mul_mat(y[y_rows][None, :, :], hat_cols)
+        out[:, positions, :] = tgt.add_mat(out[:, positions, :], contrib)
     return out
 
 
@@ -145,7 +269,10 @@ def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
     """Divide by ``P = prod(special)`` with rounding (KeySwitch ModDown).
 
     ``residues`` holds the value over the concatenated basis ``main ++
-    special`` (main rows first). Returns ``round(x / P)`` over ``main``.
+    special`` (main rows first), with any number of trailing batch axes
+    after the prime axis — the batched key-switch lowers both
+    accumulators (and, when hoisting, every rotation step) in one call.
+    Returns ``round(x / P)`` over ``main``.
     """
     n_main = len(main)
     if residues.shape[0] != n_main + len(special):
@@ -157,10 +284,10 @@ def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
     # Extend (x mod P) back onto the main basis, then subtract and divide —
     # all main rows in one batched pass.
     x_special_on_main = extend_basis(x_special, special, main, exact=True)
-    p_inv_col = np.array(
+    p_inv_col = _col(
         [modinv(special.product % q, q) for q in main.moduli],
-        dtype=np.uint64,
-    ).reshape(-1, 1)
+        residues.ndim,
+    )
     mb = main.batch
     diff = mb.sub_mat(x_main, mb.reduce_mat(x_special_on_main))
     return mb.mul_mat(diff, p_inv_col)
@@ -189,19 +316,19 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
         )
     out = extend_basis(residues, source, target, exact=True)
     # Recompute the fractional part x/Q to decide the sign.
-    y = source.batch.mul_mat(residues, source._hat_inv_col)
-    ratio = np.zeros(residues.shape[1], dtype=np.float64)
+    y = source.batch.mul_mat(residues, _col(source.hat_invs, residues.ndim))
+    ratio = np.zeros(residues.shape[1:], dtype=np.float64)
     for i, q_i in enumerate(source.moduli):
         ratio += y[i].astype(np.float64) / float(q_i)
     frac = ratio - np.floor(ratio)
     negative = frac >= 0.5
-    q_mod_t_col = np.array(
-        [source.product % t for t in target.moduli], dtype=np.uint64
-    ).reshape(-1, 1)
+    q_mod_t_col = _col(
+        [source.product % t for t in target.moduli], residues.ndim
+    )
     shifted = target.batch.sub_mat(
         out, np.broadcast_to(q_mod_t_col, out.shape)
     )
-    return np.where(negative[None, :], shifted, out)
+    return np.where(negative[None, ...], shifted, out)
 
 
 def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
@@ -225,6 +352,7 @@ def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
         raise ValueError("plaintext modulus must be coprime to the chain")
     x_main = residues[:n_main]
     x_special = residues[n_main:]
+    ndim = residues.ndim
     delta_on_main = extend_basis(x_special, special, main, exact=True)
     # delta mod t, via an exact extension onto the singleton basis {t}.
     delta_mod_t = extend_basis(
@@ -237,17 +365,18 @@ def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
     ).astype(np.int64)
     correction[correction > t // 2] -= t
 
-    p_inv_col = np.array(
-        [modinv(special.product % q, q) for q in main.moduli],
-        dtype=np.uint64,
-    ).reshape(-1, 1)
-    p_mod_q_col = np.array(
-        [special.product % q for q in main.moduli], dtype=np.uint64
-    ).reshape(-1, 1)
-    q_col = np.array(main.moduli, dtype=np.int64)[:, None]
+    p_inv_col = _col(
+        [modinv(special.product % q, q) for q in main.moduli], ndim
+    )
+    p_mod_q_col = _col(
+        [special.product % q for q in main.moduli], ndim
+    )
+    q_col = np.array(main.moduli, dtype=np.int64).reshape(
+        (-1,) + (1,) * (ndim - 1)
+    )
     mb = main.batch
     corr_mod_q = np.mod(
-        correction.astype(np.int64)[None, :], q_col
+        correction.astype(np.int64)[None, ...], q_col
     ).astype(np.uint64)
     corr_term = mb.mul_mat(corr_mod_q, p_mod_q_col)
     delta_prime = mb.sub_mat(delta_on_main, corr_term)
