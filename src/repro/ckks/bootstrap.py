@@ -20,12 +20,30 @@ The linear-transform matrices are derived numerically from the encoder
 (they are the canonical-embedding DFT halves), so this module works for
 any power-of-two ring degree; tests run it on toy rings, the benchmark
 harness prices its operation schedule at N = 2^16.
+
+**FFT factorization** (``BootstrapConfig.fft_factored``): the embedding
+matrix obeys ``U0[j, k] = zeta^(5^j * k)`` (with ``zeta = exp(i*pi/N)``
+and ``U1 = i * U0``), so it Cooley-Tukey-factors into ``log2(s)`` radix-2
+butterfly factors, each with at most 3 non-zero generalized diagonals
+``{0, h, s-h}``::
+
+    U0 = B_1 @ B_2 @ ... @ B_m @ R          (R = bit-reversal)
+
+SlotToCoeff then applies the ``B`` factors only (coefficients land in
+bit-reversed order) and CoeffToSlot applies their scaled adjoints
+``B_r^H / (2s)^(1/m)`` followed by ``y + conj(y)`` (``P2 = conj(P1)``
+collapses the conjugate leg into one conjugation).  The two bit
+reversals cancel through the coefficient-wise ModRaise, so the full
+bootstrap needs no permutation at all — O(log s) cheap transforms
+instead of one dense one.  The ``fuse`` knob level-collapses ``k``
+adjacent factors into one (fewer levels, more diagonals per stage).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from functools import reduce
+from typing import List, Tuple
 
 import numpy as np
 
@@ -47,8 +65,82 @@ class BootstrapConfig:
     #: ModRaise overflow bound ~ (hamming_weight + 1) / 2.
     eval_range: float = 6.5
     #: Use BSGS linear transforms (sqrt-many rotation keys) vs the plain
-    #: diagonal method.
+    #: diagonal method (dense path only).
     bsgs: bool = True
+    #: Run SlotToCoeff/CoeffToSlot as O(log s) sparse radix factors
+    #: instead of one dense transform each.  Requires the input
+    #: ciphertext to carry at least ``stc_levels`` levels.
+    fft_factored: bool = False
+    #: Level-collapse this many adjacent radix factors into one stage
+    #: (fft_factored only): fewer levels consumed, up to ``3**fuse``
+    #: diagonals per stage.
+    fuse: int = 1
+
+
+def special_fft_factors(slots: int) -> List[np.ndarray]:
+    """The radix-2 butterfly factors ``[B_1, ..., B_m]`` of the
+    slot-embedding DFT: ``U0 = B_1 @ ... @ B_m @ R``.
+
+    Factor ``B_r`` is block-diagonal with ``2**(r-1)`` butterfly blocks of
+    size ``L = s / 2**(r-1)``; block entries ``(j, j) = 1``,
+    ``(j, j+h) = c_j``, ``(j+h, j) = 1``, ``(j+h, j+h) = -c_j`` with
+    ``h = L/2`` and twiddle ``c_j = exp(i*pi*(5^j mod 4L) / 2L)`` — at
+    most 3 non-zero generalized diagonals ``{0, h, s-h}`` each.
+    """
+    if slots & (slots - 1):
+        raise ValueError("special FFT factors need power-of-two slots")
+    m = slots.bit_length() - 1
+    factors = []
+    for r in range(1, m + 1):
+        length = slots >> (r - 1)
+        half = length // 2
+        j = np.arange(half)
+        exps = np.array([pow(5, int(t), 4 * length) for t in j])
+        twiddle = np.exp(1j * np.pi * exps / (2 * length))
+        mat = np.zeros((slots, slots), dtype=np.complex128)
+        for off in range(0, slots, length):
+            rows = off + j
+            mat[rows, rows] = 1.0
+            mat[rows, rows + half] = twiddle
+            mat[rows + half, rows] = 1.0
+            mat[rows + half, rows + half] = -twiddle
+        factors.append(mat)
+    return factors
+
+
+def _fuse_stages(stages: List[np.ndarray], fuse: int) -> List[np.ndarray]:
+    """Collapse ``fuse`` adjacent stage matrices (application order) into
+    their products — the level-collapse knob."""
+    if fuse < 1:
+        raise ValueError(f"fuse must be >= 1, got {fuse}")
+    if fuse == 1:
+        return stages
+    out = []
+    for i in range(0, len(stages), fuse):
+        grp = stages[i:i + fuse]
+        # Applied grp[0] first: the collapsed matrix is grp[-1] @ ... @
+        # grp[0].
+        out.append(reduce(lambda acc, mat: mat @ acc, grp))
+    return out
+
+
+def factored_stage_matrices(slots: int, fuse: int = 1
+                            ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """``(stc_stages, cts_stages)`` in application order.
+
+    SlotToCoeff applies ``B_m, ..., B_1`` (product ``U0 @ R``: the message
+    lands in bit-reversed coefficient order); CoeffToSlot applies
+    ``B_1^H, ..., B_m^H`` each scaled by ``(2s)^(-1/m)`` (product
+    ``R @ P1``); the plain transform's conjugate leg ``P2 = conj(P1)`` is
+    recovered as ``y + conj(y)`` after the chain.  The two bit reversals
+    cancel through ModRaise, which acts per coefficient.
+    """
+    base = special_fft_factors(slots)
+    m = len(base)
+    shrink = (2.0 * slots) ** (-1.0 / m)
+    stc = list(reversed(base))
+    cts = [b.conj().T * shrink for b in base]
+    return _fuse_stages(stc, fuse), _fuse_stages(cts, fuse)
 
 
 class Bootstrapper:
@@ -62,30 +154,76 @@ class Bootstrapper:
         self.ctx = ctx
         self.config = config or BootstrapConfig()
         self.slots = ctx.params.slots
-        u0, p1, p2 = _embedding_matrices(ctx)
-        self._stc = LinearTransform(ctx, u0, bsgs=self.config.bsgs)
-        self._cts1 = LinearTransform(ctx, p1, bsgs=self.config.bsgs)
-        self._cts2 = LinearTransform(ctx, p2, bsgs=self.config.bsgs)
+        if self.config.fft_factored:
+            stc_mats, cts_mats = factored_stage_matrices(
+                self.slots, self.config.fuse
+            )
+            # Sparse radix stages: a handful of diagonals each, so the
+            # plain diagonal method beats BSGS (whose giant rotations
+            # would outnumber the diagonals).
+            self._stc_stages = [
+                LinearTransform(ctx, m, bsgs=False) for m in stc_mats
+            ]
+            self._cts_stages = [
+                LinearTransform(ctx, m, bsgs=False) for m in cts_mats
+            ]
+            self._transforms = self._stc_stages + self._cts_stages
+        else:
+            u0, p1, p2 = _embedding_matrices(ctx)
+            self._stc = LinearTransform(ctx, u0, bsgs=self.config.bsgs)
+            self._cts1 = LinearTransform(ctx, p1, bsgs=self.config.bsgs)
+            self._cts2 = LinearTransform(ctx, p2, bsgs=self.config.bsgs)
+            self._transforms = [self._stc, self._cts1, self._cts2]
         self._polyeval = PolynomialEvaluator(ctx.evaluator)
         self._cheb_coeffs = self._fit_sine()
 
+    @property
+    def stc_levels(self) -> int:
+        """Levels SlotToCoeff consumes — the minimum level of the input
+        ciphertext (one per factored stage; one for the dense path)."""
+        return len(self._stc_stages) if self.config.fft_factored else 1
+
     def required_rotations(self) -> List[int]:
-        """Union of the three transforms' rotation steps."""
+        """Union of every transform's rotation steps — sorted and
+        deduplicated, so the key set never generates a step twice."""
         steps = set()
-        for lt in (self._stc, self._cts1, self._cts2):
+        for lt in self._transforms:
             steps.update(lt.required_rotations())
         return sorted(steps)
 
     @staticmethod
-    def required_rotations_for(params, *, bsgs: bool = True) -> List[int]:
+    def required_rotations_for(params, *, bsgs: bool = True,
+                               fft_factored: bool = False,
+                               fuse: int = 1) -> List[int]:
         """Rotation steps needed, without building a context first.
 
-        Conservative: the embedding matrices are dense, so BSGS uses every
-        baby step below sqrt(slots) and every giant multiple.
+        Conservative supersets in both modes: the dense embedding matrices
+        use every baby step below sqrt(slots) and every giant multiple;
+        a factored stage's diagonals sit inside the sumset of its fused
+        factors' butterfly offsets ``{0, h_r, s - h_r}`` (computed
+        analytically — no dense factor matrices, so this stays cheap at
+        production slot counts like 2^15).
         """
         import math
 
         s = params.slots
+        if fft_factored:
+            if fuse < 1:
+                raise ValueError(f"fuse must be >= 1, got {fuse}")
+            m = s.bit_length() - 1
+            halves = [s >> r for r in range(1, m + 1)]
+            steps = set()
+            # StC fuses reversed factors, CtS forward ones (the adjoint
+            # negates offsets, which maps {h, s-h} to itself).
+            for order in (halves[::-1], halves):
+                for i in range(0, len(order), fuse):
+                    offs = {0}
+                    for h in order[i:i + fuse]:
+                        offs = {(a + d) % s
+                                for a in offs for d in (0, h, s - h)}
+                    steps.update(offs)
+            steps.discard(0)
+            return sorted(steps)
         if not bsgs:
             return list(range(1, s))
         baby = max(1, int(math.isqrt(s)))
@@ -115,8 +253,23 @@ class Bootstrapper:
 
     def slot_to_coeff(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
         """Linear transform with U0: new slots = U0 z, whose underlying
-        polynomial has the message in its low coefficients."""
-        return self._stc.apply(ct, keys)
+        polynomial has the message in its low coefficients.
+
+        Factored mode chains the radix stages ``B_m, ..., B_1`` — the
+        message lands in *bit-reversed* coefficient order, which the
+        factored CoeffToSlot undoes (ModRaise in between is
+        coefficient-wise, so the permutation rides through it).
+        """
+        if not self.config.fft_factored:
+            return self._stc.apply(ct, keys)
+        if ct.level < len(self._stc_stages):
+            raise ValueError(
+                f"factored SlotToCoeff needs level >= "
+                f"{len(self._stc_stages)}, got {ct.level}"
+            )
+        for stage in self._stc_stages:
+            ct = stage.apply(ct, keys)
+        return ct
 
     def mod_raise(self, ct: Ciphertext) -> Ciphertext:
         """Lift level-0 residues to the full chain (plaintext gains q0*I)."""
@@ -136,12 +289,22 @@ class Bootstrapper:
         )
 
     def coeff_to_slot(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
-        """Slots become the low-half coefficients: P1 z + P2 conj(z)."""
+        """Slots become the low-half coefficients: P1 z + P2 conj(z).
+
+        Factored mode chains the adjoint stages (product ``R @ P1``) once
+        and recovers the conjugate leg as ``y + conj(y)`` — since
+        ``P2 = conj(P1)``, that equals ``R (P1 z + P2 conj(z))``, and the
+        bit reversal cancels the one SlotToCoeff introduced.
+        """
         ev = self.ctx.evaluator
-        conj = ev.conjugate(ct, keys)
-        part1 = self._cts1.apply(ct, keys)
-        part2 = self._cts2.apply(conj, keys)
-        return ev.hadd_matched(part1, part2)
+        if not self.config.fft_factored:
+            conj = ev.conjugate(ct, keys)
+            part1 = self._cts1.apply(ct, keys)
+            part2 = self._cts2.apply(conj, keys)
+            return ev.hadd_matched(part1, part2)
+        for stage in self._cts_stages:
+            ct = stage.apply(ct, keys)
+        return ev.hadd_matched(ct, ev.conjugate(ct, keys))
 
     def eval_mod(self, ct: Ciphertext, keys: KeySet, *,
                  raised_scale: float) -> Ciphertext:

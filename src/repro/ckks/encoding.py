@@ -85,6 +85,44 @@ class Encoder:
         twisted = np.fft.fft(spectrum) / self.n
         return np.real(twisted / _zeta_twist(self.n))
 
+    def embed_many(self, rows) -> np.ndarray:
+        """Batched :meth:`embed`: one FFT pass over a ``(D, slots)`` slot
+        matrix, returning ``(D, n)`` float coefficients.
+
+        The per-row operation sequence (spectrum scatter, FFT, twist) is
+        the same as :meth:`embed`, so a row here equals embedding that row
+        alone — this is what the linear-transform compiler uses to encode
+        a whole diagonal stack without a per-diagonal Python loop.
+        """
+        rows = np.asarray(rows, dtype=np.complex128)
+        if rows.ndim != 2:
+            raise ValueError("embed_many expects a (D, slots) matrix")
+        if rows.shape[1] > self.slots:
+            raise ValueError(
+                f"{rows.shape[1]} values exceed the {self.slots} slots"
+            )
+        z = np.zeros((rows.shape[0], self.slots), dtype=np.complex128)
+        z[:, : rows.shape[1]] = rows
+
+        idx = _embedding_indices(self.n)
+        spectrum = np.zeros((rows.shape[0], self.n), dtype=np.complex128)
+        spectrum[:, idx] = z
+        spectrum[:, self.n - 1 - idx] = np.conj(z)
+        twisted = np.fft.fft(spectrum, axis=1) / self.n
+        return np.real(twisted / _zeta_twist(self.n)[None, :])
+
+    def encode_many(self, rows, scale: float = None) -> np.ndarray:
+        """Batched :meth:`encode`: ``(D, slots)`` slot rows to ``(D, n)``
+        int64 coefficient rows in one vectorized pass."""
+        scale = self.params.scale if scale is None else scale
+        scaled = self.embed_many(rows) * scale
+        limit = float(np.max(np.abs(scaled))) if scaled.size else 0.0
+        if limit >= 2**62:
+            raise ValueError(
+                "scaled coefficients overflow 62 bits; reduce the scale"
+            )
+        return np.rint(scaled).astype(np.int64)
+
     def decode(self, coeffs, scale: float = None) -> np.ndarray:
         """Decode (possibly big-int) centered coefficients back to slots."""
         scale = self.params.scale if scale is None else scale

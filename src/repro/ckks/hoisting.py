@@ -81,14 +81,18 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
     batching the per-step tail across all steps.
 
     Requires a rotation key for each step. Returns ``{step: rotated}``.
-    Bit-identical to :func:`hoisted_rotations_looped`.
+    Bit-identical to :func:`hoisted_rotations_looped`. Step ``0`` is a
+    passthrough — the input ciphertext itself — so BSGS callers can hand
+    the whole baby-step list over without special-casing the identity.
     """
+    steps = list(steps)
+    passthrough = 0 in steps
+    steps = [s for s in steps if s]
     missing = [s for s in steps if s not in keys.rotation]
     if missing:
         raise KeyError(f"missing rotation keys for steps {missing}")
     if not steps:
-        return {}
-    steps = list(steps)
+        return {0: ct} if passthrough else {}
     num_steps = len(steps)
 
     level_moduli = ct.moduli
@@ -169,6 +173,8 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
         out[step] = Ciphertext(
             rot0_poly + part0, part1, ct.level, ct.scale
         )
+    if passthrough:
+        out[0] = ct
     return out
 
 
@@ -183,11 +189,14 @@ def hoisted_rotations_looped(ev: Evaluator, ct: Ciphertext,
     once, and each step's evk row selections once before its digit loop
     (they depend only on the key and the level, not on the digit pass).
     """
+    steps = list(steps)
+    passthrough = 0 in steps
+    steps = [s for s in steps if s]
     missing = [s for s in steps if s not in keys.rotation]
     if missing:
         raise KeyError(f"missing rotation keys for steps {missing}")
     if not steps:
-        return {}
+        return {0: ct} if passthrough else {}
 
     level_moduli = ct.moduli
     num_level = len(level_moduli)
@@ -241,4 +250,6 @@ def hoisted_rotations_looped(ev: Evaluator, ct: Ciphertext,
         out[step] = Ciphertext(
             rot0 + parts[0], parts[1], ct.level, ct.scale
         )
+    if passthrough:
+        out[0] = ct
     return out

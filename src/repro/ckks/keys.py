@@ -91,7 +91,12 @@ class KeyGenerator:
     def generate(self, *, rotations: List[int] = None,
                  conjugation: bool = False) -> KeySet:
         """Generate a full key set; ``rotations`` lists slot offsets to
-        pre-generate HROTATE keys for."""
+        pre-generate HROTATE keys for.
+
+        Duplicate and zero steps are skipped — callers merging rotation
+        demands from several transforms (e.g. the bootstrap stages) can
+        pass the raw concatenation without paying for a key twice.
+        """
         secret = self.generate_secret()
         keys = KeySet(
             secret=secret,
@@ -99,7 +104,8 @@ class KeyGenerator:
             relin=self.generate_relin(secret),
         )
         for step in rotations or []:
-            keys.rotation[step] = self.generate_rotation(secret, step)
+            if step and step not in keys.rotation:
+                keys.rotation[step] = self.generate_rotation(secret, step)
         if conjugation:
             keys.conjugation = self.generate_conjugation(secret)
         return keys

@@ -14,22 +14,72 @@ matrix-vector products. Two strategies:
 
 The baby rotations are computed with Halevi-Shoup hoisting
 (:mod:`repro.ckks.hoisting`), so the dominant ModUp cost is paid once.
+
+Application is a **plan/compile** pipeline: :meth:`LinearTransform.compile`
+extracts the non-zero (shifted) diagonals once, encodes them per level
+into a cached **eval-form diagonal stack** — a read-only
+``(num_primes, num_diags, N)`` NTT-domain tensor built with one batched
+embedding (:meth:`~repro.ckks.encoding.Encoder.encode_many`) and one
+stacked NTT — and :meth:`apply` then runs every baby-step PMULT +
+accumulation of a giant group as a single wide-accumulator pass
+(:func:`~repro.ckks.ks_common.wide_dot`) over that stack.  Giant groups
+whose shifted diagonals are all structurally zero are pruned at plan
+time (lossless — they contribute nothing to the sum).
+
+:meth:`apply_looped` preserves the per-diagonal pipeline as the
+bit-exactness oracle; it shares the compiled plaintext stack (so repeated
+applies never re-encode — the historical behaviour re-encoded every
+diagonal on *every* call) and accumulates with
+:meth:`~repro.ckks.poly.RnsPoly.fma_`, both of which are bit-identical
+substitutions.  ``apply`` == ``apply_looped`` bit-exactly.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .ciphertext import Ciphertext
+from ..ntt.stacked import get_shoup_stack, stacked_negacyclic_ntt
+from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .hoisting import hoisted_rotations
 from .keys import KeySet
+from .poly import EVAL, RnsPoly
+from .ks_common import wide_dot
+from .rns_context import get_rns_context
 
 #: Magnitude below which a diagonal is treated as structurally zero.
 _DIAG_EPSILON = 1e-12
+
+
+class _LevelPlan:
+    """One compiled level of a transform: the eval-form diagonal stack.
+
+    ``stack`` is the ``(num_primes, num_diags, N)`` uint64 NTT-domain
+    plaintext tensor (read-only; conceptually ``num_diags`` residue
+    matrices side by side).  ``groups`` lists, per giant step, the
+    rotation to apply after the inner sum, the positions of its baby
+    rotations inside ``babies``, and its slice of the stack.
+    """
+
+    __slots__ = ("level", "moduli", "pt_scale", "babies", "groups", "stack")
+
+    def __init__(self, level: int, moduli: Tuple[int, ...], pt_scale: float,
+                 babies: List[int],
+                 groups: List[Tuple[int, np.ndarray, np.ndarray]],
+                 stack: np.ndarray):
+        self.level = level
+        self.moduli = moduli
+        self.pt_scale = pt_scale
+        self.babies = babies
+        self.groups = groups
+        self.stack = stack
+
+    @property
+    def num_diags(self) -> int:
+        return self.stack.shape[1]
 
 
 class LinearTransform:
@@ -47,6 +97,10 @@ class LinearTransform:
         self.slots = s
         self.baby = max(1, int(math.isqrt(s))) if bsgs else s
         self._diagonals = self._extract_diagonals()
+        # {giant_rotation: {baby_step: already-shifted diagonal}} — the
+        # diagonal method is the single group with giant rotation 0.
+        self._groups = self._build_groups()
+        self._plans: Dict[int, _LevelPlan] = {}
 
     # -- construction -------------------------------------------------------------
 
@@ -62,68 +116,162 @@ class LinearTransform:
             raise ValueError("transform matrix is identically zero")
         return out
 
-    def required_rotations(self) -> List[int]:
-        """Rotation keys the application must generate."""
+    def _build_groups(self) -> Dict[int, Dict[int, np.ndarray]]:
+        groups: Dict[int, Dict[int, np.ndarray]] = {}
         if not self.bsgs:
-            return sorted(d for d in self._diagonals if d)
-        steps = set()
-        for d in self._diagonals:
+            groups[0] = dict(self._diagonals)
+            return groups
+        for d, diag in self._diagonals.items():
             g, b = divmod(d, self.baby)
-            if b:
-                steps.add(b)
-            if g:
-                steps.add(g * self.baby)
+            # Pre-rotate the diagonal so the giant rotation can be applied
+            # after the inner sum.
+            groups.setdefault(g * self.baby, {})[b] = np.roll(
+                diag, g * self.baby
+            )
+        return groups
+
+    @property
+    def num_giant_groups(self) -> int:
+        """Giant-step groups that survived zero-diagonal pruning."""
+        return len(self._groups)
+
+    @property
+    def pruned_giant_steps(self) -> List[int]:
+        """Giant rotations skipped because every diagonal of the group is
+        structurally zero (below ``_DIAG_EPSILON``) — the skip is lossless
+        since those diagonals contribute nothing to the sum."""
+        if not self.bsgs:
+            return []
+        num_groups = -(-self.slots // self.baby)
+        return sorted(
+            g * self.baby for g in range(num_groups)
+            if g * self.baby not in self._groups
+        )
+
+    def required_rotations(self) -> List[int]:
+        """Rotation keys the application must generate (sorted, unique)."""
+        steps = set()
+        for g_rot, grp in self._groups.items():
+            if g_rot:
+                steps.add(g_rot)
+            steps.update(b for b in grp if b)
         return sorted(steps)
+
+    # -- plan compilation ----------------------------------------------------------
+
+    def compile(self, level: int) -> _LevelPlan:
+        """Encode every (shifted) diagonal at ``level`` into the cached
+        eval-form stack; idempotent per level."""
+        plan = self._plans.get(level)
+        if plan is not None:
+            return plan
+        moduli = self.ctx.evaluator.moduli_at(level)
+        n = self.ctx.params.n
+        scale = self.ctx.params.scale
+
+        babies = sorted({b for grp in self._groups.values() for b in grp})
+        baby_pos = {b: i for i, b in enumerate(babies)}
+        ordered: List[Tuple[int, List[int], List[np.ndarray]]] = []
+        for g_rot in sorted(self._groups):
+            grp = self._groups[g_rot]
+            bs = sorted(grp)
+            ordered.append((g_rot, bs, [grp[b] for b in bs]))
+
+        # One batched embedding + one stacked NTT for the whole transform.
+        values = np.stack([v for _, _, vals in ordered for v in vals])
+        coeffs = self.ctx.encoder.encode_many(values, scale)  # (D, n)
+        q_col = np.array(moduli, dtype=np.int64)[:, None, None]
+        residues = np.mod(coeffs[None, :, :], q_col).astype(np.uint64)
+        stack = stacked_negacyclic_ntt(
+            residues, get_shoup_stack(tuple(moduli), n)
+        )  # (P, D, N), canonical
+        stack.setflags(write=False)
+
+        groups: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        offset = 0
+        for g_rot, bs, _ in ordered:
+            idx = np.array([baby_pos[b] for b in bs], dtype=np.intp)
+            groups.append(
+                (g_rot, idx, stack[:, offset:offset + len(bs), :])
+            )
+            offset += len(bs)
+
+        plan = _LevelPlan(level, tuple(moduli), scale, babies, groups, stack)
+        self._plans[level] = plan
+        return plan
+
+    def _plain_slice(self, plan: _LevelPlan, group: int,
+                     member: int) -> Plaintext:
+        """The memoized plaintext of one diagonal (a read-only view into
+        the compiled stack) — the fallback path re-encodes nothing."""
+        _, _, sub = plan.groups[group]
+        return Plaintext(
+            poly=RnsPoly(sub[:, member, :], plan.moduli, EVAL),
+            scale=plan.pt_scale, level=plan.level,
+        )
 
     # -- application ------------------------------------------------------------------
 
     def apply(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
-        """Return a ciphertext whose slots are ``matrix @ slots(ct)``."""
-        return (self._apply_bsgs if self.bsgs else self._apply_diagonal)(
-            ct, keys
-        )
+        """Return a ciphertext whose slots are ``matrix @ slots(ct)``.
 
-    def _apply_diagonal(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        Batched: all baby-step PMULTs and accumulations of a giant group
+        run as one :func:`wide_dot` pass over the cached eval-form stack.
+        Bit-identical to :meth:`apply_looped`.
+        """
+        plan = self.compile(ct.level)
         ev = self.ctx.evaluator
-        steps = [d for d in self._diagonals if d]
-        rotated = hoisted_rotations(ev, ct, steps, keys)
-        rotated[0] = ct
-        acc = None
-        for d, diag in self._diagonals.items():
-            pt = self.ctx.encode(diag, level=rotated[d].level)
-            term = ev.pmult(rotated[d], pt)
-            acc = term if acc is None else ev.hadd_matched(acc, term)
-        return ev.rescale(acc)
-
-    def _apply_bsgs(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
-        ev = self.ctx.evaluator
-        baby = self.baby
-        # Group diagonals by giant step.
-        groups: Dict[int, Dict[int, np.ndarray]] = {}
-        for d, diag in self._diagonals.items():
-            g, b = divmod(d, baby)
-            groups.setdefault(g, {})[b] = diag
-
-        baby_steps = sorted(
-            {b for grp in groups.values() for b in grp if b}
-        )
-        rotated = hoisted_rotations(ev, ct, baby_steps, keys)
-        rotated[0] = ct
+        rotated = hoisted_rotations(ev, ct, plan.babies, keys)
+        # The rotated components as (P, B, N) stacks; ciphertext data is
+        # canonical, i.e. valid lazy wide_dot input.
+        rot0 = np.stack([rotated[b].c0.data for b in plan.babies], axis=1)
+        rot1 = np.stack([rotated[b].c1.data for b in plan.babies], axis=1)
+        reducer = get_rns_context(plan.moduli, ct.n).barrett
 
         acc = None
-        for g, grp in sorted(groups.items()):
-            inner = None
-            for b, diag in grp.items():
-                # Pre-rotate the diagonal so the giant rotation can be
-                # applied after the inner sum.
-                shifted = np.roll(diag, g * baby)
-                pt = self.ctx.encode(shifted, level=rotated[b].level)
-                term = ev.pmult(rotated[b], pt)
-                inner = term if inner is None else ev.hadd_matched(
-                    inner, term
-                )
-            inner = ev.rescale(inner)
-            if g:
-                inner = ev.hrotate(inner, g * baby, keys)
+        for g_rot, idx, stack in plan.groups:
+            inner = Ciphertext(
+                RnsPoly(wide_dot(rot0[:, idx], stack, reducer),
+                        plan.moduli, EVAL),
+                RnsPoly(wide_dot(rot1[:, idx], stack, reducer),
+                        plan.moduli, EVAL),
+                ct.level, ct.scale * plan.pt_scale,
+            )
+            if self.bsgs:
+                inner = ev.rescale(inner)
+                if g_rot:
+                    inner = ev.hrotate(inner, g_rot, keys)
             acc = inner if acc is None else ev.hadd_matched(acc, inner)
-        return acc
+        return acc if self.bsgs else ev.rescale(acc)
+
+    def apply_looped(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
+        """The per-diagonal reference pipeline (bit-exactness oracle).
+
+        One PMULT/FMA per diagonal, like the historical implementation,
+        but reading the memoized plaintext stack instead of re-encoding
+        every diagonal on every call.
+        """
+        plan = self.compile(ct.level)
+        ev = self.ctx.evaluator
+        rotated = hoisted_rotations(ev, ct, plan.babies, keys)
+
+        acc = None
+        for g_idx, (g_rot, _, _) in enumerate(plan.groups):
+            bs = sorted(self._groups[g_rot])
+            inner = None
+            for m_idx, b in enumerate(bs):
+                pt = self._plain_slice(plan, g_idx, m_idx)
+                if inner is None:
+                    inner = ev.pmult(rotated[b], pt)
+                else:
+                    # In-place fused multiply-accumulate: one reduction
+                    # pass per diagonal instead of mul + add.
+                    m = pt.poly.to_eval()
+                    inner.c0.fma_(rotated[b].c0, m)
+                    inner.c1.fma_(rotated[b].c1, m)
+            if self.bsgs:
+                inner = ev.rescale(inner)
+                if g_rot:
+                    inner = ev.hrotate(inner, g_rot, keys)
+            acc = inner if acc is None else ev.hadd_matched(acc, inner)
+        return acc if self.bsgs else ev.rescale(acc)

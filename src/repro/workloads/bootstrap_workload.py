@@ -18,15 +18,41 @@ from .schedules import WorkloadSchedule, WorkloadTiming
 
 
 def linear_transform_schedule(name: str, slots: int, level: int, *,
-                              stages: int = 3) -> WorkloadSchedule:
+                              stages: int = 3, fft_factored: bool = False,
+                              fuse: int = 1) -> WorkloadSchedule:
     """BSGS radix-decomposed homomorphic DFT (CoeffToSlot / SlotToCoeff).
 
     The s-point transform splits into ``stages`` radix-``s^(1/stages)``
     stages; each stage is a BSGS matrix-vector product with
     ``2*sqrt(radix)`` rotation groups (baby steps hoisted) and ``radix``
     plaintext multiplications, consuming one level.
+
+    ``fft_factored`` prices the sparse radix-2 factorization instead
+    (:func:`repro.ckks.bootstrap.special_fft_factors`): ``log2(s)/fuse``
+    stages of at most ``3**fuse`` diagonals each — the functional path's
+    cost model.  Defaults leave the published schedule untouched.
     """
     sched = WorkloadSchedule(name)
+    if fft_factored:
+        if fuse < 1:
+            raise ValueError(f"fuse must be >= 1, got {fuse}")
+        m = max(1, slots.bit_length() - 1)
+        num_stages = -(-m // fuse)
+        for stage in range(num_stages):
+            lvl = max(1, level - stage)
+            k = min(fuse, m - stage * fuse)
+            diags = min(3 ** k, slots)
+            # One full rotation pays the ModUp; the remaining diagonal
+            # rotations share it.
+            sched.add("hrotate", lvl, 1, note=f"{name}.stage{stage}.rot")
+            sched.add("hrotate", lvl, diags - 1, hoisted=True,
+                      note=f"{name}.stage{stage}.rot")
+            sched.add("pmult", lvl, diags,
+                      note=f"{name}.stage{stage}.pmult")
+            sched.add("hadd", lvl, diags, note=f"{name}.stage{stage}.add")
+            sched.add("rescale", lvl, 1,
+                      note=f"{name}.stage{stage}.rescale")
+        return sched
     radix = max(2, round(slots ** (1.0 / stages)))
     baby = max(1, int(math.isqrt(radix)))
     giant = max(1, radix // baby)
@@ -70,20 +96,34 @@ def eval_mod_schedule(level: int, *, degree: int = 63) -> WorkloadSchedule:
     return sched
 
 
-def bootstrap_schedule(params: CkksParams = None) -> WorkloadSchedule:
-    """The full slim bootstrap at the Boot parameter set."""
+def bootstrap_schedule(params: CkksParams = None, *,
+                       fft_factored: bool = False,
+                       fuse: int = 1) -> WorkloadSchedule:
+    """The full slim bootstrap at the Boot parameter set.
+
+    ``fft_factored``/``fuse`` price the sparse-factorized StC/CtS variant;
+    the defaults keep the published dense-radix schedule.
+    """
     params = params or ParameterSets.boot()
     slots = params.slots
     top = params.max_level
     sched = WorkloadSchedule("Boot")
     # SlotToCoeff runs on the nearly-exhausted ciphertext (low levels).
-    sched.extend(linear_transform_schedule("StC", slots, 3, stages=3))
+    stc_level = (
+        max(3, -(-max(1, slots.bit_length() - 1) // fuse))
+        if fft_factored else 3
+    )
+    sched.extend(linear_transform_schedule(
+        "StC", slots, stc_level, stages=3,
+        fft_factored=fft_factored, fuse=fuse,
+    ))
     # ModRaise: element-wise lift onto the full chain.
     sched.add("hadd", top, 1, note="ModRaise")
     # CoeffToSlot at the top of the chain.
-    sched.extend(
-        linear_transform_schedule("CtS", slots, top, stages=3)
-    )
+    sched.extend(linear_transform_schedule(
+        "CtS", slots, top, stages=3,
+        fft_factored=fft_factored, fuse=fuse,
+    ))
     # EvalMod below CtS.
     sched.extend(eval_mod_schedule(top - 3))
     return sched

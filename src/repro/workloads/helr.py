@@ -31,8 +31,14 @@ SIGMOID3_COEFFS = (0.5, 0.15012, 0.0, -0.0015930)
 
 def helr_iteration_schedule(params: CkksParams = None, *,
                             features: int = 196,
-                            boot_period: int = 2) -> WorkloadSchedule:
-    """One HELR training iteration at the paper's HELR parameter set."""
+                            boot_period: int = 2,
+                            fft_factored: bool = False,
+                            fuse: int = 1) -> WorkloadSchedule:
+    """One HELR training iteration at the paper's HELR parameter set.
+
+    ``fft_factored``/``fuse`` select the sparse-factorized bootstrap
+    schedule; the defaults keep the published pricing.
+    """
     params = params or ParameterSets.helr()
     top = params.max_level
     sched = WorkloadSchedule("HELR-iteration")
@@ -53,7 +59,7 @@ def helr_iteration_schedule(params: CkksParams = None, *,
     sched.add("pmult", top - 5, 1, note="update.pmult")
     sched.add("hadd", top - 5, 1, note="update.add")
     # Amortized bootstrapping.
-    boot = bootstrap_schedule(params)
+    boot = bootstrap_schedule(params, fft_factored=fft_factored, fuse=fuse)
     for item in boot.items:
         sched.add(item.op, item.level, item.count / boot_period,
                   hoisted=item.hoisted, note=f"boot.{item.note or item.op}")
@@ -99,6 +105,17 @@ class EncryptedLogisticRegression:
         ct_x = [self.ctx.encrypt(x[i], self.keys) for i in range(samples)]
         ct_w = self.ctx.encrypt(np.zeros(features), self.keys)
 
+        # The gradient plaintext of sample i depends only on (i, level):
+        # memoize so later iterations (which revisit the same levels)
+        # never re-encode.
+        pt_cache = {}
+
+        def pt_sample(i, level):
+            key = (i, level)
+            if key not in pt_cache:
+                pt_cache[key] = self.ctx.encode(x[i], level=level)
+            return pt_cache[key]
+
         for _ in range(iterations):
             grad_acc = None
             for i in range(samples):
@@ -118,7 +135,7 @@ class EncryptedLogisticRegression:
                     c0 - float(y[i]),  # fold the label subtraction in
                 )
                 # gradient contribution: (sigma - y) * x_i.
-                pt_x = self.ctx.encode(x[i], level=ct_sig.level)
+                pt_x = pt_sample(i, ct_sig.level)
                 ct_g = ev.rescale(ev.pmult(ct_sig, pt_x))
                 grad_acc = ct_g if grad_acc is None else ev.hadd_matched(
                     ev.level_down(grad_acc,

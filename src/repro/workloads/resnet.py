@@ -19,8 +19,14 @@ from typing import List, Tuple
 import numpy as np
 
 from ..ckks import CkksContext, ParameterSets
+from ..ckks.ciphertext import Ciphertext, Plaintext
+from ..ckks.hoisting import hoisted_rotations
+from ..ckks.ks_common import wide_dot
 from ..ckks.params import CkksParams
+from ..ckks.poly import EVAL, RnsPoly
+from ..ckks.rns_context import get_rns_context
 from ..core.scheduler import OperationScheduler
+from ..ntt.stacked import get_shoup_stack, stacked_negacyclic_ntt
 from .bootstrap_workload import bootstrap_schedule
 from .schedules import WorkloadSchedule, WorkloadTiming
 
@@ -42,8 +48,14 @@ _CONV_MULTIPLEX = 8
 _LEVELS_PER_BLOCK = 16
 
 
-def resnet20_schedule(params: CkksParams = None) -> WorkloadSchedule:
-    """The full ResNet-20 inference schedule."""
+def resnet20_schedule(params: CkksParams = None, *,
+                      fft_factored: bool = False,
+                      fuse: int = 1) -> WorkloadSchedule:
+    """The full ResNet-20 inference schedule.
+
+    ``fft_factored``/``fuse`` select the sparse-factorized bootstrap
+    schedule; the defaults keep the published pricing.
+    """
     params = params or ParameterSets.resnet()
     top = params.max_level
     sched = WorkloadSchedule("ResNet-20")
@@ -73,7 +85,9 @@ def resnet20_schedule(params: CkksParams = None) -> WorkloadSchedule:
             name = f"s{stage_idx}b{block}"
             if level < _LEVELS_PER_BLOCK + 2:
                 # Bootstrap both residual-path ciphertexts.
-                boot = bootstrap_schedule(params)
+                boot = bootstrap_schedule(
+                    params, fft_factored=fft_factored, fuse=fuse
+                )
                 for item in boot.items:
                     sched.add(item.op, item.level, item.count * 2,
                               hoisted=item.hoisted,
@@ -113,6 +127,16 @@ class EncryptedConv2d:
     channel multiplexing that needs big rings. Validated against numpy in
     tests; an optional square activation demonstrates conv + nonlinearity
     under encryption.
+
+    :meth:`forward` is batched like the linear transforms: the weighted
+    boundary masks are compiled once per (image shape, level) into a
+    cached eval-form plaintext stack, the kernel-position rotations share
+    one hoisted ModUp, and the mask multiplies + accumulation run as one
+    wide-accumulator pass. :meth:`forward_looped` keeps the per-position
+    rotate/PMULT pipeline (reading the same compiled stack, so repeated
+    calls never re-encode) as the reference; the two decrypt identically
+    but are not bit-equal, since hoisted rotations and plain HROTATEs
+    take different reduction paths.
     """
 
     def __init__(self, ctx: CkksContext, keys, kernel: np.ndarray):
@@ -121,6 +145,7 @@ class EncryptedConv2d:
         self.ctx = ctx
         self.keys = keys
         self.kernel = kernel
+        self._mask_plans = {}
 
     @staticmethod
     def required_rotations(width: int, slots: int) -> List[int]:
@@ -135,33 +160,92 @@ class EncryptedConv2d:
                 steps.add(step if step > 0 else slots + step)
         return sorted(steps)
 
-    def forward(self, ct, height: int, width: int, *,
-                square_activation: bool = False):
-        """Convolve the encrypted image (zero boundary conditions)."""
-        ev = self.ctx.evaluator
-        acc = None
+    def _compile_masks(self, height: int, width: int, level: int):
+        """The (rotation steps, eval-form mask stack) plan of one image
+        shape at one level; memoized.  Masks of kernel positions landing
+        on the same rotation step (degenerate widths) are summed — same
+        algebra, one stack lane."""
+        key = (height, width, level)
+        plan = self._mask_plans.get(key)
+        if plan is not None:
+            return plan
+        slots = self.ctx.slots
+        by_step = {}
         for dy in (-1, 0, 1):
             for dx in (-1, 0, 1):
                 weight = float(self.kernel[dy + 1, dx + 1])
                 if weight == 0.0:
                     continue
-                step = dy * width + dx
-                shifted = ct if step == 0 else self._shift(ct, step)
+                step = (dy * width + dx) % slots
                 mask = self._valid_mask(height, width, dy, dx) * weight
-                pt = self.ctx.encode(mask, level=shifted.level)
-                term = ev.pmult(shifted, pt)
-                acc = term if acc is None else ev.hadd_matched(acc, term)
+                if step in by_step:
+                    by_step[step] = by_step[step] + mask
+                else:
+                    by_step[step] = mask
+        steps = sorted(by_step)
+        ev = self.ctx.evaluator
+        moduli = tuple(ev.moduli_at(level))
+        scale = self.ctx.params.scale
+        n = self.ctx.params.n
+        coeffs = self.ctx.encoder.encode_many(
+            np.stack([by_step[s] for s in steps]), scale
+        )
+        q_col = np.array(moduli, dtype=np.int64)[:, None, None]
+        residues = np.mod(coeffs[None, :, :], q_col).astype(np.uint64)
+        stack = stacked_negacyclic_ntt(
+            residues, get_shoup_stack(moduli, n)
+        )
+        stack.setflags(write=False)
+        plan = (steps, moduli, scale, stack)
+        self._mask_plans[key] = plan
+        return plan
+
+    def forward(self, ct, height: int, width: int, *,
+                square_activation: bool = False):
+        """Convolve the encrypted image (zero boundary conditions).
+
+        Batched: one hoisted-rotation pass over the kernel positions, one
+        wide-accumulator reduction against the cached mask stack.
+        """
+        steps, moduli, pt_scale, stack = self._compile_masks(
+            height, width, ct.level
+        )
+        ev = self.ctx.evaluator
+        rotated = hoisted_rotations(ev, ct, steps, self.keys)
+        rot0 = np.stack([rotated[s].c0.data for s in steps], axis=1)
+        rot1 = np.stack([rotated[s].c1.data for s in steps], axis=1)
+        reducer = get_rns_context(moduli, ct.n).barrett
+        acc = Ciphertext(
+            RnsPoly(wide_dot(rot0, stack, reducer), moduli, EVAL),
+            RnsPoly(wide_dot(rot1, stack, reducer), moduli, EVAL),
+            ct.level, ct.scale * pt_scale,
+        )
         out = ev.rescale(acc)
         if square_activation:
             out = ev.hmult(out, out, self.keys)
         return out
 
-    def _shift(self, ct, step: int):
+    def forward_looped(self, ct, height: int, width: int, *,
+                       square_activation: bool = False):
+        """The per-position reference pipeline (plain rotations, one
+        PMULT per kernel position, memoized mask plaintexts)."""
+        steps, moduli, pt_scale, stack = self._compile_masks(
+            height, width, ct.level
+        )
         ev = self.ctx.evaluator
-        if step > 0:
-            return ev.hrotate(ct, step, self.keys)
-        # Negative shifts via the complementary positive rotation.
-        return ev.hrotate(ct, self.ctx.slots + step, self.keys)
+        acc = None
+        for i, step in enumerate(steps):
+            shifted = ct if step == 0 else ev.hrotate(ct, step, self.keys)
+            pt = Plaintext(
+                poly=RnsPoly(stack[:, i, :], moduli, EVAL),
+                scale=pt_scale, level=ct.level,
+            )
+            term = ev.pmult(shifted, pt)
+            acc = term if acc is None else ev.hadd_matched(acc, term)
+        out = ev.rescale(acc)
+        if square_activation:
+            out = ev.hmult(out, out, self.keys)
+        return out
 
     def _valid_mask(self, height: int, width: int, dy: int,
                     dx: int) -> np.ndarray:
