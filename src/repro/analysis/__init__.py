@@ -3,6 +3,7 @@
 from .metrics import kops_from_us, us_from_kops, within_factor
 from .report import (
     format_table,
+    lint_gate_summary,
     paper_vs_measured,
     shape_check,
     speedup_row,
@@ -11,6 +12,7 @@ from .report import (
 __all__ = [
     "format_table",
     "kops_from_us",
+    "lint_gate_summary",
     "paper_vs_measured",
     "shape_check",
     "speedup_row",

@@ -1,0 +1,180 @@
+"""Declarative safety annotations consumed by :mod:`repro.analysis.fhelint`.
+
+The batched kernels of this library are correct only because a handful of
+numeric invariants hold everywhere: lazy butterfly values stay inside
+their ``[0, k*q)`` window, uint8 limb products fit the int32 tensor-core
+accumulator, wide-dot partial sums never wrap uint64, eval-form stacks
+never feed coefficient-form consumers, and compiled plans are never
+mutated. These decorators let the module that *owns* an invariant state
+it declaratively; ``python -m repro.analysis.fhelint`` then checks the
+statements statically (see DESIGN.md §9 for the lattice and the checked
+obligations).
+
+At runtime every decorator is a no-op that records its arguments on the
+function (``__fhelint__``) and returns it unchanged — zero overhead, no
+imports beyond the standard library, safe to use from the lowest layers.
+
+Vocabulary
+----------
+``@bounded(...)``
+    Width/bounds contract of a numeric kernel. Keywords:
+
+    ``dtype``
+        Lane type the kernel computes in (``"uint64"`` default,
+        ``"int32"`` for tensor-core accumulator paths). Sets the
+        capacity every tracked intermediate must stay below.
+    ``in_q`` / ``in_bits``
+        Bound assumed for array parameters: values ``< in_q * q`` (with
+        ``q < 2**31``) or ``< 2**in_bits``. Both may be given; the
+        tighter one applies.
+    ``max_q_multiple``
+        The lazy-reduction window: no value stored back into a working
+        buffer may exceed this many multiples of ``q``.
+    ``out_q`` / ``out_bits``
+        Bound the return value is proven to satisfy (``out_q_lazy``
+        applies instead when the call site passes ``lazy=True``).
+    ``max_lanes``
+        Upper bound on the length of any reduced axis (``sum`` /
+        ``@``-contraction) inside the kernel; accumulator capacity is
+        checked as ``operand_bits + log2(max_lanes)``.
+    ``params``
+        Per-parameter overrides: ``{"w": {"bits": 31}}``. Keys may be
+        dotted (``"stack.omega": {"q": 1}``) to bound attributes of a
+        parameter object. Specs: ``q`` (``< k*q``), ``bits``
+        (``< 2**b``), ``ubound`` (exact exclusive bound), ``shoup``
+        (a Shoup companion table below ``2**b``), ``modulus`` (the
+        exact modulus column itself).
+    ``passthrough``
+        Name of the parameter whose bound the return value inherits
+        verbatim (shape-check helpers that return their input).
+    ``assume``
+        Mark a trusted primitive (e.g. the Barrett partial-product
+        assembly): its *declared* bounds seed callers, but its body is
+        exempt from interval checking — these are the lattice's axioms,
+        covered by the scalar-vs-vector property tests instead.
+
+``@coeff_form`` / ``@eval_form``
+    The returned polynomial/stack is in coefficient or NTT (slot)
+    representation.
+``@montgomery_domain`` / ``@standard_domain``
+    The returned values carry (or don't) the Montgomery ``R`` factor.
+``@takes_form(x="coeff", ...)`` / ``@takes_domain(w="montgomery", ...)``
+    Representation each named parameter must arrive in (``"self"``
+    names the receiver of a method).
+``@frozen``
+    Class decorator: instances are compiled plans — immutable after
+    ``__init__``/``__post_init__``. Any later ``self.attr = ...`` or
+    ``self.attr[...] = ...`` is a finding.
+``@returns_view``
+    Acknowledges that the function intentionally returns a view of
+    internal/cached state (read-only by construction); suppresses the
+    aliased-return rule at this definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+FHELINT_ATTR = "__fhelint__"
+
+#: Representation tags of the coefficient/evaluation axis.
+FORM_TAGS = ("coeff", "eval")
+#: Representation tags of the Montgomery/standard axis.
+DOMAIN_TAGS = ("montgomery", "standard")
+
+
+def _meta(obj: Any) -> Dict[str, Any]:
+    meta = getattr(obj, FHELINT_ATTR, None)
+    if meta is None:
+        meta = {}
+        setattr(obj, FHELINT_ATTR, meta)
+    return meta
+
+
+def bounded(*, dtype: str = "uint64", in_q: Optional[float] = None,
+            in_bits: Optional[int] = None,
+            max_q_multiple: Optional[float] = None,
+            out_q: Optional[float] = None, out_bits: Optional[int] = None,
+            out_q_lazy: Optional[float] = None,
+            max_lanes: Optional[int] = None,
+            params: Optional[Dict[str, Dict[str, float]]] = None,
+            passthrough: Optional[str] = None,
+            assume: bool = False) -> Callable:
+    """Width/bounds contract — see the module docstring."""
+    spec = {
+        "dtype": dtype, "in_q": in_q, "in_bits": in_bits,
+        "max_q_multiple": max_q_multiple, "out_q": out_q,
+        "out_bits": out_bits, "out_q_lazy": out_q_lazy,
+        "max_lanes": max_lanes, "params": params or {},
+        "passthrough": passthrough, "assume": assume,
+    }
+
+    def deco(func: Callable) -> Callable:
+        _meta(func)["bounded"] = spec
+        return func
+
+    return deco
+
+
+def _form_deco(tag: str) -> Callable:
+    def deco(func: Callable) -> Callable:
+        _meta(func)["returns_form"] = tag
+        return func
+
+    return deco
+
+
+def _domain_deco(tag: str) -> Callable:
+    def deco(func: Callable) -> Callable:
+        _meta(func)["returns_domain"] = tag
+        return func
+
+    return deco
+
+
+#: The returned poly/stack is in coefficient representation.
+coeff_form = _form_deco("coeff")
+#: The returned poly/stack is in NTT (evaluation) representation.
+eval_form = _form_deco("eval")
+#: The returned values carry the Montgomery ``R`` factor.
+montgomery_domain = _domain_deco("montgomery")
+#: The returned values are plain (no ``R`` factor).
+standard_domain = _domain_deco("standard")
+
+
+def takes_form(**param_forms: str) -> Callable:
+    """Declare the coeff/eval form each named parameter must arrive in."""
+    for tag in param_forms.values():
+        if tag not in FORM_TAGS:
+            raise ValueError(f"unknown form tag {tag!r}")
+
+    def deco(func: Callable) -> Callable:
+        _meta(func).setdefault("takes_form", {}).update(param_forms)
+        return func
+
+    return deco
+
+
+def takes_domain(**param_domains: str) -> Callable:
+    """Declare the Montgomery/standard domain of each named parameter."""
+    for tag in param_domains.values():
+        if tag not in DOMAIN_TAGS:
+            raise ValueError(f"unknown domain tag {tag!r}")
+
+    def deco(func: Callable) -> Callable:
+        _meta(func).setdefault("takes_domain", {}).update(param_domains)
+        return func
+
+    return deco
+
+
+def frozen(cls: type) -> type:
+    """Mark a compiled-plan class immutable after construction."""
+    _meta(cls)["frozen"] = True
+    return cls
+
+
+def returns_view(func: Callable) -> Callable:
+    """Bless an intentional view-returning function (read-only views)."""
+    _meta(func)["returns_view"] = True
+    return func

@@ -1,0 +1,66 @@
+"""CLI: ``python -m repro.analysis.fhelint src/ [--baseline B] [--json J]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .findings import Baseline, load_baseline
+from .runner import run_lint, write_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fhelint",
+        description="Overflow/domain static analyzer for the batched "
+                    "FHE kernels (see DESIGN.md §9).",
+    )
+    parser.add_argument("roots", nargs="+",
+                        help="files or directories to lint (e.g. src/)")
+    parser.add_argument("--baseline", default=None,
+                        help="grandfathered-findings JSON; covered "
+                             "findings report but do not gate")
+    parser.add_argument("--json", dest="json_out",
+                        default="ANALYSIS_lint.json",
+                        help="machine-readable output path "
+                             "(default: %(default)s; '-' to skip)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline to cover every current "
+                             "finding, then exit 0")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary table; print only "
+                             "active findings")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_baseline(args.baseline)
+    result = run_lint(args.roots, baseline)
+
+    if args.update_baseline:
+        if not args.baseline:
+            parser.error("--update-baseline requires --baseline")
+        fresh = Baseline.from_findings(result.findings)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(fresh.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fhelint: baseline rewritten with "
+              f"{sum(len(v) for v in fresh.fingerprints.values())} "
+              f"fingerprint(s) -> {args.baseline}")
+        return 0
+
+    if args.json_out and args.json_out != "-":
+        write_json(result, args.json_out)
+    if args.quiet:
+        for f in sorted(result.active, key=lambda f: (f.path, f.line)):
+            print(f.render())
+        print(f"fhelint: {'clean' if not result.active else str(len(result.active)) + ' finding(s)'}")
+    else:
+        print(result.render())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

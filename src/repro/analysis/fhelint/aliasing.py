@@ -1,0 +1,271 @@
+"""Aliasing / purity checks (the A-xxx rule family).
+
+**A-VIEW** — a method that returns a numpy *view* of instance state
+(``self.buf[...]``, a cached-stack lookup, a ``reshape`` of an internal
+column, or a constructor call wrapping such a buffer uncopied) hands the
+caller a mutable window into shared state. That is exactly the PR 1
+``to_eval()`` bug class: the caller mutates its "copy" and corrupts the
+cache. Which ``self`` attributes count as shared buffers is inferred
+from the class itself — dataclass field annotations and ``__init__``
+assignment shapes classify each attribute as ``array``, ``container``
+or ``immutable`` — so ``Ciphertext(self.level, ...)`` (a scalar) passes
+while ``RnsPoly(self.data, ...)`` (the residue matrix, uncopied) flags.
+Returns of ``self`` itself and plain ``self.attr`` accessors are exempt
+(conventional, visibly shared); ``@returns_view`` suppresses the rule
+where handing out a view is intentional and the definition owns the
+read-only discipline.
+
+**A-FROZEN** — stores to attributes of a ``@frozen`` compiled plan
+(including ``@dataclass(frozen=True)`` classes, whose ``__setattr__``
+only guards direct assignment — ``self.table[i] = x`` still mutates
+shared state) anywhere outside ``__init__`` / ``__post_init__``, and
+stores through parameters/variables whose type annotation names a
+frozen class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .findings import Finding
+from .registry import FuncInfo, ModuleInfo, Registry
+
+#: Methods whose result is a fresh object even when called on a view.
+_FRESH_METHODS = {"copy", "tolist", "sum", "min", "max", "astype", "item",
+                  "mean", "all", "any"}
+#: Methods that return another view of the same buffer.
+_VIEW_METHODS = {"reshape", "transpose", "ravel", "squeeze", "swapaxes",
+                 "view", "take", "T"}
+#: Attribute kinds that make a ``self.X`` a shared mutable buffer.
+_SHARED_KINDS = {"array", "container"}
+
+
+class AliasPass:
+    """Check one function body for aliased returns and frozen mutation."""
+
+    def __init__(self, registry: Registry, info: FuncInfo,
+                 module: ModuleInfo, findings: List[Finding]):
+        self.registry = registry
+        self.info = info
+        self.module = module
+        self.findings = findings
+        self.self_name = info.params[0] if info.is_method else ""
+        self.owner = info.qualname.rsplit(".", 1)[0] \
+            if "." in info.qualname else ""
+        #: Variables currently holding an uncopied view of self state.
+        self.view_vars: Set[str] = set()
+        #: Variables annotated with a @frozen class type.
+        self.frozen_vars: Set[str] = set()
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.module.path,
+            line=getattr(node, "lineno", self.info.line),
+            func=self.info.qualname, message=message,
+        ))
+
+    # -- shared-state classification -----------------------------------------
+
+    def _is_shared_attr(self, attr: str) -> bool:
+        kind = self.registry.attr_kind(self.owner, attr)
+        return kind in _SHARED_KINDS
+
+    def _is_self_state(self, node: ast.expr) -> bool:
+        """Does this expression alias mutable instance state (uncopied)?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.view_vars
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and \
+                    node.value.id == self.self_name:
+                return self._is_shared_attr(node.attr)
+            if node.attr in _VIEW_METHODS:
+                return self._is_self_state(node.value)
+            return False
+        if isinstance(node, ast.Subscript):
+            return self._is_self_state(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _FRESH_METHODS:
+                    return False
+                if func.attr in _VIEW_METHODS:
+                    return self._is_self_state(func.value)
+            return False
+        return False
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> None:
+        in_ctor = self.info.name in ("__init__", "__post_init__",
+                                     "__new__")
+        frozen_receiver = self.info.is_method and \
+            self.owner in self.registry.frozen_classes and not in_ctor
+
+        # Parameters annotated with a frozen class type are frozen too.
+        for arg in self.info.node.args.args:
+            tname = _type_name(arg.annotation)
+            if tname in self.registry.frozen_classes:
+                self.frozen_vars.add(arg.arg)
+
+        for node in ast.walk(self.info.node):
+            if isinstance(node, ast.Assign):
+                self._track_assign(node, frozen_receiver)
+            elif isinstance(node, ast.AnnAssign):
+                self._track_annassign(node, frozen_receiver)
+            elif isinstance(node, ast.AugAssign):
+                self._check_store_target(node.target, node,
+                                         frozen_receiver)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self._check_return(node)
+
+    # -- frozen mutation -----------------------------------------------------
+
+    def _track_assign(self, node: ast.Assign, frozen_receiver: bool) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node, frozen_receiver)
+            if isinstance(target, ast.Name):
+                if self._is_self_state(node.value):
+                    self.view_vars.add(target.id)
+                else:
+                    self.view_vars.discard(target.id)
+                if self._yields_frozen(node.value):
+                    self.frozen_vars.add(target.id)
+                else:
+                    self.frozen_vars.discard(target.id)
+
+    def _yields_frozen(self, value: ast.expr) -> bool:
+        """Does this expression produce an instance of a @frozen class?
+
+        Covers direct constructor calls and calls whose resolved
+        definition carries a return annotation naming a frozen class —
+        so ``plan = self.compile(level)`` is tracked even without a
+        local type annotation.
+        """
+        if isinstance(value, ast.Name):
+            return value.id in self.frozen_vars
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        info = None
+        if isinstance(func, ast.Name):
+            if func.id in self.registry.frozen_classes:
+                return True
+            info = self.registry.lookup(func.id)
+        elif isinstance(func, ast.Attribute):
+            if func.attr in self.registry.frozen_classes:
+                return True
+            if isinstance(func.value, ast.Name) and \
+                    func.value.id == self.self_name and self.owner:
+                info = self.registry.lookup_method(self.owner, func.attr)
+            else:
+                info = self.registry.lookup(func.attr)
+        if info is None or info.node is None or info.node.returns is None:
+            return False
+        return _type_name(info.node.returns) in self.registry.frozen_classes
+
+    def _track_annassign(self, node: ast.AnnAssign,
+                         frozen_receiver: bool) -> None:
+        self._check_store_target(node.target, node, frozen_receiver)
+        tname = _type_name(node.annotation)
+        if tname in self.registry.frozen_classes and \
+                isinstance(node.target, ast.Name):
+            self.frozen_vars.add(node.target.id)
+        if node.value is not None and isinstance(node.target, ast.Name) \
+                and self._is_self_state(node.value):
+            self.view_vars.add(node.target.id)
+
+    def _frozen_base(self, node: ast.expr) -> Optional[str]:
+        """Name of the frozen object a store target reaches, if any."""
+        if isinstance(node, ast.Name):
+            return node.id if node.id in self.frozen_vars else None
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            return self._frozen_base(node.value)
+        return None
+
+    def _check_store_target(self, target: ast.expr, origin: ast.AST,
+                            frozen_receiver: bool) -> None:
+        if isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                self._check_store_target(elt, origin, frozen_receiver)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        base = target
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            inner = base.value
+            if frozen_receiver and isinstance(inner, ast.Name) and \
+                    inner.id == self.self_name:
+                self.report(
+                    "A-FROZEN", origin,
+                    "mutates a @frozen compiled plan outside its "
+                    "constructor",
+                )
+                return
+            base = inner
+        frozen_var = self._frozen_base(target)
+        if frozen_var is not None:
+            self.report(
+                "A-FROZEN", origin,
+                f"mutates {frozen_var!r}, an instance of a @frozen "
+                "compiled-plan class",
+            )
+
+    # -- aliased returns -----------------------------------------------------
+
+    def _check_return(self, node: ast.Return) -> None:
+        if self.info.returns_view or not self.info.is_method:
+            return
+        value = node.value
+        # Bare `return self` and plain accessor `return self.attr` are
+        # conventional, visibly-shared returns — not the bug class.
+        if isinstance(value, ast.Name) and value.id == self.self_name:
+            return
+        if isinstance(value, ast.Attribute) and \
+                isinstance(value.value, ast.Name) and \
+                value.value.id == self.self_name:
+            return
+        targets: List[ast.expr] = []
+        if isinstance(value, ast.Tuple):
+            targets = list(value.elts)
+        elif isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in _VIEW_METHODS:
+                # reshape/transpose of instance state: still a view.
+                targets = [value]
+            elif (isinstance(func, ast.Name) and func.id[:1].isupper()) \
+                    or (isinstance(func, ast.Attribute)
+                        and func.attr[:1].isupper()):
+                # A constructor call can wrap a buffer into an object
+                # that *looks* fresh but shares it.
+                targets = list(value.args) + \
+                    [kw.value for kw in value.keywords]
+            else:
+                # Scalar builtins / lowercase helpers return fresh data.
+                return
+        elif isinstance(value, (ast.Subscript, ast.Name)):
+            targets = [value]
+        else:
+            # BinOp / Compare / comprehension results are fresh arrays.
+            return
+        for sub in targets:
+            if self._is_self_state(sub):
+                self.report(
+                    "A-VIEW", node,
+                    "returns a view of self/cached buffers — the caller "
+                    "can mutate shared state (copy, or mark the "
+                    "definition @returns_view and make the view "
+                    "read-only)",
+                )
+                return
+
+
+def _type_name(ann: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value.strip("\"'").split(".")[-1].split("[")[0]
+    return None

@@ -1,0 +1,276 @@
+"""Representation-tag checking (the D-xxx rule family).
+
+Two independent binary representation axes matter for correctness:
+
+* **coeff / eval** — whether a polynomial (or a stacked residue matrix)
+  is in coefficient or NTT slot representation. Pointwise products are
+  only meaningful in eval form; automorphisms and basis conversions only
+  in coeff form. Mixing them yields silently wrong ciphertexts, not
+  crashes.
+* **montgomery / standard** — whether values carry the Montgomery ``R``
+  factor. A standard-domain operand fed to a REDC-based multiply comes
+  out scaled by ``R^{-1}``.
+
+Functions declare the representation they return (``@coeff_form``,
+``@eval_form``, ``@montgomery_domain``, ``@standard_domain``) and the
+representation each parameter must arrive in (``@takes_form(x="coeff")``,
+``@takes_domain(w="montgomery")``; the key ``self`` names a method's
+receiver). This pass propagates tags intraprocedurally — through
+assignments, tuple unpacking, ``np.where``/``reshape``/``copy`` and
+other shape-only operations — and flags every call site where a tracked
+tag provably contradicts the callee's declaration. Unknown tags pass:
+like B-ARG, coverage is bounded by annotation coverage, and the pass
+never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .registry import FuncInfo, ModuleInfo, Registry
+
+#: Tag axes: (attribute on FuncInfo declaring the return tag,
+#:            attribute declaring per-param requirements, rule id).
+_AXES = (
+    ("returns_form", "takes_form", "D-FORM", "representation"),
+    ("returns_domain", "takes_domain", "D-DOM", "domain"),
+)
+
+#: Shape-only ndarray methods / np functions a tag survives.
+_TAG_PRESERVING = {
+    "reshape", "transpose", "copy", "ravel", "flatten", "squeeze",
+    "swapaxes", "view", "take", "astype", "ascontiguousarray", "asarray",
+    "array", "broadcast_to", "stack", "concatenate", "where",
+}
+
+
+class Tags:
+    """Per-variable (form, domain) lattice: None = unknown."""
+
+    def __init__(self) -> None:
+        self.form: Dict[str, str] = {}
+        self.domain: Dict[str, str] = {}
+
+    def get(self, axis: str, name: str) -> Optional[str]:
+        table = self.form if axis == "returns_form" else self.domain
+        return table.get(name)
+
+    def set(self, name: str, form: Optional[str],
+            domain: Optional[str]) -> None:
+        if form is not None:
+            self.form[name] = form
+        else:
+            self.form.pop(name, None)
+        if domain is not None:
+            self.domain[name] = domain
+        else:
+            self.domain.pop(name, None)
+
+    def snapshot(self) -> Tuple[Dict[str, str], Dict[str, str]]:
+        return dict(self.form), dict(self.domain)
+
+    def join_with(self, other: Tuple[Dict[str, str], Dict[str, str]]) -> None:
+        """Keep only tags both branches agree on."""
+        oform, odomain = other
+        self.form = {k: v for k, v in self.form.items()
+                     if oform.get(k) == v}
+        self.domain = {k: v for k, v in self.domain.items()
+                       if odomain.get(k) == v}
+
+
+class DomainPass:
+    """Check one function body's representation flow."""
+
+    def __init__(self, registry: Registry, info: FuncInfo,
+                 module: ModuleInfo, findings: List[Finding]):
+        self.registry = registry
+        self.info = info
+        self.module = module
+        self.findings = findings
+        self.tags = Tags()
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.module.path,
+            line=getattr(node, "lineno", self.info.line),
+            func=self.info.qualname, message=message,
+        ))
+
+    def run(self) -> None:
+        # Parameters arrive in their declared representation.
+        for pname in self.info.params:
+            self.tags.set(
+                pname,
+                self.info.takes_form.get(pname),
+                self.info.takes_domain.get(pname),
+            )
+        self.exec_block(self.info.node.body)
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            form, domain = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.bind(target, form, domain)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            form, domain = self.eval(stmt.value)
+            self.bind(stmt.target, form, domain)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.check_return(stmt)
+        elif isinstance(stmt, ast.If):
+            saved = self.tags.snapshot()
+            self.exec_block(stmt.body)
+            then = self.tags.snapshot()
+            self.tags.form, self.tags.domain = dict(saved[0]), dict(saved[1])
+            self.exec_block(stmt.orelse)
+            self.tags.join_with(then)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self.bind(stmt.target, None, None)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.With):
+            self.exec_block(stmt.body)
+
+    def bind(self, target: ast.expr, form: Optional[str],
+             domain: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.tags.set(target.id, form, domain)
+        elif isinstance(target, ast.Tuple):
+            # A tuple of same-representation results (the common
+            # (c0, c1) ciphertext pair) shares the tag.
+            for elt in target.elts:
+                self.bind(elt, form, domain)
+
+    def check_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        form, domain = self.eval(stmt.value)
+        for ret_attr, _takes, rule, label in _AXES:
+            declared = getattr(self.info, ret_attr)
+            actual = form if ret_attr == "returns_form" else domain
+            if declared is not None and actual is not None and \
+                    actual != declared:
+                self.report(
+                    rule, stmt,
+                    f"declared to return {declared}-{label} values but "
+                    f"this return is {actual}",
+                )
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.expr) -> Tuple[Optional[str], Optional[str]]:
+        """(form, domain) of an expression, or (None, None)."""
+        if isinstance(node, ast.Name):
+            return (self.tags.get("returns_form", node.id),
+                    self.tags.get("returns_domain", node.id))
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value)
+            # x.data / x.copy-style attribute access keeps the poly's tag.
+            return base
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.IfExp):
+            then = self.eval(node.body)
+            other = self.eval(node.orelse)
+            return (then[0] if then[0] == other[0] else None,
+                    then[1] if then[1] == other[1] else None)
+        if isinstance(node, ast.Tuple) and node.elts:
+            tags = [self.eval(e) for e in node.elts]
+            form = tags[0][0] if all(t[0] == tags[0][0] for t in tags) \
+                else None
+            domain = tags[0][1] if all(t[1] == tags[0][1] for t in tags) \
+                else None
+            return (form, domain)
+        if isinstance(node, ast.BinOp):
+            self.eval(node.left)
+            self.eval(node.right)
+            return (None, None)
+        return (None, None)
+
+    def eval_call(self, node: ast.Call) -> Tuple[Optional[str],
+                                                 Optional[str]]:
+        func = node.func
+        callee: Optional[FuncInfo] = None
+        recv_node: Optional[ast.expr] = None
+        if isinstance(func, ast.Name):
+            callee = self.registry.lookup(func.id)
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _TAG_PRESERVING:
+                # Shape-only op: the receiver's (or first arg's) tag
+                # flows through.
+                inner = self.eval(func.value)
+                for arg in node.args:
+                    got = self.eval(arg)
+                    if inner == (None, None):
+                        inner = got
+                return inner
+            callee = self.registry.lookup(func.attr)
+            recv_node = func.value
+        if callee is None:
+            for arg in node.args:
+                self.eval(arg)
+            for kw in node.keywords:
+                self.eval(kw.value)
+            return (None, None)
+
+        self.check_args(node, callee, recv_node)
+        return (callee.returns_form, callee.returns_domain)
+
+    def check_args(self, node: ast.Call, callee: FuncInfo,
+                   recv_node: Optional[ast.expr]) -> None:
+        params = [p for p in callee.params if p not in ("self", "cls")]
+        arg_nodes: Dict[str, ast.expr] = {}
+        for i, arg in enumerate(node.args):
+            if i < len(params):
+                arg_nodes[params[i]] = arg
+            else:
+                self.eval(arg)
+        for kw in node.keywords:
+            if kw.arg and kw.arg in params:
+                arg_nodes[kw.arg] = kw.value
+            else:
+                self.eval(kw.value)
+        if recv_node is not None:
+            arg_nodes["self"] = recv_node
+
+        for _ret, takes_attr, rule, label in _AXES:
+            requirements = getattr(callee, takes_attr)
+            for pname, required in requirements.items():
+                arg = arg_nodes.get(pname)
+                if arg is None:
+                    continue
+                form, domain = self.eval(arg)
+                actual = form if takes_attr == "takes_form" else domain
+                if actual is not None and actual != required:
+                    where = "receiver" if pname == "self" \
+                        else f"argument {pname!r}"
+                    self.report(
+                        rule, node,
+                        f"{where} of {callee.name} must be "
+                        f"{required}-{label} but a {actual}-{label} value "
+                        "flows here",
+                    )
+        # Evaluate any argument not re-visited above (tag side effects
+        # don't exist, but keeps traversal total).
+        for pname, arg in arg_nodes.items():
+            self.eval(arg)

@@ -1,0 +1,55 @@
+"""Kernel-descriptor hygiene (the K-xxx rule family).
+
+**K-VAL** — every ``KernelSpec(...)`` constructed inside the library
+must be validated at the construction site:
+``KernelSpec(...).validate()``. The gpusim engine re-validates at submit
+time, but a spec built and cached long before submission (plan caches,
+baseline tables) would otherwise fail far from the mistake; the lint
+rule keeps the check next to the numbers. Specs built inside
+``KernelSpec``'s own module (the dataclass definition, ``validate``
+itself, ``replace``-style helpers) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .findings import Finding
+from .registry import ModuleInfo
+
+
+def _is_kernelspec_ctor(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "KernelSpec"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "KernelSpec"
+    return False
+
+
+def kernelspec_findings(module: ModuleInfo, func_of_line) -> List[Finding]:
+    if module.path.replace("\\", "/").endswith("gpusim/kernel.py"):
+        return []
+    validated: set = set()
+    for node in ast.walk(module.tree):
+        # KernelSpec(...).validate() — the ctor node hangs off the
+        # attribute receiver of the validate call.
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "validate" and \
+                isinstance(node.func.value, ast.Call) and \
+                _is_kernelspec_ctor(node.func.value):
+            validated.add(id(node.func.value))
+    out: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _is_kernelspec_ctor(node) and \
+                id(node) not in validated:
+            out.append(Finding(
+                rule="K-VAL", path=module.path, line=node.lineno,
+                func=func_of_line(node.lineno),
+                message="KernelSpec constructed without an immediate "
+                        ".validate() — geometry/stall errors surface at "
+                        "submit time, far from the numbers",
+            ))
+    return out

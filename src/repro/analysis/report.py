@@ -72,3 +72,46 @@ def shape_check(description: str, condition: bool) -> str:
     """A pass/fail line for a qualitative claim ('who wins')."""
     mark = "PASS" if condition else "FAIL"
     return f"[{mark}] {description}"
+
+
+def lint_gate_summary(json_path: str = "ANALYSIS_lint.json") -> str:
+    """Fold the fhelint static-safety gate into the reproduction report.
+
+    Reads a previously written ``ANALYSIS_lint.json`` (the CI artifact)
+    when one exists; otherwise re-runs the analyzer over the installed
+    package source, so the reproduction summary never silently skips
+    the gate. The numeric tables above only mean something if the
+    kernels producing them provably stay inside their declared bounds.
+    """
+    import json
+    import os
+
+    if os.path.exists(json_path):
+        with open(json_path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        origin = json_path
+    else:
+        # Local import: the lint runner imports this module's
+        # format_table, so a top-level import would be circular.
+        from .fhelint.runner import run_lint
+        import repro
+
+        data = run_lint([os.path.dirname(repro.__file__)]).to_json()
+        origin = "live run"
+
+    rows = []
+    for rule in sorted(data.get("counts", {})):
+        c = data["counts"][rule]
+        if c["active"] or c["baselined"] or c["waived"]:
+            rows.append([rule, c["active"], c["baselined"], c["waived"]])
+    if not rows:
+        rows.append(["(no findings)", 0, 0, 0])
+    verdict = "CLEAN" if data.get("active", 1) == 0 else \
+        f"{data['active']} ACTIVE FINDING(S)"
+    table = format_table(
+        ["rule", "active", "baseline", "waived"], rows,
+        title=f"Static safety gate: fhelint ({origin}) — "
+              f"{data.get('functions_checked', 0)} annotated kernels",
+        first_col_width=12, col_width=10,
+    )
+    return f"{table}\n{shape_check('fhelint gate: ' + verdict, verdict == 'CLEAN')}"

@@ -94,7 +94,7 @@ class HundredXOps:
                 smem_per_block_bytes=48 * 1024,
                 efficiency=_EFFICIENCY,
                 tags={"kind": "ntt", "system": "100x"},
-            )
+            ).validate()
         ]
 
     # -- keyswitch plan -----------------------------------------------------------------

@@ -90,7 +90,7 @@ class TensorFheNtt:
             coalescing=0.25,             # byte-granular stores
             efficiency=_EFFICIENCY,
             tags={"stage": "Stage 1"},
-        )
+        ).validate()
 
         def gemm(stage: str, inner: int, m: int, mn: int) -> KernelSpec:
             # One limb-pair GEMM: X_m (uint8) x W (uint8) -> int32 partial.
@@ -106,7 +106,7 @@ class TensorFheNtt:
                 smem_per_block_bytes=48 * 1024,
                 efficiency=_EFFICIENCY,
                 tags={"stage": stage},
-            )
+            ).validate()
 
         mid = KernelSpec(
             name="tf.mid(Hada&Trans)",
@@ -121,7 +121,7 @@ class TensorFheNtt:
             coalescing=0.5,
             efficiency=_EFFICIENCY,
             tags={"stage": "Stage 3"},
-        )
+        ).validate()
 
         merge = KernelSpec(
             name="tf.merge(U8ToU32)",
@@ -132,7 +132,7 @@ class TensorFheNtt:
             gmem_write_bytes=elems * WORD,
             efficiency=_EFFICIENCY,
             tags={"stage": "Stage 5"},
-        )
+        ).validate()
 
         plan = [split]
         plan += [gemm("Stage 2", self.n2, m, mn)

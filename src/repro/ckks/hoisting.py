@@ -28,6 +28,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded
 from ..ntt.stacked import (
     get_shoup_stack,
     stacked_negacyclic_intt,
@@ -75,6 +76,7 @@ def _automorphism_tables(steps: Sequence[int],
     return src, flip
 
 
+@bounded()
 def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
                       keys: KeySet) -> Dict[int, Ciphertext]:
     """Rotate ``ct`` by every step in ``steps``, sharing one ModUp and

@@ -38,6 +38,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded
 from ..ntt.stacked import (
     get_shoup_stack,
     stacked_negacyclic_intt,
@@ -61,6 +62,7 @@ from .ks_common import (
 from .poly import COEFF, EVAL, RnsPoly
 
 
+@bounded()
 def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
               *, plain_modulus: int = None,
               pool=None) -> Tuple[RnsPoly, RnsPoly]:

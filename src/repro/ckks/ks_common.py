@@ -15,6 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded, returns_view
 from ..numtheory.barrett import BatchBarrettReducer
 from .keys import KeySwitchKey
 from .poly import RnsPoly
@@ -65,6 +66,7 @@ def present_digits(digits: Sequence[Sequence[int]],
     return groups, indices
 
 
+@returns_view
 def stacked_key_rows(ksk: KeySwitchKey, num_level: int, *,
                      t_layout: bool = False
                      ) -> Tuple[np.ndarray, np.ndarray]:
@@ -105,6 +107,8 @@ def stacked_key_rows(ksk: KeySwitchKey, num_level: int, *,
     return b_stack, a_stack
 
 
+@bounded(out_q=1, max_lanes=1 << 20,
+         params={"ext": {"bits": 32}, "rows": {"q": 1}})
 def wide_dot(ext: np.ndarray, rows: np.ndarray,
              reducer: BatchBarrettReducer, *,
              lane_axis: int = -2) -> np.ndarray:
@@ -132,6 +136,9 @@ def wide_dot(ext: np.ndarray, rows: np.ndarray,
     return reducer.reduce_mat(hi * radix + lo)
 
 
+@bounded(out_q=1,
+         params={"ext_eval": {"bits": 32}, "b_stack": {"q": 1},
+                 "a_stack": {"q": 1}})
 def stacked_inner_product(ext_eval: np.ndarray, b_stack: np.ndarray,
                           a_stack: np.ndarray,
                           reducer: BatchBarrettReducer, *,

@@ -41,6 +41,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import frozen, returns_view
 from ..ntt.stacked import get_shoup_stack, stacked_negacyclic_ntt
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
@@ -54,6 +55,7 @@ from .rns_context import get_rns_context
 _DIAG_EPSILON = 1e-12
 
 
+@frozen
 class _LevelPlan:
     """One compiled level of a transform: the eval-form diagonal stack.
 
@@ -200,6 +202,7 @@ class LinearTransform:
         self._plans[level] = plan
         return plan
 
+    @returns_view
     def _plain_slice(self, plan: _LevelPlan, group: int,
                      member: int) -> Plaintext:
         """The memoized plaintext of one diagonal (a read-only view into

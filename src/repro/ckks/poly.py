@@ -26,6 +26,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded, coeff_form, eval_form, takes_form
 from ..ntt.tables import TABLE_CACHE_SIZE
 from ..ntt.twiddles import batched_negacyclic_intt, batched_negacyclic_ntt
 from ..numtheory import BarrettReducer
@@ -92,6 +93,7 @@ class RnsPoly:
                    tuple(moduli), domain)
 
     @classmethod
+    @coeff_form
     def from_signed(cls, coeffs: np.ndarray, moduli: Sequence[int]
                     ) -> "RnsPoly":
         """Lift signed int64 coefficients into RNS (coefficient domain)."""
@@ -100,6 +102,7 @@ class RnsPoly:
         return cls(rows.astype(np.uint64), tuple(moduli), COEFF)
 
     @classmethod
+    @coeff_form
     def from_bigint(cls, coeffs: Sequence[int], moduli: Sequence[int]
                     ) -> "RnsPoly":
         """Lift arbitrary-precision integer coefficients into RNS."""
@@ -129,6 +132,7 @@ class RnsPoly:
 
     # -- domain conversion -----------------------------------------------------
 
+    @eval_form
     def to_eval(self) -> "RnsPoly":
         """Forward NTT every residue row in one batched pass.
 
@@ -145,6 +149,7 @@ class RnsPoly:
             self.moduli, EVAL,
         )
 
+    @coeff_form
     def to_coeff(self) -> "RnsPoly":
         """Inverse NTT every residue row in one batched pass.
 
@@ -170,20 +175,26 @@ class RnsPoly:
                 f"{other.domain}"
             )
 
+    @bounded(params={"self.data": {"q": 1}, "other.data": {"q": 1}})
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
         out = self.context.barrett.add_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, self.domain)
 
+    @bounded(params={"self.data": {"q": 1}, "other.data": {"q": 1}})
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
         out = self.context.barrett.sub_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, self.domain)
 
+    @bounded(params={"self.data": {"q": 1}})
     def __neg__(self) -> "RnsPoly":
         out = self.context.barrett.neg_mat(self.data)
         return RnsPoly(out, self.moduli, self.domain)
 
+    @eval_form
+    @takes_form(self="eval", other="eval")
+    @bounded(params={"self.data": {"q": 1}, "other.data": {"q": 1}})
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
         """Pointwise product — only meaningful in the eval domain."""
         self._check_compatible(other)
@@ -195,6 +206,10 @@ class RnsPoly:
         out = self.context.barrett.mul_mat(self.data, other.data)
         return RnsPoly(out, self.moduli, EVAL)
 
+    @eval_form
+    @takes_form(self="eval", a="eval", b="eval")
+    @bounded(params={"self.data": {"q": 1}, "a.data": {"q": 1},
+                     "b.data": {"q": 1}})
     def fma_(self, a: "RnsPoly", b: "RnsPoly") -> "RnsPoly":
         """In-place fused multiply-accumulate: ``self += a * b``.
 
@@ -217,6 +232,7 @@ class RnsPoly:
         self.data = self.context.barrett.reduce_mat(prod)
         return self
 
+    @bounded(params={"self.data": {"q": 1}})
     def mul_scalar(self, scalar: int) -> "RnsPoly":
         """Multiply by an integer scalar (any domain)."""
         ctx = self.context
@@ -244,6 +260,9 @@ class RnsPoly:
             self.domain,
         )
 
+    @coeff_form
+    @takes_form(self="coeff")
+    @bounded(params={"self.data": {"q": 1}})
     def automorphism(self, exponent: int) -> "RnsPoly":
         """Apply ``X -> X^exponent`` (requires coefficient domain).
 

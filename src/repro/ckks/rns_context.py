@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded
 from ..ntt.tables import TABLE_CACHE_SIZE
 from ..ntt.twiddles import TwiddleStack, get_twiddle_stack
 from ..numtheory import BatchBarrettReducer
@@ -46,6 +47,7 @@ class RnsContext:
             self._twiddles = get_twiddle_stack(self.moduli, self.n)
         return self._twiddles
 
+    @bounded(out_q=1)
     def reduce_scalar(self, value: int) -> np.ndarray:
         """``value mod q_i`` per row, as a broadcastable column."""
         return self.barrett.reduce_scalar(value)

@@ -23,6 +23,7 @@ from typing import List
 
 import numpy as np
 
+from ..analysis.annotations import returns_view
 from ..gpusim import A100_PCIE_80G, ExecutionResult, GpuSpec, KernelSpec, run_serial
 from ..ntt import (
     HierarchicalNtt,
@@ -142,6 +143,7 @@ class WarpDriveNtt:
 
     # -- functional execution ---------------------------------------------------
 
+    @returns_view
     def executor(self, tables: NttTables) -> HierarchicalNtt:
         key = tables.modulus
         if key not in self._executors:
@@ -213,7 +215,7 @@ class WarpDriveNtt:
                     efficiency=self.efficiency,
                     regs_per_thread=96,
                     tags={"variant": self.variant, "n": str(self.n)},
-                )
+                ).validate()
             )
         return kernels
 

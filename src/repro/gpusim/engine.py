@@ -153,6 +153,7 @@ def compute_occupancy(spec: KernelSpec, device: GpuSpec) -> Occupancy:
 
 def simulate_kernel(spec: KernelSpec, device: GpuSpec) -> KernelProfile:
     """Price one kernel launch; see the module docstring for the model."""
+    spec.validate()
     occ = compute_occupancy(spec, device)
     sm_used = occ.sm_used
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
+from .stalls import StallReason
+
 #: Scalar INT8 MACs performed by one warp-level MMA instruction
 #: (m16n16k16: 16*16*16 = 4096 MACs).
 MACS_PER_MMA = 4096
@@ -63,6 +65,13 @@ class KernelSpec:
     gmem_round_trips:
         Dependent global-memory round trips on the critical path of one
         thread (drives latency-bound behaviour at low occupancy).
+    stall_hints:
+        Optional prior on the issue-stall distribution, keyed by
+        :class:`~repro.gpusim.stalls.StallReason` values with fractional
+        weights summing to at most 1. Lowering code that knows a
+        kernel's dominant stall (e.g. LG throttle for the four-step
+        transpose) can record it here for reports; the engine's own
+        breakdown stays authoritative.
     tags:
         Free-form labels used by reports (e.g. ``{"stage": "GEMM"}``).
     """
@@ -82,9 +91,18 @@ class KernelSpec:
     coalescing: float = 1.0
     efficiency: float = 1.0
     gmem_round_trips: int = 1
+    stall_hints: Dict[str, float] = field(default_factory=dict)
     tags: Dict[str, str] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def validate(self) -> "KernelSpec":
+        """Schema-check the descriptor and return it (chainable).
+
+        Construction sites write ``KernelSpec(...).validate()`` so a
+        nonsensical geometry, a negative count or an unknown stall name
+        fails next to the numbers that produced it; the engine
+        re-validates at submit time as a backstop for specs assembled
+        via :func:`dataclasses.replace`.
+        """
         if self.blocks < 1 or self.warps_per_block < 1:
             raise ValueError("kernel must launch at least one warp")
         if not 0.0 < self.coalescing <= 1.0:
@@ -94,9 +112,29 @@ class KernelSpec:
         for fname in (
             "int32_ops", "tensor_macs", "gmem_read_bytes",
             "gmem_write_bytes", "smem_read_bytes", "smem_write_bytes",
+            "smem_per_block_bytes", "barriers",
         ):
             if getattr(self, fname) < 0:
                 raise ValueError(f"{fname} must be non-negative")
+        if self.regs_per_thread < 1:
+            raise ValueError("regs_per_thread must be at least 1")
+        if self.gmem_round_trips < 0:
+            raise ValueError("gmem_round_trips must be non-negative")
+        known = {reason.value for reason in StallReason}
+        for name, fraction in self.stall_hints.items():
+            if name not in known:
+                raise ValueError(
+                    f"unknown stall pipe {name!r} in stall_hints "
+                    f"(known: {sorted(known)})"
+                )
+            if fraction < 0:
+                raise ValueError(f"stall_hints[{name!r}] must be >= 0")
+        if sum(self.stall_hints.values()) > 1.0 + 1e-9:
+            raise ValueError("stall_hints fractions must sum to <= 1")
+        return self
+
+    def __post_init__(self):
+        self.validate()
 
     # -- derived counts ------------------------------------------------------
 

@@ -18,8 +18,21 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded
 from ..numtheory import BarrettReducer
 from ..numtheory.karatsuba import LIMB_BITS, split_limbs
+
+#: Exclusive bound of one uint8 limb.
+_LIMB_BOUND = 256
+#: Exclusive bound of a two-limb sum (Karatsuba cross operands).
+_SUM_BOUND = 2 * _LIMB_BOUND - 1
+#: Deepest GEMM the schoolbook dataflow may accumulate in int32:
+#: products < 2**16, so k <= 2**15 keeps sums below 2**31.
+_SCHOOLBOOK_LANES = 1 << 15
+#: Deepest GEMM the two-level Karatsuba dataflow may accumulate: the
+#: outer cross GEMM multiplies sums of limb-sums (< 1021), so products
+#: reach ~2**20 and k must stay <= 2**11.
+_KARATSUBA_LANES = 1 << 11
 
 #: INT32 accumulator capacity of a tensor-core MMA chain.
 _ACC_LIMIT = 1 << 31
@@ -28,6 +41,7 @@ _ACC_LIMIT = 1 << 31
 _Partial = Tuple[int, int, np.ndarray]
 
 
+@bounded(in_q=1, out_q=1, params={"x": {"q": 1}, "w": {"q": 1}})
 def bitsplit_matmul_mod(x: np.ndarray, w: np.ndarray, reducer: BarrettReducer,
                         *, use_karatsuba: bool = False) -> np.ndarray:
     """``(x @ w) mod q`` through the uint8-limb tensor-core dataflow.
@@ -55,8 +69,10 @@ def bitsplit_matmul_mod(x: np.ndarray, w: np.ndarray, reducer: BarrettReducer,
     k = x.shape[-1]
     if w.shape[0] != k:
         raise ValueError(f"inner dimensions differ: {k} vs {w.shape[0]}")
-    # Karatsuba operand sums cost 2 extra bits (the paper's word-length loss).
-    acc_bits = 2 * LIMB_BITS + (2 if use_karatsuba else 0)
+    # Karatsuba operand sums cost 2 extra bits *per operand* (the paper's
+    # word-length loss): the outer cross GEMM multiplies sums of limb
+    # sums, up to 4*255 each, so its products carry 4 extra bits.
+    acc_bits = 2 * LIMB_BITS + (4 if use_karatsuba else 0)
     if (1 << acc_bits) * k > _ACC_LIMIT:
         raise ValueError(
             f"GEMM depth {k} overflows the int32 tensor-core accumulator; "
@@ -75,7 +91,10 @@ def bitsplit_matmul_mod(x: np.ndarray, w: np.ndarray, reducer: BarrettReducer,
                for s in range(8)]
     result = None
     for shift, sign, acc in partials:
-        reduced = reducer.reduce_vec(acc)
+        # The int32 bound on ``acc`` is proven inside the partial
+        # builders (B-ACC at each GEMM); the list of (shift, sign, acc)
+        # tuples itself is outside the interval domain.
+        reduced = reducer.reduce_vec(acc)  # fhelint: allow-B-RED
         term = reducer.mul_vec(reduced, two_pow[shift])
         if result is None:
             result = term if sign > 0 else reducer.sub_vec(
@@ -93,6 +112,9 @@ def count_limb_gemms(use_karatsuba: bool = False) -> int:
     return 9 if use_karatsuba else 16
 
 
+@bounded(dtype="int32", max_lanes=_SCHOOLBOOK_LANES,
+         params={"x_limbs": {"ubound": _LIMB_BOUND},
+                 "w_limbs": {"ubound": _LIMB_BOUND}})
 def _schoolbook_partials(x_limbs, w_limbs) -> List[_Partial]:
     """All 16 limb GEMMs, tagged with limb shift ``i + j`` and sign +1."""
     partials: List[_Partial] = []
@@ -102,6 +124,31 @@ def _schoolbook_partials(x_limbs, w_limbs) -> List[_Partial]:
     return partials
 
 
+@bounded(dtype="int32", max_lanes=_KARATSUBA_LANES,
+         params={"a0": {"ubound": _SUM_BOUND}, "a1": {"ubound": _SUM_BOUND},
+                 "b0": {"ubound": _SUM_BOUND}, "b1": {"ubound": _SUM_BOUND}})
+def _kara2(a0, a1, b0, b1) -> List[_Partial]:
+    """3 GEMMs -> partials of (a0 + a1*2^8)(b0 + b1*2^8) at local shifts.
+
+    Operands may be limbs (< 256) or limb sums (< 511); the widest
+    products — the cross GEMM over sums of sums — still fit the int32
+    accumulator at depth ``_KARATSUBA_LANES``.
+    """
+    low = a0 @ b0
+    high = a1 @ b1
+    cross = (a0 + a1) @ (b0 + b1)
+    return [
+        (0, +1, low),
+        (1, +1, cross),
+        (1, -1, low),
+        (1, -1, high),
+        (2, +1, high),
+    ]
+
+
+@bounded(dtype="int32", max_lanes=_KARATSUBA_LANES,
+         params={"x_limbs": {"ubound": _LIMB_BOUND},
+                 "w_limbs": {"ubound": _LIMB_BOUND}})
 def _karatsuba_partials(x_limbs, w_limbs) -> List[_Partial]:
     """9 limb GEMMs via two-level Karatsuba.
 
@@ -113,22 +160,9 @@ def _karatsuba_partials(x_limbs, w_limbs) -> List[_Partial]:
     x0, x1, x2, x3 = x_limbs
     w0, w1, w2, w3 = w_limbs
 
-    def kara2(a0, a1, b0, b1):
-        """3 GEMMs -> partials of (a0 + a1*2^8)(b0 + b1*2^8) at local shifts."""
-        low = a0 @ b0
-        high = a1 @ b1
-        cross = (a0 + a1) @ (b0 + b1)
-        return [
-            (0, +1, low),
-            (1, +1, cross),
-            (1, -1, low),
-            (1, -1, high),
-            (2, +1, high),
-        ]
-
-    lo = kara2(x0, x1, w0, w1)          # A_lo * B_lo
-    hi = kara2(x2, x3, w2, w3)          # A_hi * B_hi
-    cross = kara2(x0 + x2, x1 + x3, w0 + w2, w1 + w3)
+    lo = _kara2(x0, x1, w0, w1)         # A_lo * B_lo
+    hi = _kara2(x2, x3, w2, w3)         # A_hi * B_hi
+    cross = _kara2(x0 + x2, x1 + x3, w0 + w2, w1 + w3)
 
     partials: List[_Partial] = []
     partials.extend((s, sign, acc) for s, sign, acc in lo)

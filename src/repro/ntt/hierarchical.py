@@ -19,6 +19,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..analysis.annotations import returns_view
 from ..numtheory import BarrettReducer
 from .butterfly import butterfly_inner_ntt
 from .decompose import NttPlan, build_plan
@@ -150,21 +151,25 @@ class HierarchicalNtt:
         )
         return out.reshape(x.shape)
 
+    @returns_view
     def _dft_matrix(self, size: int, omega: int) -> np.ndarray:
         key = (size, omega)
         if key not in self._dft_cache:
-            pow_table = _power_table(omega, size, self.tables.modulus)
+            table = _power_table(omega, size, self.tables.modulus)
             idx = np.arange(size, dtype=np.uint64)
-            self._dft_cache[key] = pow_table[
-                (np.outer(idx, idx) % size).astype(np.intp)
-            ]
+            dft = table[(np.outer(idx, idx) % size).astype(np.intp)]
+            dft.setflags(write=False)
+            self._dft_cache[key] = dft
         return self._dft_cache[key]
 
+    @returns_view
     def _twiddles(self, n: int, n1: int, n2: int, omega: int) -> np.ndarray:
         key = ("tw", n, n1, n2, omega)
         if key not in self._dft_cache:
             pow_table = _power_table(omega, n, self.tables.modulus)
             j1 = np.arange(n1, dtype=np.uint64)[:, None]
             k2 = np.arange(n2, dtype=np.uint64)[None, :]
-            self._dft_cache[key] = pow_table[(j1 * k2) % np.uint64(n)]
+            tw = pow_table[(j1 * k2) % np.uint64(n)]
+            tw.setflags(write=False)
+            self._dft_cache[key] = tw
         return self._dft_cache[key]

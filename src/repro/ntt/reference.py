@@ -34,7 +34,9 @@ def reference_cyclic_intt(x: np.ndarray, omega: int, modulus: int) -> np.ndarray
     n = len(x)
     raw = reference_cyclic_ntt(x, modinv(omega, modulus), modulus)
     n_inv = modinv(n, modulus)
-    return ((raw.astype(object) * n_inv) % modulus).astype(np.uint64)
+    return (  # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
+        (raw.astype(object) * n_inv) % modulus
+    ).astype(np.uint64)
 
 
 def reference_negacyclic_ntt(x: np.ndarray, tables: NttTables) -> np.ndarray:
@@ -44,6 +46,7 @@ def reference_negacyclic_ntt(x: np.ndarray, tables: NttTables) -> np.ndarray:
     negacyclic (mod ``X^N + 1``) convolution becomes pointwise product.
     """
     q = tables.modulus
+    # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
     scaled = (x.astype(object) * tables.psi_pows.astype(object)) % q
     return reference_cyclic_ntt(
         np.array(scaled, dtype=np.uint64), tables.omega, q
@@ -54,6 +57,7 @@ def reference_negacyclic_intt(x: np.ndarray, tables: NttTables) -> np.ndarray:
     """Inverse of :func:`reference_negacyclic_ntt`."""
     q = tables.modulus
     raw = reference_cyclic_intt(x, tables.omega, q)
+    # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
     out = (raw.astype(object) * tables.psi_inv_pows.astype(object)) % q
     return np.array(out, dtype=np.uint64)
 
@@ -79,7 +83,7 @@ def negacyclic_convolution(a: np.ndarray, b: np.ndarray, modulus: int,
                 out[k - n] = (out[k - n] - term) % modulus
     if modulus < 1 << 64:
         return np.array(out, dtype=np.uint64)
-    return np.array(out, dtype=object)
+    return np.array(out, dtype=object)  # fhelint: allow-B-OBJ (oracle)
 
 
 def cyclic_convolution(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:

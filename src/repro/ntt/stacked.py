@@ -37,12 +37,15 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded, coeff_form, eval_form, takes_form
 from ..numtheory import bit_reverse_permutation
 from .tables import TABLE_CACHE_SIZE, get_tables
 
 _U32 = np.uint64(32)
 
 
+@bounded(params={"table": {"q": 1}, "q_col": {"modulus": True}},
+         out_bits=32)
 def _shoup(table: np.ndarray, q_col: np.ndarray) -> np.ndarray:
     """Shoup companions ``floor(w * 2**32 / q)`` per element.
 
@@ -105,6 +108,7 @@ def get_shoup_stack(moduli: Tuple[int, ...], n: int) -> ShoupStack:
     return ShoupStack(moduli, n)
 
 
+@bounded(assume=True, passthrough="x")
 def _check_shape(x: np.ndarray, stack: ShoupStack) -> np.ndarray:
     if x.ndim == 2:
         x = x[:, None, :]
@@ -117,6 +121,9 @@ def _check_shape(x: np.ndarray, stack: ShoupStack) -> np.ndarray:
     return x
 
 
+@bounded(in_q=2, max_q_multiple=4, out_q=2,
+         params={"a": {"q": 2}, "omega": {"q": 1},
+                 "omega_sh": {"shoup": 32}, "q": {"modulus": True}})
 def _butterfly_stages(a: np.ndarray, omega: np.ndarray,
                       omega_sh: np.ndarray, q: np.ndarray) -> np.ndarray:
     """Radix-2 DIT sweep over axis 1 of ``a`` (shape ``(P, N, G)``,
@@ -180,6 +187,15 @@ def _butterfly_stages(a: np.ndarray, omega: np.ndarray,
     return a
 
 
+@eval_form
+@takes_form(x="coeff")
+@bounded(in_bits=32, out_q=1, out_q_lazy=2, max_q_multiple=4,
+         params={"x": {"bits": 32},
+                 "stack.psi_perm": {"q": 1},
+                 "stack.psi_perm_sh": {"shoup": 32},
+                 "stack.omega": {"q": 1},
+                 "stack.omega_sh": {"shoup": 32},
+                 "stack.q": {"modulus": True}})
 def stacked_negacyclic_ntt(x: np.ndarray, stack: ShoupStack, *,
                            lazy: bool = False,
                            t_out: bool = False) -> np.ndarray:
@@ -224,6 +240,15 @@ def stacked_negacyclic_ntt(x: np.ndarray, stack: ShoupStack, *,
     return out[:, 0, :] if squeeze else out
 
 
+@coeff_form
+@takes_form(x="eval")
+@bounded(in_q=2, out_q=1, max_q_multiple=4,
+         params={"x": {"q": 2},
+                 "stack.omega_inv": {"q": 1},
+                 "stack.omega_inv_sh": {"shoup": 32},
+                 "stack.psi_inv_scale": {"q": 1},
+                 "stack.psi_inv_scale_sh": {"shoup": 32},
+                 "stack.q": {"modulus": True}})
 def stacked_negacyclic_intt(x: np.ndarray, stack: ShoupStack) -> np.ndarray:
     """Inverse negacyclic NTT of a ``(P, G, N)`` batch (or ``(P, N)``
     matrix); canonical output, same shape. Inputs must be ``< 2q``

@@ -28,6 +28,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.annotations import bounded, coeff_form, eval_form, takes_form
 from ..numtheory import BatchMontgomeryReducer, bit_reverse_permutation
 from .tables import TABLE_CACHE_SIZE, get_tables
 
@@ -91,6 +92,11 @@ def twiddle_stack_cache_stats() -> dict:
     }
 
 
+@bounded(in_q=1, out_q=1, max_q_multiple=2,
+         params={"x": {"q": 1},
+                 "stack.omega_pows_mont": {"q": 1},
+                 "stack.omega_inv_pows_mont": {"q": 1},
+                 "stack.n_inv_mont": {"q": 1}})
 def batched_cyclic_ntt(x: np.ndarray, stack: TwiddleStack, *,
                        inverse: bool = False) -> np.ndarray:
     """Cyclic (I)NTT of every residue row in one vectorized pass.
@@ -137,6 +143,10 @@ def batched_cyclic_ntt(x: np.ndarray, stack: TwiddleStack, *,
     return a
 
 
+@eval_form
+@takes_form(x="coeff")
+@bounded(in_q=1, out_q=1,
+         params={"x": {"q": 1}, "stack.psi_pows_mont": {"q": 1}})
 def batched_negacyclic_ntt(x: np.ndarray, stack: TwiddleStack) -> np.ndarray:
     """Forward negacyclic NTT of a whole RNS polynomial, no per-prime loop."""
     scaled = stack.mont.mul_mat(
@@ -145,6 +155,10 @@ def batched_negacyclic_ntt(x: np.ndarray, stack: TwiddleStack) -> np.ndarray:
     return batched_cyclic_ntt(scaled, stack)
 
 
+@coeff_form
+@takes_form(x="eval")
+@bounded(in_q=1, out_q=1,
+         params={"x": {"q": 1}, "stack.psi_inv_pows_mont": {"q": 1}})
 def batched_negacyclic_intt(x: np.ndarray, stack: TwiddleStack) -> np.ndarray:
     """Inverse negacyclic NTT of a whole RNS polynomial, no per-prime loop."""
     raw = batched_cyclic_ntt(x, stack, inverse=True)

@@ -16,7 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.annotations import bounded, returns_view
+
 _SHIFT = 62
+
+#: Exclusive input bound of the 64/32 split assembly: ``q**2 < 2**62``
+#: plus the slack every caller is allowed (an extra accumulator term in
+#: ``fma_``, the folded low word in ``wide_dot``) — still small enough
+#: that the quotient approximation misses by at most two subtractions.
+_REDUCE_INPUT = (1 << 62) + (1 << 53)
 
 
 class BarrettReducer:
@@ -50,6 +58,8 @@ class BarrettReducer:
 
     # ---- vectorized hot path ----------------------------------------------
 
+    @bounded(assume=True, params={"t": {"ubound": _REDUCE_INPUT}},
+             out_q=1)
     def reduce_vec(self, t: np.ndarray) -> np.ndarray:
         """Vectorized ``t mod q`` for uint64 inputs below ``q**2 < 2**62``.
 
@@ -81,16 +91,19 @@ class BarrettReducer:
         r = np.where(r >= self._q64, r - self._q64, r)
         return np.where(r >= self._q64, r - self._q64, r)
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized ``a * b mod q`` for uint64 arrays with entries < q."""
         prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
         return self.reduce_vec(prod)
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def add_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized ``a + b mod q`` for entries < q."""
         s = a.astype(np.uint64, copy=False) + b.astype(np.uint64, copy=False)
         return np.where(s >= self._q64, s - self._q64, s)
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def sub_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized ``a - b mod q`` for entries < q."""
         a = a.astype(np.uint64, copy=False)
@@ -132,6 +145,7 @@ class BatchBarrettReducer:
     def __len__(self) -> int:
         return len(self.moduli)
 
+    @returns_view
     def _cols(self, ndim: int) -> tuple:
         """Reshape row constants to broadcast over ``ndim``-D row-major
         arrays whose leading axis is the prime index."""
@@ -142,11 +156,15 @@ class BatchBarrettReducer:
             self._mu_lo.reshape(shape),
         )
 
+    @returns_view
+    @bounded(assume=True, out_q=1)
     def q_col(self, ndim: int = 2) -> np.ndarray:
         """The modulus vector shaped ``(num_primes, 1, ...)`` for
         broadcasting against ``ndim``-D residue arrays."""
         return self._q.reshape((-1,) + (1,) * (ndim - 1))
 
+    @bounded(assume=True, params={"t": {"ubound": _REDUCE_INPUT}},
+             out_q=1)
     def reduce_mat(self, t: np.ndarray) -> np.ndarray:
         """Row-wise ``t mod q_i`` for uint64 entries below ``q_i**2``.
 
@@ -179,11 +197,13 @@ class BatchBarrettReducer:
         np.subtract(r, q, out=r, where=r >= q)
         return r
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise ``a * b mod q_i`` for entries below ``q_i``."""
         prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
         return self.reduce_mat(prod)
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def add_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise ``a + b mod q_i`` for entries below ``q_i``."""
         s = a.astype(np.uint64, copy=False) + b.astype(np.uint64, copy=False)
@@ -191,6 +211,7 @@ class BatchBarrettReducer:
         np.subtract(s, q, out=s, where=s >= q)
         return s
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def sub_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise ``a - b mod q_i`` for entries below ``q_i``.
 
@@ -205,12 +226,14 @@ class BatchBarrettReducer:
         np.add(d, q, out=d, where=a < b)
         return d
 
+    @bounded(assume=True, params={"a": {"q": 1}}, out_q=1)
     def neg_mat(self, a: np.ndarray) -> np.ndarray:
         """Row-wise ``-a mod q_i`` for entries below ``q_i``."""
         a = a.astype(np.uint64, copy=False)
         q = self.q_col(a.ndim)
         return np.where(a == 0, a, q - a)
 
+    @bounded(assume=True, out_q=1)
     def reduce_scalar(self, value: int) -> np.ndarray:
         """``value mod q_i`` per row as a ``(num_primes, 1)`` uint64 column
         (accepts arbitrary-precision integers)."""

@@ -15,11 +15,14 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..analysis.annotations import bounded
+
 LIMB_BITS = 8
 LIMB_BASE = 1 << LIMB_BITS
 NUM_LIMBS = 4  # a 32-bit word as four uint8 limbs
 
 
+@bounded(assume=True, out_bits=LIMB_BITS)
 def split_limbs(values: np.ndarray, num_limbs: int = NUM_LIMBS) -> List[np.ndarray]:
     """Split uint32-range values into ``num_limbs`` uint8-range limbs.
 

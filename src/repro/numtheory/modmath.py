@@ -8,11 +8,14 @@ vectorized hot paths live in :mod:`repro.numtheory.montgomery` and
 
 from __future__ import annotations
 
+from ..analysis.annotations import bounded
+
 # Deterministic Miller-Rabin witnesses for n < 3,317,044,064,679,887,385,961,981
 # (covers every 64-bit integer); see Sorenson & Webster (2015).
 _MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
 
+@bounded(assume=True, out_q=1)
 def modpow(base: int, exponent: int, modulus: int) -> int:
     """Return ``base ** exponent mod modulus`` for non-negative exponents."""
     if modulus <= 0:
@@ -22,6 +25,7 @@ def modpow(base: int, exponent: int, modulus: int) -> int:
     return pow(base, exponent, modulus)
 
 
+@bounded(assume=True, out_q=1)
 def modinv(value: int, modulus: int) -> int:
     """Return the multiplicative inverse of ``value`` modulo ``modulus``.
 

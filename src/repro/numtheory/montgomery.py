@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.annotations import (bounded, montgomery_domain,
+                                    standard_domain, takes_domain)
 from .modmath import modinv
 
 #: Montgomery radix: one 32-bit GPU word.
@@ -67,6 +69,7 @@ class MontgomeryReducer:
 
     # ---- vectorized hot path ----------------------------------------------
 
+    @bounded(assume=True, params={"t": {"ubound": 1 << 63}}, out_q=1)
     def reduce_vec(self, t: np.ndarray) -> np.ndarray:
         """Vectorized REDC over a uint64 array with entries below ``q*R``."""
         t = t.astype(np.uint64, copy=False)
@@ -74,6 +77,7 @@ class MontgomeryReducer:
         result = (t + m * self._q64) >> np.uint64(RADIX_BITS)
         return np.where(result >= self._q64, result - self._q64, result)
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Montgomery product of arrays already in the Montgomery domain.
 
@@ -86,11 +90,16 @@ class MontgomeryReducer:
         prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
         return self.reduce_vec(prod)
 
+    @montgomery_domain
+    @bounded(assume=True, params={"a": {"q": 1}}, out_q=1)
     def to_montgomery_vec(self, a: np.ndarray) -> np.ndarray:
         """Vectorized domain entry: ``a * R mod q``."""
         a = a.astype(np.uint64, copy=False)
         return self.reduce_vec(a * np.uint64(self.r2_mod_q))
 
+    @standard_domain
+    @takes_domain(a_mont="montgomery")
+    @bounded(assume=True, params={"a_mont": {"q": 1}}, out_q=1)
     def from_montgomery_vec(self, a_mont: np.ndarray) -> np.ndarray:
         """Vectorized domain exit."""
         return self.reduce_vec(a_mont.astype(np.uint64, copy=False))
@@ -133,11 +142,13 @@ class BatchMontgomeryReducer:
     def _col(self, vec: np.ndarray, ndim: int) -> np.ndarray:
         return vec.reshape((-1,) + (1,) * (ndim - 1))
 
+    @bounded(assume=True, out_q=1)
     def q_col(self, ndim: int = 2) -> np.ndarray:
         """The modulus vector shaped to broadcast against ``ndim``-D
         arrays with the prime index on axis 0."""
         return self._col(self._q, ndim)
 
+    @bounded(assume=True, params={"t": {"ubound": 1 << 63}}, out_q=1)
     def reduce_mat(self, t: np.ndarray) -> np.ndarray:
         """Row-wise REDC for uint64 entries below ``q_i * R``.
 
@@ -157,16 +168,22 @@ class BatchMontgomeryReducer:
         np.subtract(m, q, out=m, where=m >= q)
         return m
 
+    @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise Montgomery product (entries below ``q_i``)."""
         prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
         return self.reduce_mat(prod)
 
+    @montgomery_domain
+    @bounded(assume=True, params={"a": {"q": 1}}, out_q=1)
     def to_montgomery_mat(self, a: np.ndarray) -> np.ndarray:
         """Row-wise domain entry: ``a * R mod q_i``."""
         a = a.astype(np.uint64, copy=False)
         return self.reduce_mat(a * self._col(self._r2, a.ndim))
 
+    @standard_domain
+    @takes_domain(a_mont="montgomery")
+    @bounded(assume=True, params={"a_mont": {"q": 1}}, out_q=1)
     def from_montgomery_mat(self, a_mont: np.ndarray) -> np.ndarray:
         """Row-wise domain exit."""
         return self.reduce_mat(a_mont.astype(np.uint64, copy=False))

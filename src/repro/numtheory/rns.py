@@ -21,13 +21,17 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..analysis.annotations import bounded
 from .barrett import BarrettReducer, BatchBarrettReducer
 from .modmath import modinv
 
 
-def _col(values, ndim: int) -> np.ndarray:
+@bounded(assume=True, out_q=1)
+def _const_col(values, ndim: int) -> np.ndarray:
     """Shape per-prime constants to broadcast over ``ndim``-D residue
-    arrays whose leading axis is the prime index."""
+    arrays whose leading axis is the prime index. Every caller passes
+    constants already reduced below their row's modulus (the ``out_q=1``
+    axiom)."""
     return np.asarray(values, dtype=np.uint64).reshape(
         (-1,) + (1,) * (ndim - 1)
     )
@@ -70,10 +74,12 @@ class RNSBasis:
         """Return the basis restricted to the given modulus indices."""
         return RNSBasis([self.moduli[i] for i in indices])
 
+    @bounded(out_q=1)
     def zero(self, n: int) -> np.ndarray:
         """A zero residue matrix of shape ``(len(self), n)``."""
         return np.zeros((len(self), n), dtype=np.uint64)
 
+    @bounded(assume=True, out_q=1)
     def random(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Uniform residue matrix (independent per prime — a uniform RNS
         value over the full product by CRT)."""
@@ -82,6 +88,7 @@ class RNSBasis:
         ]
         return np.stack(rows)
 
+    @bounded(assume=True, out_q=1)
     def reduce_signed(self, coeffs: np.ndarray) -> np.ndarray:
         """Map signed int64 coefficients into residue rows."""
         rows = []
@@ -90,6 +97,7 @@ class RNSBasis:
         return np.stack(rows)
 
 
+@bounded(in_q=1, out_q=1, params={"residues": {"q": 1}})
 def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
                  *, exact: bool = False) -> np.ndarray:
     """Fast basis extension (the ModUp core).
@@ -132,14 +140,14 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
         )
     ndim = residues.ndim
     # y_i = x_i * hat_inv_i mod q_i  (all < q_i < 2**31) — one row-wise pass.
-    y = source.batch.mul_mat(residues, _col(source.hat_invs, ndim))
+    y = source.batch.mul_mat(residues, _const_col(source.hat_invs, ndim))
 
     # Accumulate sum_i y_i * (Q/q_i mod t) over all target rows at once;
     # only the (small) digit dimension remains a Python loop.
     out = np.zeros((len(target),) + residues.shape[1:], dtype=np.uint64)
     tgt = target.batch
     for i, q_i in enumerate(source.moduli):
-        hat_col = _col(
+        hat_col = _const_col(
             [(source.product // q_i) % t for t in target.moduli], ndim
         )
         out = tgt.add_mat(out, tgt.mul_mat(y[i][None, ...], hat_col))
@@ -152,17 +160,21 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
         for i, q_i in enumerate(source.moduli):
             ratio += y[i].astype(np.float64) / float(q_i)
         u = np.floor(ratio).astype(np.uint64)
-        q_mod_t_col = _col(
+        q_mod_t_col = _const_col(
             [source.product % t for t in target.moduli], ndim
         )
-        correction = tgt.mul_mat(
-            tgt.reduce_mat(np.broadcast_to(u, out.shape)), q_mod_t_col
+        # u < len(source) <= 64 — far below any modulus, but the bound
+        # comes from the float estimate, outside the interval domain.
+        u_rows = tgt.reduce_mat(  # fhelint: allow-B-RED (u < alpha)
+            np.broadcast_to(u, out.shape)
         )
+        correction = tgt.mul_mat(u_rows, q_mod_t_col)
         out = tgt.sub_mat(out, correction)
     return out
 
 
 @lru_cache(maxsize=256)
+@bounded(assume=True, out_q=1)
 def _stacked_modup_plan(source_moduli: tuple, groups: tuple,
                         target_moduli: tuple):
     """Precomputed constants for :func:`extend_basis_stacked`.
@@ -171,6 +183,10 @@ def _stacked_modup_plan(source_moduli: tuple, groups: tuple,
     ``steps[k] = (group_positions, y_rows, hat_cols)`` vectorizes the
     k-th prime of every digit across all digits at once:
     ``hat_cols[t, j] = (prod(digit_j) / q_{rows[j]}) mod target_t``.
+
+    The ``out_q=1`` axiom covers the numeric leaves: every constant in
+    the plan (``hat_inv_col``, ``hat_cols``) is reduced below its row's
+    modulus at construction.
     """
     sub_products = []
     hat_invs = []
@@ -205,6 +221,7 @@ def _stacked_modup_plan(source_moduli: tuple, groups: tuple,
     return flat_rows, flat_reducer, hat_inv_col, steps
 
 
+@bounded(in_q=1, out_q=1, out_q_lazy=2, params={"residues": {"q": 1}})
 def extend_basis_stacked(residues: np.ndarray, groups: Sequence[Sequence[int]],
                          source: RNSBasis, target: RNSBasis, *,
                          lazy: bool = False) -> np.ndarray:
@@ -264,6 +281,7 @@ def extend_basis_stacked(residues: np.ndarray, groups: Sequence[Sequence[int]],
     return out
 
 
+@bounded(in_q=1, out_q=1, params={"residues": {"q": 1}})
 def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
              ) -> np.ndarray:
     """Divide by ``P = prod(special)`` with rounding (KeySwitch ModDown).
@@ -284,7 +302,7 @@ def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
     # Extend (x mod P) back onto the main basis, then subtract and divide —
     # all main rows in one batched pass.
     x_special_on_main = extend_basis(x_special, special, main, exact=True)
-    p_inv_col = _col(
+    p_inv_col = _const_col(
         [modinv(special.product % q, q) for q in main.moduli],
         residues.ndim,
     )
@@ -293,6 +311,7 @@ def mod_down(residues: np.ndarray, main: RNSBasis, special: RNSBasis,
     return mb.mul_mat(diff, p_inv_col)
 
 
+@bounded(in_q=1, out_q=1, params={"residues": {"q": 1}})
 def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
                         target: RNSBasis) -> np.ndarray:
     """Exact extension of the *centered* representative.
@@ -316,13 +335,15 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
         )
     out = extend_basis(residues, source, target, exact=True)
     # Recompute the fractional part x/Q to decide the sign.
-    y = source.batch.mul_mat(residues, _col(source.hat_invs, residues.ndim))
+    y = source.batch.mul_mat(
+        residues, _const_col(source.hat_invs, residues.ndim)
+    )
     ratio = np.zeros(residues.shape[1:], dtype=np.float64)
     for i, q_i in enumerate(source.moduli):
         ratio += y[i].astype(np.float64) / float(q_i)
     frac = ratio - np.floor(ratio)
     negative = frac >= 0.5
-    q_mod_t_col = _col(
+    q_mod_t_col = _const_col(
         [source.product % t for t in target.moduli], residues.ndim
     )
     shifted = target.batch.sub_mat(
@@ -331,6 +352,7 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
     return np.where(negative[None, ...], shifted, out)
 
 
+@bounded(in_q=1, out_q=1, params={"residues": {"q": 1}})
 def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
                      special: RNSBasis, t: int) -> np.ndarray:
     """BGV/BFV-style ModDown: divide by ``P`` *preserving residues mod t*.
@@ -359,31 +381,36 @@ def mod_down_exact_t(residues: np.ndarray, main: RNSBasis,
         x_special, special, RNSBasis([t]), exact=True
     )[0]
     p_inv_t = modinv(special.product % t, t)
-    # centered [delta * P^{-1}]_t as signed int64.
-    correction = (
-        delta_mod_t.astype(object) * p_inv_t % t
+    # centered [delta * P^{-1}]_t as signed int64. Both operands are
+    # below t < 2**31, so the 64/32 Barrett split keeps the product in
+    # uint64 lanes — no object-dtype bigint fallback.
+    correction = BarrettReducer(t).mul_vec(
+        delta_mod_t, np.uint64(p_inv_t)
     ).astype(np.int64)
     correction[correction > t // 2] -= t
 
-    p_inv_col = _col(
+    p_inv_col = _const_col(
         [modinv(special.product % q, q) for q in main.moduli], ndim
     )
-    p_mod_q_col = _col(
+    p_mod_q_col = _const_col(
         [special.product % q for q in main.moduli], ndim
     )
     q_col = np.array(main.moduli, dtype=np.int64).reshape(
         (-1,) + (1,) * (ndim - 1)
     )
     mb = main.batch
+    # np.mod against the signed q_col guarantees canonical residues, but
+    # the signed/unsigned crossing is outside the interval domain.
     corr_mod_q = np.mod(
         correction.astype(np.int64)[None, ...], q_col
     ).astype(np.uint64)
-    corr_term = mb.mul_mat(corr_mod_q, p_mod_q_col)
+    corr_term = mb.mul_mat(corr_mod_q, p_mod_q_col)  # fhelint: allow-B-RED
     delta_prime = mb.sub_mat(delta_on_main, corr_term)
     diff = mb.sub_mat(x_main, delta_prime)
     return mb.mul_mat(diff, p_inv_col)
 
 
+@bounded(in_q=1, out_q=1, params={"residues": {"q": 1}})
 def rescale_rows(residues: np.ndarray, basis: RNSBasis) -> np.ndarray:
     """Drop the last prime of ``basis`` and divide by it (CKKS RESCALE).
 

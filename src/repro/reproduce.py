@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import sys
 
-from .analysis import format_table
+from .analysis import format_table, lint_gate_summary
 from .baselines import TensorFheNtt, cpu_ntt_throughput_kops
 from .baselines.published import TABLE_VII_NTT_KOPS, TABLE_VIII_LATENCY_US
 from .ckks import ParameterSets
@@ -72,7 +72,8 @@ def hmult_summary() -> str:
 def main(argv=None) -> int:
     print("WarpDrive reproduction — headline results")
     print("=" * 64)
-    for section in (ntt_summary, variant_summary, hmult_summary):
+    for section in (ntt_summary, variant_summary, hmult_summary,
+                    lint_gate_summary):
         print()
         print(section())
     print()
