@@ -1,9 +1,21 @@
 """Table XIV: FHE workload performance (Boot, HELR, ResNet-20).
 
-Prices the full workload schedules at the Table XIII parameter sets, at
-both the paper's batch sizes (BS=1 and BS=16), printing every published
-comparison row (TensorFHE, 100x, [47], GME). Shape checks: WarpDrive's
-BS=1 runs beat 100x and the GME software baseline, and batching helps.
+Prices the workloads at the Table XIII parameter sets at both of the
+paper's batch sizes (BS=1 and BS=16), printing every published
+comparison row (TensorFHE, 100x, [47], GME).
+
+The headline rows are *recorded*: the functional bootstrap runs under
+:mod:`repro.trace` at proxy ring scale, the recording lowers to a PE
+kernel DAG at the full ring, and the DAG is priced on the
+dependency-aware scheduler. The hand-counted schedules stay as the
+cross-check oracle — this test asserts the two pricings agree:
+
+* Boot: recorded within 10% of the hand-counted static pricing.
+* HELR / ResNet: recorded within 10% of the hand count priced with the
+  *same* trace-derived hoisting factor. Against the pre-trace static
+  pricing they sit ~15-20% higher because the derived per-parameter-set
+  factor (~0.50 at dnum=3) exceeds the hand-tuned 0.35 — see DESIGN.md
+  §10 for the accounting; the looser bound below pins that deviation.
 """
 
 from repro.analysis import format_table
@@ -13,6 +25,9 @@ from repro.core import OperationScheduler
 from repro.workloads import (
     simulate_bootstrap,
     simulate_helr_iteration,
+    simulate_recorded_bootstrap,
+    simulate_recorded_helr_iteration,
+    simulate_recorded_resnet20,
     simulate_resnet20,
 )
 
@@ -20,16 +35,33 @@ from repro.workloads import (
 def measure():
     boot_sched = OperationScheduler(ParameterSets.boot())
     nn_sched = OperationScheduler(ParameterSets.resnet())
+    helr = ParameterSets.helr()
     out = {}
     for bs in (1, 16):
         out[bs] = {
-            "boot_ms": simulate_bootstrap(
+            "boot_ms": simulate_recorded_bootstrap(
                 scheduler=boot_sched, batch=bs
             ).amortized_ms,
-            "helr_ms": simulate_helr_iteration(
-                ParameterSets.helr(), scheduler=nn_sched, batch=bs
+            "helr_ms": simulate_recorded_helr_iteration(
+                helr, scheduler=nn_sched, batch=bs
             ).amortized_ms,
-            "resnet_s": simulate_resnet20(
+            "resnet_s": simulate_recorded_resnet20(
+                scheduler=nn_sched, batch=bs
+            ).amortized_ms / 1e3,
+            # Hand-counted oracles for the agreement asserts.
+            "hand_static_boot_ms": simulate_bootstrap(
+                scheduler=boot_sched, batch=bs, hoisting="static"
+            ).amortized_ms,
+            "hand_static_helr_ms": simulate_helr_iteration(
+                helr, scheduler=nn_sched, batch=bs, hoisting="static"
+            ).amortized_ms,
+            "hand_static_resnet_s": simulate_resnet20(
+                scheduler=nn_sched, batch=bs, hoisting="static"
+            ).amortized_ms / 1e3,
+            "hand_helr_ms": simulate_helr_iteration(
+                helr, scheduler=nn_sched, batch=bs
+            ).amortized_ms,
+            "hand_resnet_s": simulate_resnet20(
                 scheduler=nn_sched, batch=bs
             ).amortized_ms / 1e3,
         }
@@ -46,10 +78,17 @@ def build_table(data):
         ])
     for bs in (1, 16):
         rows.append([
-            f"This repro BS={bs} (sim)",
+            f"This repro BS={bs} (recorded)",
             round(data[bs]["boot_ms"], 1),
             round(data[bs]["helr_ms"], 1),
             round(data[bs]["resnet_s"], 2),
+            bs,
+        ])
+        rows.append([
+            f"This repro BS={bs} (hand)",
+            round(data[bs]["hand_static_boot_ms"], 1),
+            round(data[bs]["hand_helr_ms"], 1),
+            round(data[bs]["hand_resnet_s"], 2),
             bs,
         ])
     return format_table(
@@ -81,3 +120,26 @@ def test_table14_workloads(benchmark, record_table):
     for key in ("boot_ms", "helr_ms", "resnet_s"):
         ratio = ours[key] / paper_bs1[key]
         assert 0.2 < ratio < 3.5, f"{key}: x{ratio:.2f} of paper"
+
+    # Recorded-vs-hand agreement (the trace layer's acceptance bar).
+    for bs in (1, 16):
+        d = data[bs]
+        boot_ratio = d["boot_ms"] / d["hand_static_boot_ms"]
+        assert 0.90 < boot_ratio < 1.10, (
+            f"BS={bs} recorded boot x{boot_ratio:.3f} of hand static"
+        )
+        # Same hoisting model on both sides: within 10%.
+        for rec_key, hand_key in (("helr_ms", "hand_helr_ms"),
+                                  ("resnet_s", "hand_resnet_s")):
+            ratio = d[rec_key] / d[hand_key]
+            assert 0.90 < ratio < 1.10, (
+                f"BS={bs} recorded {rec_key} x{ratio:.3f} of hand derived"
+            )
+        # Against the pre-trace static pricing the derived hoisting
+        # factor shows up as a bounded, documented excess (DESIGN.md §10).
+        for rec_key, hand_key in (("helr_ms", "hand_static_helr_ms"),
+                                  ("resnet_s", "hand_static_resnet_s")):
+            ratio = d[rec_key] / d[hand_key]
+            assert 1.00 < ratio < 1.35, (
+                f"BS={bs} recorded {rec_key} x{ratio:.3f} of hand static"
+            )

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Record a functional bootstrap, lower it to a kernel DAG, price it.
+
+The record -> lower -> simulate loop in ten lines: the SET-C bootstrap
+runs *functionally* at proxy ring scale, the recording lowers to
+WarpDrive PE kernels at the full N=2^14 ring, and the DAG is priced on
+the dependency-aware scheduler. Pass a path to also dump a Chrome
+trace-event JSON (open in chrome://tracing or Perfetto).
+
+Run: python examples/trace_quickstart.py [trace.json]
+"""
+
+import sys
+
+from repro.ckks import ParameterSets
+from repro.core import OperationScheduler
+from repro.gpusim.timeline import save_chrome_trace
+from repro.trace import lower_trace
+from repro.workloads import record_bootstrap_trace
+
+scheduler = OperationScheduler(ParameterSets.set_c())
+trace = record_bootstrap_trace(ParameterSets.set_c(), proxy_log2n=9)
+dag = lower_trace(trace, params=scheduler.params, style="pe",
+                  device=scheduler.device, geometry=scheduler.geometry)
+result = dag.run()
+
+print(trace.summary())
+print(f"lowered [{dag.style}]: {dag.kernel_count} kernel launches "
+      f"at N=2^{dag.n.bit_length() - 1}")
+for phase in dag.groups():
+    us = sum(e.duration_us for e in result.entries
+             if dag.nodes[e.index].group == phase)
+    print(f"  {phase:10s} {us / 1e3:8.3f} ms")
+print(f"total (overlapped): {result.elapsed_us / 1e3:.3f} ms "
+      f"on {scheduler.device.name}")
+if len(sys.argv) > 1:
+    save_chrome_trace(result, sys.argv[1])
+    print(f"chrome trace written to {sys.argv[1]}")

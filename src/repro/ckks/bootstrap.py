@@ -47,6 +47,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..trace.recorder import emit as _temit, span as _tspan
 from .ciphertext import Ciphertext
 from .context import CkksContext
 from .keys import KeySet
@@ -260,16 +261,17 @@ class Bootstrapper:
         factored CoeffToSlot undoes (ModRaise in between is
         coefficient-wise, so the permutation rides through it).
         """
-        if not self.config.fft_factored:
-            return self._stc.apply(ct, keys)
-        if ct.level < len(self._stc_stages):
-            raise ValueError(
-                f"factored SlotToCoeff needs level >= "
-                f"{len(self._stc_stages)}, got {ct.level}"
-            )
-        for stage in self._stc_stages:
-            ct = stage.apply(ct, keys)
-        return ct
+        with _tspan("StC", level=ct.level):
+            if not self.config.fft_factored:
+                return self._stc.apply(ct, keys)
+            if ct.level < len(self._stc_stages):
+                raise ValueError(
+                    f"factored SlotToCoeff needs level >= "
+                    f"{len(self._stc_stages)}, got {ct.level}"
+                )
+            for stage in self._stc_stages:
+                ct = stage.apply(ct, keys)
+            return ct
 
     def mod_raise(self, ct: Ciphertext) -> Ciphertext:
         """Lift level-0 residues to the full chain (plaintext gains q0*I)."""
@@ -278,15 +280,21 @@ class Bootstrapper:
         ev = self.ctx.evaluator
         q0 = ev.q_moduli[0]
         full = ev.q_moduli
-        out = []
-        for part in (ct.c0, ct.c1):
-            row = part.to_coeff().data[0]
-            centered = row.astype(np.int64)
-            centered[centered > q0 // 2] -= q0
-            out.append(RnsPoly.from_signed(centered, full).to_eval())
-        return Ciphertext(
-            out[0], out[1], self.ctx.params.max_level, ct.scale
-        )
+        with _tspan("ModRaise", level=self.ctx.params.max_level):
+            out = []
+            for part in (ct.c0, ct.c1):
+                row = part.to_coeff().data[0]
+                centered = row.astype(np.int64)
+                centered[centered > q0 // 2] -= q0
+                out.append(RnsPoly.from_signed(centered, full).to_eval())
+            raised = Ciphertext(
+                out[0], out[1], self.ctx.params.max_level, ct.scale
+            )
+            # Priced like the hand-counted schedules do: one element-wise
+            # pass writing both raised polynomials over the full chain.
+            _temit("modadd", rows=2 * len(full), reads=(ct,),
+                   writes=(raised,))
+        return raised
 
     def coeff_to_slot(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
         """Slots become the low-half coefficients: P1 z + P2 conj(z).
@@ -297,14 +305,15 @@ class Bootstrapper:
         bit reversal cancels the one SlotToCoeff introduced.
         """
         ev = self.ctx.evaluator
-        if not self.config.fft_factored:
-            conj = ev.conjugate(ct, keys)
-            part1 = self._cts1.apply(ct, keys)
-            part2 = self._cts2.apply(conj, keys)
-            return ev.hadd_matched(part1, part2)
-        for stage in self._cts_stages:
-            ct = stage.apply(ct, keys)
-        return ev.hadd_matched(ct, ev.conjugate(ct, keys))
+        with _tspan("CtS", level=ct.level):
+            if not self.config.fft_factored:
+                conj = ev.conjugate(ct, keys)
+                part1 = self._cts1.apply(ct, keys)
+                part2 = self._cts2.apply(conj, keys)
+                return ev.hadd_matched(part1, part2)
+            for stage in self._cts_stages:
+                ct = stage.apply(ct, keys)
+            return ev.hadd_matched(ct, ev.conjugate(ct, keys))
 
     def eval_mod(self, ct: Ciphertext, keys: KeySet, *,
                  raised_scale: float) -> Ciphertext:
@@ -317,26 +326,29 @@ class Bootstrapper:
         """
         ev = self.ctx.evaluator
         q0 = ev.q_moduli[0]
-        ct = Ciphertext(
-            ct.c0, ct.c1, ct.level, ct.scale * float(q0) / raised_scale
-        )
-        # Normalize to the Chebyshev domain x = u / R, choosing the
-        # plaintext scale so the rescaled result lands exactly back on
-        # Delta (otherwise Chebyshev squaring amplifies the q0-sized
-        # scale).
-        r = self.config.eval_range
-        q_drop = ev.q_moduli[ct.level]
-        norm_scale = self.ctx.params.scale * q_drop / ct.scale
-        ct_x = ev.rescale(ev.pmult_scalar(ct, 1.0 / r, scale=norm_scale))
-        result = self._polyeval.eval_chebyshev(
-            ct_x, self._cheb_coeffs, keys
-        )
-        # Slots now hold ~ m/q0; declare the scale that decodes them back
-        # to the original message units.
-        return Ciphertext(
-            result.c0, result.c1, result.level,
-            result.scale * raised_scale / float(q0),
-        )
+        with _tspan("EvalMod", level=ct.level):
+            ct = Ciphertext(
+                ct.c0, ct.c1, ct.level, ct.scale * float(q0) / raised_scale
+            )
+            # Normalize to the Chebyshev domain x = u / R, choosing the
+            # plaintext scale so the rescaled result lands exactly back on
+            # Delta (otherwise Chebyshev squaring amplifies the q0-sized
+            # scale).
+            r = self.config.eval_range
+            q_drop = ev.q_moduli[ct.level]
+            norm_scale = self.ctx.params.scale * q_drop / ct.scale
+            ct_x = ev.rescale(
+                ev.pmult_scalar(ct, 1.0 / r, scale=norm_scale)
+            )
+            result = self._polyeval.eval_chebyshev(
+                ct_x, self._cheb_coeffs, keys
+            )
+            # Slots now hold ~ m/q0; declare the scale that decodes them
+            # back to the original message units.
+            return Ciphertext(
+                result.c0, result.c1, result.level,
+                result.scale * raised_scale / float(q0),
+            )
 
     # -- sine fit -------------------------------------------------------------------
 

@@ -8,14 +8,19 @@ across all rotations, because the Galois automorphism acts
 coefficient-wise and therefore commutes with the (coefficient-wise) basis
 extension.
 
-Per extra rotation only the automorphism, the NTTs of the permuted
-digits, the inner product and the ModDown remain — and this module
-batches *those* across all requested steps too, mirroring how the
-batched key-switch fuses the digit loop: every step's automorphism is one
-gather from shared index tables, all ``steps * dnum`` permuted digits
-ride a single stacked NTT, the inner products reduce against per-step
-evk row stacks in one wide-accumulator pass, and every accumulator (both
-components of every step) shares one INTT → ModDown → NTT tail.
+The NTT of the extended digits is shared as well: the automorphism is
+applied in the *evaluation* domain, where it is a pure slot permutation
+(output slot ``k`` of the negacyclic NTT holds ``x(psi^(2k+1))``, so
+``X -> X^t`` maps slot ``k`` to ``((t*(2k+1)) mod 2N) / 2`` — no sign
+flips), and that permutation fuses into the inner product's loads: the
+kernel streams the digit stack per step anyway, so gathering through the
+table is an addressing mode, not an extra pass. Per extra rotation only
+the inner product and the ModDown remain, exactly the accounting behind
+the workload layer's hoisted-rotation discount. Those per-step parts are batched across all
+requested steps too: the inner products reduce against per-step evk row
+stacks in one wide-accumulator pass, and every accumulator (both
+components of every step) shares one INTT → ModDown → NTT tail. The c0
+leg never leaves the evaluation domain at all.
 
 :func:`hoisted_rotations_looped` preserves the per-step pipeline as the
 bit-exactness oracle; tests also verify each hoisted rotation decrypts to
@@ -29,6 +34,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded
+from ..trace.recorder import emit as _temit, span as _tspan
 from ..ntt.stacked import (
     get_shoup_stack,
     stacked_negacyclic_intt,
@@ -53,27 +59,23 @@ from .ops import Evaluator
 from .poly import COEFF, EVAL, RnsPoly
 
 
-def _automorphism_tables(steps: Sequence[int],
-                         n: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Stacked gather tables for the rotation automorphisms ``X -> X^(5^s)``.
+def _eval_automorphism_tables(steps: Sequence[int], n: int) -> np.ndarray:
+    """Stacked eval-domain gather tables for ``X -> X^(5^s)``.
 
-    Returns ``(src, flip)`` of shape ``(num_steps, n)`` such that
-    ``out[k] = flip[s, k] ? q - x[src[s, k]] : x[src[s, k]]`` reproduces
-    :meth:`RnsPoly.automorphism` for step ``s`` — the scatter of the
-    per-step implementation turned into a gather, so one fancy-indexing
-    pass permutes every (digit, step) pane at once.
+    The negacyclic NTT's output slot ``k`` holds the evaluation at
+    ``psi^(2k+1)``, so the automorphism with odd exponent ``t`` permutes
+    slots by ``k -> ((t * (2k+1)) mod 2N) >> 1`` — a pure gather with no
+    sign flips, bit-exact against ``INTT -> coeff automorphism -> NTT``.
+    Returns ``src`` of shape ``(num_steps, n)`` with
+    ``out[s, k] = x[src[s, k]]``.
     """
     two_n = 2 * n
-    j = np.arange(n)
+    k = np.arange(n)
     src = np.empty((len(steps), n), dtype=np.intp)
-    flip = np.empty((len(steps), n), dtype=bool)
     for s_idx, step in enumerate(steps):
         exponent = pow(5, step, two_n)
-        targets = (j * exponent) % two_n
-        dest = targets % n
-        src[s_idx, dest] = j
-        flip[s_idx, dest] = targets >= n
-    return src, flip
+        src[s_idx] = (exponent * (2 * k + 1)) % two_n >> 1
+    return src
 
 
 @bounded()
@@ -108,73 +110,92 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
     stack_level = get_shoup_stack(level_moduli, n)
     stack_target = get_shoup_stack(target_moduli, n)
 
-    # --- the hoisted part: decompose + extend c1 once -----------------------
-    # Canonical residues here: the automorphism's sign flip (q - x) needs
-    # reduced values, unlike the keyswitch path which can stay lazy.
-    any_key = keys.rotation[steps[0]]
-    groups, _ = present_digits(any_key.digits, num_level)
-    c1_coeff = stacked_negacyclic_intt(ct.c1.data, stack_level)
-    ext = extend_basis_stacked(
-        c1_coeff, groups, RNSBasis(level_moduli), target_basis,
-    )  # (L+K, G, N)
-    num_digits = ext.shape[1]
+    with _tspan("hoisted_rotations", level=ct.level):
+        # --- the hoisted part: decompose, extend AND transform c1 once -----
+        any_key = keys.rotation[steps[0]]
+        groups, _ = present_digits(any_key.digits, num_level)
+        c1_coeff = stacked_negacyclic_intt(ct.c1.data, stack_level)
+        _temit("intt", rows=num_level, reads=(ct,), writes=(c1_coeff,))
+        ext = extend_basis_stacked(
+            c1_coeff, groups, RNSBasis(level_moduli), target_basis,
+        )  # (L+K, G, N)
+        num_digits = ext.shape[1]
+        _temit("modup", source_primes=max(len(g) for g in groups),
+               target_primes=num_target, polys=num_digits,
+               reads=(c1_coeff,), writes=(ext,))
 
-    # --- every step's automorphism as one gather ---------------------------
-    src, flip = _automorphism_tables(steps, n)
-    q_col = target_basis.batch.q_col(3)
-    ext_neg = np.where(ext == 0, ext, q_col - ext)
-    rotated = np.where(
-        flip[None, None, :, :], ext_neg[:, :, src], ext[:, :, src]
-    )  # (L+K, G, S, N)
-    rotated = np.ascontiguousarray(rotated.transpose(0, 2, 1, 3))
+        # One stacked NTT over the digits, shared by every step (the
+        # automorphism moves to the eval domain below). Lazy output: both
+        # the gather and the wide-accumulator inner product accept < 2q
+        # representatives, so the kernel skips its canonicalization.
+        ext_eval = stacked_negacyclic_ntt(ext, stack_target, lazy=True)
+        _temit("ntt", rows=num_target * num_digits, panes=num_digits,
+               reads=(ext,), writes=(ext_eval,))
 
-    # --- one stacked NTT over all (step, digit) panes ----------------------
-    # Lazy output: the wide-accumulator inner product below accepts < 2q
-    # representatives, so the kernel skips its canonicalization pass.
-    rot_eval = stacked_negacyclic_ntt(
-        rotated.reshape(num_target, num_steps * num_digits, n), stack_target,
-        lazy=True,
-    ).reshape(num_target, num_steps, num_digits, n)
+        # --- every step's automorphism as one eval-domain gather -----------
+        # The gather is *fused into the inner product's loads*: the kernel
+        # already streams the full digit stack per step, and reading it
+        # through the permutation table costs index arithmetic, not a
+        # separate gmem round trip. The numpy expression below is the
+        # functional stand-in for that addressing mode, so no kernel is
+        # emitted for it — the inner product event depends directly on the
+        # shared digit NTT.
+        src = _eval_automorphism_tables(steps, n)
+        rot_eval = np.ascontiguousarray(
+            ext_eval[:, :, src].transpose(0, 2, 1, 3)
+        )  # (L+K, S, G, N)
 
-    # --- inner products against every step's key, one wide reduction ------
-    key_stacks = [stacked_key_rows(keys.rotation[s], num_level)
-                  for s in steps]
-    b_stack = np.stack([ks[0] for ks in key_stacks], axis=1)  # (L+K, S, G, N)
-    a_stack = np.stack([ks[1] for ks in key_stacks], axis=1)
-    acc0, acc1 = stacked_inner_product(
-        rot_eval, b_stack, a_stack, target_basis.batch
-    )  # each (L+K, S, N)
+        # --- inner products against every step's key, one wide reduction ---
+        key_stacks = [stacked_key_rows(keys.rotation[s], num_level)
+                      for s in steps]
+        b_stack = np.stack(
+            [ks[0] for ks in key_stacks], axis=1
+        )  # (L+K, S, G, N)
+        a_stack = np.stack([ks[1] for ks in key_stacks], axis=1)
+        acc0, acc1 = stacked_inner_product(
+            rot_eval, b_stack, a_stack, target_basis.batch
+        )  # each (L+K, S, N)
+        _temit("inner_product", primes=num_target, digits=num_digits,
+               accumulators=2, steps=num_steps, reads=(ext_eval,),
+               writes=(acc0, acc1))
 
-    # --- batched tail: INTT + ModDown + NTT of every accumulator -----------
-    acc = np.concatenate([acc0, acc1], axis=1)  # (L+K, 2S, N)
-    acc_coeff = stacked_negacyclic_intt(acc, stack_target)
-    lowered = mod_down(
-        acc_coeff, RNSBasis(level_moduli), RNSBasis(special)
-    )  # (L, 2S, N)
-    parts = stacked_negacyclic_ntt(lowered, stack_level)
+        # --- batched tail: INTT + ModDown + NTT of every accumulator -------
+        acc = np.concatenate([acc0, acc1], axis=1)  # (L+K, 2S, N)
+        acc_coeff = stacked_negacyclic_intt(acc, stack_target)
+        _temit("intt", rows=2 * num_steps * num_target,
+               panes=2 * num_steps, reads=(acc0, acc1), writes=(acc_coeff,))
+        lowered = mod_down(
+            acc_coeff, RNSBasis(level_moduli), RNSBasis(special)
+        )  # (L, 2S, N)
+        _temit("moddown", main_primes=num_level,
+               special_primes=len(special), polys=2 * num_steps,
+               reads=(acc_coeff,), writes=(lowered,))
+        parts = stacked_negacyclic_ntt(lowered, stack_level)
+        _temit("ntt", rows=2 * num_steps * num_level, panes=2 * num_steps,
+               reads=(lowered,), writes=(parts,))
 
-    # --- c0 leg: all automorphism gathers + one NTT ------------------------
-    c0_coeff = stacked_negacyclic_intt(ct.c0.data, stack_level)
-    q_col_l = RNSBasis(level_moduli).batch.q_col(2)
-    c0_neg = np.where(c0_coeff == 0, c0_coeff, q_col_l - c0_coeff)
-    rot0 = np.where(flip[None], c0_neg[:, src], c0_coeff[:, src])
-    rot0_eval = stacked_negacyclic_ntt(rot0, stack_level)  # (L, S, N)
+        # --- c0 leg: eval-domain gathers only (no transforms at all) -------
+        rot0_eval = ct.c0.data[:, src]  # (L, S, N)
+        _temit("automorphism", primes=num_level, polys=num_steps,
+               reads=(ct,), writes=(rot0_eval,))
 
-    out: Dict[int, Ciphertext] = {}
-    for s_idx, step in enumerate(steps):
-        part0 = RnsPoly(
-            np.ascontiguousarray(parts[:, s_idx]), level_moduli, EVAL
-        )
-        part1 = RnsPoly(
-            np.ascontiguousarray(parts[:, num_steps + s_idx]),
-            level_moduli, EVAL,
-        )
-        rot0_poly = RnsPoly(
-            np.ascontiguousarray(rot0_eval[:, s_idx]), level_moduli, EVAL
-        )
-        out[step] = Ciphertext(
-            rot0_poly + part0, part1, ct.level, ct.scale
-        )
+        out: Dict[int, Ciphertext] = {}
+        for s_idx, step in enumerate(steps):
+            part0 = RnsPoly(
+                np.ascontiguousarray(parts[:, s_idx]), level_moduli, EVAL
+            )
+            part1 = RnsPoly(
+                np.ascontiguousarray(parts[:, num_steps + s_idx]),
+                level_moduli, EVAL,
+            )
+            rot0_poly = RnsPoly(
+                np.ascontiguousarray(rot0_eval[:, s_idx]), level_moduli, EVAL
+            )
+            out[step] = Ciphertext(
+                rot0_poly + part0, part1, ct.level, ct.scale
+            )
+        _temit("modadd", rows=num_steps * num_level,
+               reads=(parts, rot0_eval), writes=tuple(out.values()))
     if passthrough:
         out[0] = ct
     return out

@@ -39,6 +39,7 @@ from typing import Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded
+from ..trace.recorder import emit as _temit, span as _tspan
 from ..ntt.stacked import (
     get_shoup_stack,
     stacked_negacyclic_intt,
@@ -105,58 +106,81 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
     if pool is not None:
         pool.reset()
 
-    d_coeff = stacked_negacyclic_intt(d.data, stack_level)  # stage 1: INTT
+    num_target = len(target_moduli)
+    num_digits = len(groups)
+    with _tspan("keyswitch", level=num_level - 1):
+        d_coeff = stacked_negacyclic_intt(d.data, stack_level)  # 1: INTT
+        _temit("intt", rows=num_level, reads=(d,), writes=(d_coeff,))
 
-    # stage 2: ModUp — the whole (L+K, dnum', N) digit tensor in one pass.
-    # Single-prime digits (alpha == 1, the paper's dnum = L+1 sets) stay
-    # lazy: the stacked NTT reduces them for free in its pre-twist.
-    ext = extend_basis_stacked(
-        d_coeff, groups, RNSBasis(level_moduli), target_basis, lazy=True,
-    )
-    if pool is not None:
-        pool.allocate(ext.nbytes, "modup_digits")
+        # stage 2: ModUp — the whole (L+K, dnum', N) digit tensor in one
+        # pass. Single-prime digits (alpha == 1, the paper's dnum = L+1
+        # sets) stay lazy: the stacked NTT reduces them for free in its
+        # pre-twist.
+        ext = extend_basis_stacked(
+            d_coeff, groups, RNSBasis(level_moduli), target_basis, lazy=True,
+        )
+        _temit("modup", source_primes=max(len(g) for g in groups),
+               target_primes=num_target, polys=num_digits,
+               reads=(d_coeff,), writes=(ext,))
+        if pool is not None:
+            pool.allocate(ext.nbytes, "modup_digits")
 
-    # stage 3: NTT — all dnum'*(L+K) rows in one stacked pass. The output
-    # stays *lazy* (< 2q) and in the kernel's digit-innermost (L+K, N, G)
-    # layout: the wide-accumulator inner product tolerates 32-bit
-    # representatives and reduces over the contiguous digit axis, so both
-    # the canonicalization and the transpose back are skipped.
-    ext_eval = stacked_negacyclic_ntt(
-        ext, stack_target, lazy=True, t_out=True
-    )
-    if pool is not None:
-        pool.allocate(ext_eval.nbytes, "ntt_digits")
+        # stage 3: NTT — all dnum'*(L+K) rows in one stacked pass. The
+        # output stays *lazy* (< 2q) and in the kernel's digit-innermost
+        # (L+K, N, G) layout: the wide-accumulator inner product tolerates
+        # 32-bit representatives and reduces over the contiguous digit
+        # axis, so both the canonicalization and the transpose back are
+        # skipped.
+        ext_eval = stacked_negacyclic_ntt(
+            ext, stack_target, lazy=True, t_out=True
+        )
+        _temit("ntt", rows=num_digits * num_target, panes=num_digits,
+               reads=(ext,), writes=(ext_eval,))
+        if pool is not None:
+            pool.allocate(ext_eval.nbytes, "ntt_digits")
 
-    # stage 4: InnerProduct — one wide-accumulator reduction over the
-    # digit axis against the per-level evk row stacks (cached on the key).
-    b_stack, a_stack = stacked_key_rows(ksk, num_level, t_layout=True)
-    acc = np.stack(
-        stacked_inner_product(
-            ext_eval, b_stack, a_stack, target_basis.batch, lane_axis=-1
-        ),
-        axis=1,
-    )
-    if pool is not None:
-        pool.allocate(acc.nbytes, "inner_product")
+        # stage 4: InnerProduct — one wide-accumulator reduction over the
+        # digit axis against the per-level evk row stacks (cached on key).
+        b_stack, a_stack = stacked_key_rows(ksk, num_level, t_layout=True)
+        acc = np.stack(
+            stacked_inner_product(
+                ext_eval, b_stack, a_stack, target_basis.batch, lane_axis=-1
+            ),
+            axis=1,
+        )
+        _temit("inner_product", primes=num_target, digits=num_digits,
+               accumulators=2, reads=(ext_eval,), writes=(acc,))
+        if pool is not None:
+            pool.allocate(acc.nbytes, "inner_product")
 
-    # stages 5-7: both accumulators share one INTT, ModDown and NTT.
-    acc_coeff = stacked_negacyclic_intt(acc, stack_target)
-    main = RNSBasis(level_moduli)
-    special = RNSBasis(tuple(special_moduli))
-    if plain_modulus is None:
-        lowered = mod_down(acc_coeff, main, special)
-    else:
-        lowered = mod_down_exact_t(acc_coeff, main, special, plain_modulus)
-    if pool is not None:
-        pool.allocate(lowered.nbytes, "mod_down")
+        # stages 5-7: both accumulators share one INTT, ModDown and NTT.
+        # The PE plan keeps these per-accumulator (Table IX kernels 5-10),
+        # so the events carry split=2.
+        acc_coeff = stacked_negacyclic_intt(acc, stack_target)
+        _temit("intt", rows=2 * num_target, panes=2, split=2,
+               reads=(acc,), writes=(acc_coeff,))
+        main = RNSBasis(level_moduli)
+        special = RNSBasis(tuple(special_moduli))
+        if plain_modulus is None:
+            lowered = mod_down(acc_coeff, main, special)
+        else:
+            lowered = mod_down_exact_t(
+                acc_coeff, main, special, plain_modulus
+            )
+        _temit("moddown", main_primes=num_level,
+               special_primes=len(special_moduli), polys=2, split=2,
+               reads=(acc_coeff,), writes=(lowered,))
+        if pool is not None:
+            pool.allocate(lowered.nbytes, "mod_down")
 
-    out = stacked_negacyclic_ntt(lowered, stack_level)
-    if pool is not None:
-        pool.allocate(out.nbytes, "keyswitch_out")
-    return (
-        RnsPoly(np.ascontiguousarray(out[:, 0]), level_moduli, EVAL),
-        RnsPoly(np.ascontiguousarray(out[:, 1]), level_moduli, EVAL),
-    )
+        out = stacked_negacyclic_ntt(lowered, stack_level)
+        if pool is not None:
+            pool.allocate(out.nbytes, "keyswitch_out")
+        res0 = RnsPoly(np.ascontiguousarray(out[:, 0]), level_moduli, EVAL)
+        res1 = RnsPoly(np.ascontiguousarray(out[:, 1]), level_moduli, EVAL)
+        _temit("ntt", rows=2 * num_level, panes=2, split=2,
+               reads=(lowered,), writes=(out, res0, res1))
+        return res0, res1
 
 
 def keyswitch_looped(d: RnsPoly, ksk: KeySwitchKey,

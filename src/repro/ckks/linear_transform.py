@@ -42,6 +42,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..analysis.annotations import frozen, returns_view
+from ..trace.recorder import emit as _temit, span as _tspan
 from ..ntt.stacked import get_shoup_stack, stacked_negacyclic_ntt
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
@@ -224,28 +225,40 @@ class LinearTransform:
         """
         plan = self.compile(ct.level)
         ev = self.ctx.evaluator
-        rotated = hoisted_rotations(ev, ct, plan.babies, keys)
-        # The rotated components as (P, B, N) stacks; ciphertext data is
-        # canonical, i.e. valid lazy wide_dot input.
-        rot0 = np.stack([rotated[b].c0.data for b in plan.babies], axis=1)
-        rot1 = np.stack([rotated[b].c1.data for b in plan.babies], axis=1)
-        reducer = get_rns_context(plan.moduli, ct.n).barrett
-
-        acc = None
-        for g_rot, idx, stack in plan.groups:
-            inner = Ciphertext(
-                RnsPoly(wide_dot(rot0[:, idx], stack, reducer),
-                        plan.moduli, EVAL),
-                RnsPoly(wide_dot(rot1[:, idx], stack, reducer),
-                        plan.moduli, EVAL),
-                ct.level, ct.scale * plan.pt_scale,
+        with _tspan("linear_transform", level=ct.level):
+            rotated = hoisted_rotations(ev, ct, plan.babies, keys)
+            # The rotated components as (P, B, N) stacks; ciphertext data
+            # is canonical, i.e. valid lazy wide_dot input.
+            rot0 = np.stack(
+                [rotated[b].c0.data for b in plan.babies], axis=1
             )
-            if self.bsgs:
-                inner = ev.rescale(inner)
-                if g_rot:
-                    inner = ev.hrotate(inner, g_rot, keys)
-            acc = inner if acc is None else ev.hadd_matched(acc, inner)
-        return acc if self.bsgs else ev.rescale(acc)
+            rot1 = np.stack(
+                [rotated[b].c1.data for b in plan.babies], axis=1
+            )
+            reducer = get_rns_context(plan.moduli, ct.n).barrett
+            rot_cts = tuple(rotated[b] for b in plan.babies)
+
+            acc = None
+            for g_rot, idx, stack in plan.groups:
+                inner = Ciphertext(
+                    RnsPoly(wide_dot(rot0[:, idx], stack, reducer),
+                            plan.moduli, EVAL),
+                    RnsPoly(wide_dot(rot1[:, idx], stack, reducer),
+                            plan.moduli, EVAL),
+                    ct.level, ct.scale * plan.pt_scale,
+                )
+                # One wide-accumulator pass per giant group: the group's
+                # baby-step PMULTs and additions fused over the diagonal
+                # stack, for both ciphertext components.
+                _temit("inner_product", primes=ct.level + 1,
+                       digits=len(idx), accumulators=2, reads=rot_cts,
+                       writes=(inner,))
+                if self.bsgs:
+                    inner = ev.rescale(inner)
+                    if g_rot:
+                        inner = ev.hrotate(inner, g_rot, keys)
+                acc = inner if acc is None else ev.hadd_matched(acc, inner)
+            return acc if self.bsgs else ev.rescale(acc)
 
     def apply_looped(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:
         """The per-diagonal reference pipeline (bit-exactness oracle).

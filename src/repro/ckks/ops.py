@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from ..numtheory import CRTReconstructor
+from ..trace.recorder import emit as _temit, span as _tspan
 from .ciphertext import Ciphertext, Plaintext
 from .keys import KeySet, KeySwitchKey, PublicKey, SecretKey
 from .keyswitch import keyswitch
@@ -87,11 +88,19 @@ class Evaluator:
 
     def hadd(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         a, b = self._align(a, b)
-        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.level, a.scale)
+        with _tspan("hadd", level=a.level):
+            out = Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.level, a.scale)
+            _temit("modadd", rows=2 * (a.level + 1), reads=(a, b),
+                   writes=(out,))
+        return out
 
     def hsub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         a, b = self._align(a, b)
-        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.level, a.scale)
+        with _tspan("hsub", level=a.level):
+            out = Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.level, a.scale)
+            _temit("modadd", rows=2 * (a.level + 1), reads=(a, b),
+                   writes=(out,))
+        return out
 
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         if not math.isclose(ct.scale, pt.scale, rel_tol=_SCALE_RTOL):
@@ -99,7 +108,10 @@ class Evaluator:
                 f"scale mismatch: ct {ct.scale:g} vs pt {pt.scale:g}"
             )
         m = self._plain_at_level(pt, ct.level)
-        return Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
+        with _tspan("add_plain", level=ct.level):
+            out = Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
+            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,))
+        return out
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
         return Ciphertext(-ct.c0, -ct.c1, ct.level, ct.scale)
@@ -109,20 +121,31 @@ class Evaluator:
     def pmult(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """Plaintext-ciphertext product; scales multiply."""
         m = self._plain_at_level(pt, ct.level)
-        return Ciphertext(
-            ct.c0 * m, ct.c1 * m, ct.level, ct.scale * pt.scale
-        )
+        with _tspan("pmult", level=ct.level):
+            out = Ciphertext(
+                ct.c0 * m, ct.c1 * m, ct.level, ct.scale * pt.scale
+            )
+            _temit("modmul", rows=2 * (ct.level + 1), reads=(ct, m),
+                   writes=(out,))
+        return out
 
     def hmult(self, a: Ciphertext, b: Ciphertext, keys: KeySet, *,
               rescale: bool = True) -> Ciphertext:
         """Ciphertext product with relinearization (and optional RESCALE)."""
         a, b = self._align(a, b, match_scale=False)
-        d0 = a.c0 * b.c0
-        d1 = (a.c0 * b.c1).fma_(a.c1, b.c0)
-        d2 = a.c1 * b.c1
-        ks0, ks1 = keyswitch(d2, keys.relin, self.p_moduli)
-        ct = Ciphertext(d0 + ks0, d1 + ks1, a.level, a.scale * b.scale)
-        return self.rescale(ct) if rescale else ct
+        with _tspan("hmult", level=a.level):
+            d0 = a.c0 * b.c0
+            d1 = (a.c0 * b.c1).fma_(a.c1, b.c0)
+            d2 = a.c1 * b.c1
+            _temit("tensor_product", rows=a.level + 1, reads=(a, b),
+                   writes=(d0, d1, d2))
+            ks0, ks1 = keyswitch(d2, keys.relin, self.p_moduli)
+            c0 = d0 + ks0
+            c1 = d1 + ks1
+            _temit("modadd", rows=a.level + 1, reads=(d0, ks0), writes=(c0,))
+            _temit("modadd", rows=a.level + 1, reads=(d1, ks1), writes=(c1,))
+            ct = Ciphertext(c0, c1, a.level, a.scale * b.scale)
+            return self.rescale(ct) if rescale else ct
 
     def square(self, ct: Ciphertext, keys: KeySet, *,
                rescale: bool = True) -> Ciphertext:
@@ -131,12 +154,16 @@ class Evaluator:
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Drop ``rescale_primes`` primes, dividing scale accordingly."""
         k = self.params.rescale_primes
-        new_c0, divisor = rescale_poly(ct.c0, primes=k)
-        new_c1, _ = rescale_poly(ct.c1, primes=k)
-        return Ciphertext(
-            new_c0.to_eval(), new_c1.to_eval(),
-            ct.level - k, ct.scale / divisor,
-        )
+        with _tspan("rescale", level=ct.level):
+            new_c0, divisor = rescale_poly(ct.c0, primes=k)
+            new_c1, _ = rescale_poly(ct.c1, primes=k)
+            out_c0 = new_c0.to_eval()
+            out_c1 = new_c1.to_eval()
+            _temit("ntt", rows=2 * (ct.level + 1 - k), panes=2,
+                   reads=(new_c0, new_c1), writes=(out_c0, out_c1))
+            return Ciphertext(
+                out_c0, out_c1, ct.level - k, ct.scale / divisor,
+            )
 
     # -- scale management (used heavily by polynomial evaluation) -------------------
 
@@ -156,7 +183,13 @@ class Evaluator:
         coeffs = np.zeros(self.params.n, dtype=np.int64)
         coeffs[0] = int(round(scaled))
         m = RnsPoly.from_signed(coeffs, moduli).to_eval()
-        return Ciphertext(ct.c0 * m, ct.c1 * m, ct.level, ct.scale * scale)
+        with _tspan("pmult_scalar", level=ct.level):
+            out = Ciphertext(
+                ct.c0 * m, ct.c1 * m, ct.level, ct.scale * scale
+            )
+            _temit("modmul", rows=2 * (ct.level + 1), reads=(ct, m),
+                   writes=(out,))
+        return out
 
     def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
         """Add a scalar constant to every slot (no level consumed)."""
@@ -164,7 +197,10 @@ class Evaluator:
         coeffs = np.zeros(self.params.n, dtype=np.int64)
         coeffs[0] = int(round(value * ct.scale))
         m = RnsPoly.from_signed(coeffs, moduli).to_eval()
-        return Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
+        with _tspan("add_scalar", level=ct.level):
+            out = Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
+            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,))
+        return out
 
     def match_scale(self, ct: Ciphertext, target: float) -> Ciphertext:
         """Raise ``ct``'s scale to ``target`` by multiplying by 1.
@@ -208,7 +244,7 @@ class Evaluator:
                 "to KeyGenerator.generate"
             )
         exponent = pow(5, steps, 2 * self.params.n)
-        return self._apply_galois(ct, exponent, key)
+        return self._apply_galois(ct, exponent, key, op="hrotate")
 
     def hrotate_composed(self, ct: Ciphertext, steps: int,
                          keys: KeySet) -> Ciphertext:
@@ -247,15 +283,25 @@ class Evaluator:
         if keys.conjugation is None:
             raise KeyError("no conjugation key; generate with conjugation=True")
         return self._apply_galois(
-            ct, 2 * self.params.n - 1, keys.conjugation
+            ct, 2 * self.params.n - 1, keys.conjugation, op="conjugate"
         )
 
     def _apply_galois(self, ct: Ciphertext, exponent: int,
-                      key: KeySwitchKey) -> Ciphertext:
-        rot0 = ct.c0.to_coeff().automorphism(exponent).to_eval()
-        rot1 = ct.c1.to_coeff().automorphism(exponent).to_eval()
-        ks0, ks1 = keyswitch(rot1, key, self.p_moduli)
-        return Ciphertext(rot0 + ks0, ks1, ct.level, ct.scale)
+                      key: KeySwitchKey, op: str = "hrotate") -> Ciphertext:
+        with _tspan(op, level=ct.level):
+            rot0 = ct.c0.to_coeff().automorphism(exponent).to_eval()
+            rot1 = ct.c1.to_coeff().automorphism(exponent).to_eval()
+            # One gather event for both polynomials: the coefficient-domain
+            # round trip above is a functional-layer artifact (a negacyclic
+            # automorphism permutes either domain), so the trace records
+            # what a GPU launches — the in-place eval-domain permutation.
+            _temit("automorphism", primes=ct.level + 1, polys=2,
+                   reads=(ct,), writes=(rot0, rot1))
+            ks0, ks1 = keyswitch(rot1, key, self.p_moduli)
+            c0 = rot0 + ks0
+            _temit("modadd", rows=ct.level + 1, reads=(rot0, ks0),
+                   writes=(c0,))
+            return Ciphertext(c0, ks1, ct.level, ct.scale)
 
     # -- internals --------------------------------------------------------------------
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..numtheory.rns import RNSBasis, rescale_rows
-from .poly import RnsPoly
+from ..trace.recorder import emit as _temit
+from .poly import EVAL, RnsPoly
 
 
 def rescale_poly(poly: RnsPoly, *, primes: int = 1) -> Tuple[RnsPoly, int]:
@@ -32,7 +33,10 @@ def rescale_poly(poly: RnsPoly, *, primes: int = 1) -> Tuple[RnsPoly, int]:
             f"cannot drop {primes} prime(s) from a {poly.num_primes}-prime "
             "polynomial — the ciphertext is already at the lowest level"
         )
+    was_eval = poly.domain == EVAL
     coeff = poly.to_coeff()
+    if was_eval:
+        _temit("intt", rows=poly.num_primes, reads=(poly,), writes=(coeff,))
     divisor = 1
     data = coeff.data
     moduli = list(coeff.moduli)
@@ -41,4 +45,7 @@ def rescale_poly(poly: RnsPoly, *, primes: int = 1) -> Tuple[RnsPoly, int]:
         data = rescale_rows(data, basis)
         divisor *= moduli[-1]
         moduli = moduli[:-1]
-    return RnsPoly(data, tuple(moduli), coeff.domain), divisor
+    out = RnsPoly(data, tuple(moduli), coeff.domain)
+    _temit("divide", rows=out.num_primes, drop=primes, reads=(coeff,),
+           writes=(out, data))
+    return out, divisor

@@ -37,7 +37,14 @@ from .profiler import (
     utilization_table,
 )
 from .stalls import MEMORY_RELATED, StallBreakdown, StallReason
-from .streams import ExecutionResult, TimelineEntry, run_serial, run_streams
+from .streams import (
+    DagKernel,
+    ExecutionResult,
+    TimelineEntry,
+    run_dag,
+    run_serial,
+    run_streams,
+)
 from .timeline import (
     render_timeline,
     save_chrome_trace,
@@ -51,6 +58,7 @@ __all__ = [
     "AggregateMetrics",
     "BYTES_PER_GMEM_INSTR",
     "BYTES_PER_SMEM_INSTR",
+    "DagKernel",
     "ExecutionResult",
     "GpuSpec",
     "H100_SXM",
@@ -69,6 +77,7 @@ __all__ = [
     "aggregate",
     "compute_occupancy",
     "render_timeline",
+    "run_dag",
     "run_serial",
     "run_streams",
     "save_chrome_trace",

@@ -10,8 +10,9 @@ the GPU due to the large number of SMs used").
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .device import GpuSpec
 from .engine import KernelProfile, simulate_kernel
@@ -20,12 +21,19 @@ from .kernel import KernelSpec
 
 @dataclass
 class TimelineEntry:
-    """One executed kernel instance on the device timeline."""
+    """One executed kernel instance on the device timeline.
+
+    ``index``/``deps`` are populated by :func:`run_dag` (node index in the
+    launch graph and the node indices it waited on); stream-based runs
+    leave them at their defaults.
+    """
 
     profile: KernelProfile
     stream: int
     start_us: float
     end_us: float
+    index: int = -1
+    deps: Tuple[int, ...] = ()
 
     @property
     def name(self) -> str:
@@ -136,4 +144,121 @@ def run_streams(streams: Sequence[Sequence[KernelSpec]], device: GpuSpec,
                 raise RuntimeError("scheduler deadlock (no runnable kernel)")
             now = min(horizon)
             running = [(end, sms) for end, sms in running if end > now]
+    return result
+
+
+@dataclass(frozen=True)
+class DagKernel:
+    """One node of a dependency-aware launch graph.
+
+    ``deps`` are indices into the node sequence handed to :func:`run_dag`
+    and must point at earlier nodes (the sequence is a topological order,
+    which is what a recorded trace naturally provides).
+    """
+
+    spec: KernelSpec
+    deps: Tuple[int, ...] = ()
+
+
+def run_dag(nodes: Sequence[DagKernel], device: GpuSpec) -> ExecutionResult:
+    """Event-driven scheduling of a kernel DAG sharing the SM array.
+
+    The overlap rule is the same as :func:`run_streams` (§III-A): a node
+    is runnable once every dependency has finished *and* its grid fits in
+    the free SMs — full-device grids therefore serialize even though the
+    graph would allow them to overlap. Runnable nodes launch in index
+    order (the recording's program order), so results are deterministic.
+
+    Lanes in the returned timeline are not caller-chosen streams but a
+    greedy assignment (each kernel takes the lowest lane idle at its start
+    time), purely so renderers can draw overlap.
+    """
+    nodes = list(nodes)
+    children: List[List[int]] = [[] for _ in nodes]
+    indegree = [0] * len(nodes)
+    for i, node in enumerate(nodes):
+        for d in node.deps:
+            if not 0 <= d < i:
+                raise ValueError(
+                    f"node {i} depends on {d}; dependencies must reference "
+                    "earlier nodes (topological order)"
+                )
+            children[d].append(i)
+        indegree[i] = len(node.deps)
+    # Traced DAGs repeat specs heavily (split parts, per-step launches);
+    # price each distinct spec once. KernelSpec holds dicts, so the key
+    # spells out the full identity by hand.
+    profile_cache: Dict[tuple, KernelProfile] = {}
+    profiles = []
+    for node in nodes:
+        s = node.spec
+        key = (
+            s.name, s.blocks, s.warps_per_block, s.int32_ops,
+            s.tensor_macs, s.gmem_read_bytes, s.gmem_write_bytes,
+            s.smem_read_bytes, s.smem_write_bytes, s.smem_per_block_bytes,
+            s.regs_per_thread, s.barriers, s.coalescing, s.efficiency,
+            s.gmem_round_trips, tuple(sorted(s.stall_hints.items())),
+            tuple(sorted(s.tags.items())),
+        )
+        prof = profile_cache.get(key)
+        if prof is None:
+            prof = profile_cache[key] = simulate_kernel(node.spec, device)
+        profiles.append(prof)
+    result = ExecutionResult(device=device)
+
+    #: dep-free nodes awaiting launch, popped in index order.
+    ready: List[int] = [i for i, deg in enumerate(indegree) if deg == 0]
+    heapq.heapify(ready)
+    #: (end_time_us, node_index, sm_count) of currently running kernels.
+    running: List[Tuple[float, int, int]] = []
+    #: display lanes: free lane indices / (busy-until, lane) of busy ones.
+    free_lanes: List[int] = []
+    busy_lanes: List[Tuple[float, int]] = []
+    num_lanes = 0
+    busy_sms = 0
+    now = 0.0
+
+    while ready or running:
+        while busy_lanes and busy_lanes[0][0] <= now:
+            _, lane = heapq.heappop(busy_lanes)
+            heapq.heappush(free_lanes, lane)
+        # Launch every ready node whose grid fits, in index order (the
+        # recording's program order); the rest wait for the next event.
+        deferred: List[int] = []
+        while ready:
+            i = heapq.heappop(ready)
+            prof = profiles[i]
+            sms_needed = prof.occupancy.sm_used
+            if device.sm_count - busy_sms < sms_needed:
+                deferred.append(i)
+                continue
+            end = now + prof.elapsed_us
+            if free_lanes:
+                lane = heapq.heappop(free_lanes)
+            else:
+                lane = num_lanes
+                num_lanes += 1
+            heapq.heappush(busy_lanes, (end, lane))
+            heapq.heappush(running, (end, i, sms_needed))
+            busy_sms += sms_needed
+            result.entries.append(
+                TimelineEntry(
+                    profile=prof, stream=lane, start_us=now, end_us=end,
+                    index=i, deps=tuple(nodes[i].deps),
+                )
+            )
+        for i in deferred:
+            heapq.heappush(ready, i)
+        if not ready and not running:
+            break
+        if not running:
+            raise RuntimeError("scheduler deadlock (no runnable kernel)")
+        now = running[0][0]
+        while running and running[0][0] <= now:
+            _, i, sms_needed = heapq.heappop(running)
+            busy_sms -= sms_needed
+            for child in children[i]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    heapq.heappush(ready, child)
     return result

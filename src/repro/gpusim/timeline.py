@@ -64,8 +64,15 @@ def _shorten(name: str, space: int) -> str:
 def to_chrome_trace(result: ExecutionResult) -> dict:
     """Export a timeline as a Chrome tracing (chrome://tracing /
     Perfetto) JSON object — one complete event per kernel, one "thread"
-    per stream, with the binding resource and occupancy as arguments."""
+    per stream, with the binding resource and occupancy as arguments.
+
+    Entries produced by :func:`~repro.gpusim.streams.run_dag` carry their
+    launch-graph dependencies; those become flow events (arrows between
+    slices in Perfetto), so the pictured overlap can be read against the
+    data hazards that constrain it."""
     events = []
+    by_index = {e.index: e for e in result.entries if e.index >= 0}
+    flow_id = 0
     for e in result.entries:
         prof = e.profile
         events.append({
@@ -85,6 +92,19 @@ def to_chrome_trace(result: ExecutionResult) -> dict:
                     round(prof.stall_cycles_per_issued, 2),
             },
         })
+        for dep in e.deps:
+            src = by_index.get(dep)
+            if src is None:
+                continue
+            flow_id += 1
+            events.append({
+                "name": "dep", "cat": "dep", "ph": "s", "id": flow_id,
+                "ts": src.end_us, "pid": 0, "tid": src.stream,
+            })
+            events.append({
+                "name": "dep", "cat": "dep", "ph": "f", "bp": "e",
+                "id": flow_id, "ts": e.start_us, "pid": 0, "tid": e.stream,
+            })
     meta = [
         {"name": "process_name", "ph": "M", "pid": 0,
          "args": {"name": result.device.name if result.device else "gpu"}}

@@ -69,11 +69,36 @@ def hmult_summary() -> str:
                         title="HMULT latency (Table VIII)")
 
 
+def trace_summary() -> str:
+    from .workloads import (
+        HOISTED_ROTATION_FACTOR,
+        derived_hoisted_rotation_factor,
+        simulate_bootstrap,
+        simulate_recorded_bootstrap,
+    )
+
+    set_c = OperationScheduler(ParameterSets.set_c())
+    boot = OperationScheduler(ParameterSets.boot())
+    hand = simulate_bootstrap(scheduler=boot, hoisting="static")
+    rec = simulate_recorded_bootstrap(scheduler=boot)
+    rows = [
+        ["hoisting factor (SET-C)",
+         round(derived_hoisted_rotation_factor(set_c), 3),
+         HOISTED_ROTATION_FACTOR],
+        ["Boot total ms", round(rec.total_ms, 1), round(hand.total_ms, 1)],
+    ]
+    return format_table(
+        ["metric", "traced", "hand-counted"], rows,
+        title="Trace-driven pricing vs hand counts (DESIGN.md §10)",
+        col_width=14,
+    )
+
+
 def main(argv=None) -> int:
     print("WarpDrive reproduction — headline results")
     print("=" * 64)
     for section in (ntt_summary, variant_summary, hmult_summary,
-                    lint_gate_summary):
+                    trace_summary, lint_gate_summary):
         print()
         print(section())
     print()

@@ -1,0 +1,45 @@
+"""Trace-driven execution: record functional runs, price them as DAGs.
+
+Workflow (see DESIGN.md §10)::
+
+    from repro.trace import record, lower_trace
+
+    with record("hmult", params=ctx.params) as rec:
+        ctx.evaluator.hmult(a, b, keys)
+    dag = lower_trace(rec.trace, style="pe")
+    result = dag.run()          # dependency-aware simulation
+    print(result.elapsed_us)
+
+:mod:`~repro.trace.lowering` is imported lazily (PEP 562): the recorder
+is imported *by* the instrumented ckks hot paths, while the lowering
+imports the core plan builders which import ckks parameters — resolving
+``lower_trace`` on first use keeps that cycle open.
+"""
+
+from .ir import EVENT_KINDS, OpTrace, TraceEvent
+from .recorder import TraceRecorder, active, emit, record, span
+
+__all__ = [
+    "EVENT_KINDS",
+    "KernelDag",
+    "DagNode",
+    "OpTrace",
+    "STYLES",
+    "TraceEvent",
+    "TraceRecorder",
+    "active",
+    "emit",
+    "lower_trace",
+    "record",
+    "span",
+]
+
+_LOWERING_NAMES = {"KernelDag", "DagNode", "STYLES", "lower_trace"}
+
+
+def __getattr__(name: str):
+    if name in _LOWERING_NAMES:
+        from . import lowering
+
+        return getattr(lowering, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

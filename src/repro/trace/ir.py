@@ -1,0 +1,119 @@
+"""Trace IR: what one functional CKKS run actually executed.
+
+A :class:`TraceEvent` is one *device-stage* of a homomorphic operation —
+an NTT/INTT pass over so-many residue rows, a ModUp/ModDown, a wide-dot
+inner product, an automorphism gather, an element-wise kernel — emitted
+by the instrumented functional hot paths (:mod:`repro.ckks`) while a
+:class:`~repro.trace.recorder.TraceRecorder` is active.  An
+:class:`OpTrace` is the ordered list of events of one recording.
+
+Shapes are stored in **ring-degree-free units** (residue rows, prime
+counts, digit counts, polynomial counts); the ring degree ``n`` lives
+once on the trace.  That is what makes proxy-scale recording work: a
+bootstrap recorded functionally at a small proxy ring that shares the
+target's modulus-chain structure (``max_level``, ``num_special``,
+``dnum``) lowers to full-size kernels by retargeting ``n`` alone — every
+level, digit and row count in the trace is already the true one.
+
+Dependencies are *data* dependencies: the recorder maps each read buffer
+to the event that last wrote it, so the lowered kernel DAG preserves
+exactly the ordering the functional run required and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..analysis.annotations import frozen
+
+#: Event kinds the lowering understands (see repro.trace.lowering).
+EVENT_KINDS = (
+    "ntt",            # forward NTT over `rows` residue rows
+    "intt",           # inverse NTT over `rows` residue rows
+    "modup",          # basis extension: source_primes -> target_primes, polys
+    "moddown",        # ModDown: main_primes/special_primes, polys
+    "inner_product",  # keyswitch/wide-dot accumulation: primes, digits[, steps]
+    "automorphism",   # gather with sign flips: primes, polys
+    "modadd",         # element-wise modular add over `rows` rows
+    "modmul",         # element-wise modular multiply over `rows` rows
+    "tensor_product", # HMULT d0/d1/d2 kernel over `rows` rows per polynomial
+    "divide",         # rescale exact-divide over `rows` output rows, `drop` primes
+)
+
+
+@frozen
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded device-stage.
+
+    ``op`` is the ``/``-joined span path ("hmult/keyswitch"); ``span`` is
+    the same path with per-instance counters ("hmult#3/keyswitch#4") so
+    stages of *different* invocations never blend.  ``shape`` holds the
+    ring-degree-free size fields listed per kind in :data:`EVENT_KINDS`,
+    plus optional lowering hints (``split``: the PE plan style launches
+    this stage as that many independent kernels; ``steps``: batched
+    hoisted-rotation multiplicity).
+    """
+
+    eid: int
+    kind: str
+    op: str
+    span: str
+    level: Optional[int]
+    shape: Dict[str, int]
+    deps: Tuple[int, ...] = ()
+
+    @property
+    def leaf(self) -> str:
+        """Innermost span name — the operation this stage belongs to."""
+        return self.op.rsplit("/", 1)[-1] if self.op else ""
+
+    @property
+    def group(self) -> str:
+        """Outermost span name — the workload phase (StC, EvalMod, ...)."""
+        return self.op.split("/", 1)[0] if self.op else ""
+
+
+@frozen
+@dataclass(frozen=True)
+class OpTrace:
+    """One recording: the events of a functional run, in program order."""
+
+    label: str
+    n: int
+    params: Any = None  # CkksParams of the recorded run (opaque here)
+    events: Tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def kind_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def ops(self) -> List[str]:
+        """Top-level span names in first-seen order (workload phases)."""
+        seen: List[str] = []
+        for e in self.events:
+            g = e.group
+            if g and (not seen or seen[-1] != g) and g not in seen:
+                seen.append(g)
+        return seen
+
+    def events_for(self, prefix: str) -> List[TraceEvent]:
+        """Events whose span path starts with ``prefix``."""
+        return [
+            e for e in self.events
+            if e.op == prefix or e.op.startswith(prefix + "/")
+        ]
+
+    def summary(self) -> str:
+        counts = self.kind_counts()
+        body = ", ".join(f"{k}: {counts[k]}" for k in sorted(counts))
+        return (
+            f"OpTrace({self.label!r}, n={self.n}, "
+            f"{len(self.events)} events: {body})"
+        )

@@ -1,0 +1,465 @@
+"""Lower a recorded :class:`~repro.trace.ir.OpTrace` to a kernel DAG.
+
+One recording, three machine models (mirroring the plan builders the
+static layer already has):
+
+* ``"pe"`` — WarpDrive's Parallelism-Enhanced ciphertext-level kernels
+  (§IV-C): independent same-kind stages of one operation instance merge
+  into a single launch whose grid carries the polynomial dimension, NTT
+  stage pairs fold into one launch (:func:`_merge_stages`), and stages
+  the PE plan deliberately keeps per-accumulator (the KeySwitch tail)
+  honor the recorded ``split`` hint.  This reproduces the Table IX launch
+  counts from a functional run instead of a hand-authored list.
+* ``"kf"`` — 100x-style kernel-fused polynomial-level launches: every
+  stage splits into per-polynomial/per-digit kernels (the ``panes`` and
+  ``polys`` hints), NTTs use the WarpDrive engine per pane.
+* ``"tensorfhe"`` — like ``"kf"`` but every NTT pane lowers to the
+  TensorFHE five-stage plan (35 launches per pane), reproducing the
+  launch-count explosion of Table III.
+
+The trace's shapes are ring-degree-free, so the same recording lowers at
+any target ring: pass ``params`` of a parameter set sharing the recorded
+modulus-chain structure and only ``n`` changes (proxy-scale recording).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.annotations import frozen
+from ..core import kernels as K
+from ..core.kernels import DEFAULT_GEOMETRY, GeometryConfig
+from ..core.ntt_engine import WarpDriveNtt
+from ..core.pe_kernel import _merge_stages
+from ..gpusim import A100_PCIE_80G, DagKernel, ExecutionResult, GpuSpec, \
+    KernelSpec, run_dag
+from .ir import OpTrace, TraceEvent
+
+STYLES = ("pe", "kf", "tensorfhe")
+
+#: Kinds that the PE grid merges across a ciphertext's polynomials when
+#: the stages are mutually independent (no data path between them).
+_MERGEABLE = frozenset(
+    {"intt", "ntt", "modadd", "modmul", "divide", "automorphism"}
+)
+
+
+@frozen
+@dataclass(frozen=True)
+class DagNode:
+    """One lowered kernel launch plus its graph context."""
+
+    spec: KernelSpec
+    deps: Tuple[int, ...]
+    eids: Tuple[int, ...]  # trace events realized by this launch
+    op: str                # span path of the primary event
+    group: str             # top-level span (workload phase)
+
+
+@frozen
+@dataclass(frozen=True)
+class KernelDag:
+    """A lowered trace: kernel launches in topological order."""
+
+    nodes: Tuple[DagNode, ...]
+    n: int
+    style: str
+    label: str
+    device: Any = None  # GpuSpec the lowering targeted
+
+    @property
+    def kernel_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def specs(self) -> List[KernelSpec]:
+        return [node.spec for node in self.nodes]
+
+    def to_dag_kernels(self) -> List[DagKernel]:
+        return [DagKernel(spec=nd.spec, deps=nd.deps) for nd in self.nodes]
+
+    def run(self, device: Optional[GpuSpec] = None) -> ExecutionResult:
+        """Price the DAG on the simulator (dependency-aware overlap)."""
+        dev = device if device is not None else self.device
+        if dev is None:
+            dev = A100_PCIE_80G
+        return run_dag(self.to_dag_kernels(), dev)
+
+    def groups(self) -> List[str]:
+        """Workload phases in first-seen order."""
+        seen: List[str] = []
+        for nd in self.nodes:
+            if nd.group and nd.group not in seen:
+                seen.append(nd.group)
+        return seen
+
+
+class _Group:
+    """A set of trace events lowered as one launch (mutable while built)."""
+
+    __slots__ = ("kind", "events", "shape", "op", "span", "first")
+
+    def __init__(self, event: TraceEvent):
+        self.kind = event.kind
+        self.events = [event]
+        self.shape = dict(event.shape)
+        self.op = event.op
+        self.span = event.span
+        self.first = event.eid
+
+    def can_absorb(self, event: TraceEvent) -> bool:
+        if event.kind != self.kind or event.span != self.span:
+            return False
+        s, t = self.shape, event.shape
+        if self.kind in ("intt", "ntt", "modadd", "modmul"):
+            return True
+        if self.kind == "divide":
+            return s.get("drop") == t.get("drop")
+        if self.kind == "automorphism":
+            return s.get("primes") == t.get("primes")
+        return False
+
+    def absorb(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        s, t = self.shape, event.shape
+        if self.kind in ("intt", "ntt", "modadd", "modmul", "divide"):
+            s["rows"] = s.get("rows", 0) + t.get("rows", 0)
+            if "panes" in s or "panes" in t:
+                s["panes"] = s.get("panes", 1) + t.get("panes", 1)
+        elif self.kind == "automorphism":
+            s["polys"] = s.get("polys", 1) + t.get("polys", 1)
+
+    @property
+    def eids(self) -> Tuple[int, ...]:
+        return tuple(e.eid for e in self.events)
+
+    def external_deps(self) -> Tuple[int, ...]:
+        mine = set(self.eids)
+        out = set()
+        for e in self.events:
+            out.update(d for d in e.deps if d not in mine)
+        return tuple(sorted(out))
+
+
+def _event_ancestors(events: Sequence[TraceEvent]) -> Dict[int, frozenset]:
+    """Transitive data-dependency closure, keyed by event id."""
+    anc: Dict[int, frozenset] = {}
+    for e in events:
+        s: set = set()
+        for d in e.deps:
+            s.add(d)
+            s |= anc.get(d, frozenset())
+        anc[e.eid] = frozenset(s)
+    return anc
+
+
+def _group_events(events: Sequence[TraceEvent], *, merge: bool,
+                  ) -> List[_Group]:
+    """Partition events into launch groups (PE merge pass when asked).
+
+    Two stages merge only when they share a span instance (same operation
+    invocation), have compatible shapes, and neither transitively depends
+    on the other — a dependency path means the PE grid cannot run them as
+    one launch.
+    """
+    anc = _event_ancestors(events) if merge else {}
+    groups: List[_Group] = []
+    open_groups: Dict[Tuple[str, str], List[int]] = {}
+    for e in events:
+        if merge and e.kind in _MERGEABLE and "split" not in e.shape:
+            placed = False
+            for gi in open_groups.get((e.span, e.kind), ()):  # noqa: B007
+                g = groups[gi]
+                if not g.can_absorb(e):
+                    continue
+                if any(ge in anc[e.eid] for ge in g.eids):
+                    continue
+                g.absorb(e)
+                placed = True
+                break
+            if placed:
+                continue
+        groups.append(_Group(e))
+        open_groups.setdefault((e.span, e.kind), []).append(len(groups) - 1)
+    return groups
+
+
+def _toposort(groups: List[_Group]) -> List[_Group]:
+    """Order groups so dependencies precede dependents.
+
+    Merging places a group at its first member's position, but a later
+    member may read a buffer written *after* that position; a stable
+    Kahn pass (priority = first event id) restores a valid order.
+    """
+    eid_to_group: Dict[int, int] = {}
+    for gi, g in enumerate(groups):
+        for eid in g.eids:
+            eid_to_group[eid] = gi
+    indegree = [0] * len(groups)
+    children: List[List[int]] = [[] for _ in groups]
+    for gi, g in enumerate(groups):
+        preds = {
+            eid_to_group[d] for d in g.external_deps() if d in eid_to_group
+        }
+        preds.discard(gi)
+        indegree[gi] = len(preds)
+        for p in preds:
+            children[p].append(gi)
+    ready = [(groups[gi].first, gi) for gi in range(len(groups))
+             if indegree[gi] == 0]
+    heapq.heapify(ready)
+    order: List[_Group] = []
+    while ready:
+        _, gi = heapq.heappop(ready)
+        order.append(groups[gi])
+        for c in children[gi]:
+            indegree[c] -= 1
+            if indegree[c] == 0:
+                heapq.heappush(ready, (groups[c].first, c))
+    if len(order) != len(groups):
+        raise ValueError("recorded trace contains a dependency cycle")
+    return order
+
+
+def _distribute(total: int, parts: int) -> List[int]:
+    base, extra = divmod(int(total), parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+class _Lowerer:
+    def __init__(self, *, n: int, style: str, device: GpuSpec,
+                 ntt_variant: str, geometry: GeometryConfig, batch: int):
+        self.n = n
+        self.style = style
+        self.device = device
+        self.geometry = geometry
+        self.batch = batch
+        self._wd_ntt = WarpDriveNtt(
+            n, variant=ntt_variant, device=device, geometry=geometry
+        )
+        self._tf_ntt = None
+        if style == "tensorfhe":
+            from ..baselines.tensorfhe import TensorFheNtt
+
+            self._tf_ntt = TensorFheNtt(n, device=device, geometry=geometry)
+        #: (transforms, inverse) -> kernel plan; traces repeat row counts.
+        self._ntt_plans: Dict[Tuple[int, bool], List[KernelSpec]] = {}
+
+    # -- NTT stage ------------------------------------------------------
+    def _ntt_chain(self, name: str, rows: int, *, inverse: bool,
+                   ) -> List[KernelSpec]:
+        """Kernels for one NTT pass over ``rows`` residue rows."""
+        transforms = rows * self.batch
+        if self.style == "tensorfhe":
+            plan = self._ntt_plans.get((transforms, False))
+            if plan is None:
+                plan = self._tf_ntt.kernel_plan(transforms)
+                self._ntt_plans[(transforms, False)] = plan
+            return [s.renamed(f"{name}.{s.name}") for s in plan]
+        plan = self._ntt_plans.get((transforms, inverse))
+        if plan is None:
+            plan = self._wd_ntt.kernel_plan(transforms, inverse=inverse)
+            self._ntt_plans[(transforms, inverse)] = plan
+        if self.style == "pe":
+            spec = plan[0]
+            for extra in plan[1:]:
+                spec = _merge_stages(spec, extra)
+            return [spec.renamed(name, stage=name)]
+        return [s.renamed(f"{name}[{i + 1}/{len(plan)}]")
+                for i, s in enumerate(plan)]
+
+    # -- one launch group ----------------------------------------------
+    def atoms(self, g: _Group) -> Tuple[List[List[KernelSpec]], str]:
+        """Lower one group to launch atoms.
+
+        Returns ``(parts, mode)``: ``parts`` is a list of kernel chains
+        (each chain serializes internally); ``mode`` is ``"parallel"``
+        (parts are independent) — chains of a single part cover the
+        sequential NTT-stage case.
+        """
+        kind, shape = g.kind, g.shape
+        name = f"{_leaf(g.op)}.{kind}"
+        split = self._split_count(kind, shape)
+        if kind in ("ntt", "intt"):
+            rows = shape["rows"]
+            parts = []
+            for i, r in enumerate(_distribute(rows, split)):
+                if r <= 0:
+                    continue
+                part_name = name if split == 1 else f"{name}[{i}]"
+                parts.append(self._ntt_chain(
+                    part_name, r, inverse=(kind == "intt")
+                ))
+            return parts, "parallel"
+        parts = []
+        for i, spec in enumerate(self._split_specs(kind, shape, name, split)):
+            parts.append([spec])
+        return parts, "parallel"
+
+    def _split_count(self, kind: str, shape: Dict[str, int]) -> int:
+        split = shape.get("split", 1)
+        if self.style == "pe":
+            return split
+        # Polynomial-level styles launch once per pane/polynomial/step.
+        panes = shape.get("panes", 0)
+        polys = shape.get("polys", 0)
+        steps = shape.get("steps", 0)
+        if kind in ("ntt", "intt"):
+            return max(split, panes, 1)
+        if kind == "inner_product":
+            return max(split, steps, 1)
+        if kind in ("modup", "moddown", "automorphism"):
+            return max(split, polys, 1)
+        return max(split, 1)
+
+    def _split_specs(self, kind: str, shape: Dict[str, int], name: str,
+                     split: int) -> List[KernelSpec]:
+        n, b, geo = self.n, self.batch, self.geometry
+        specs: List[KernelSpec] = []
+        for i in range(split):
+            part = name if split == 1 else f"{name}[{i}]"
+            if kind == "modup":
+                polys = _distribute(shape.get("polys", 1), split)[i]
+                if polys <= 0:
+                    continue
+                specs.append(K.modup_kernel(
+                    part, n, shape["source_primes"], shape["target_primes"],
+                    polys=polys * b, geometry=geo, stage="ModUp",
+                ))
+            elif kind == "moddown":
+                polys = _distribute(shape.get("polys", 1), split)[i]
+                if polys <= 0:
+                    continue
+                specs.append(K.moddown_kernel(
+                    part, n, shape["main_primes"], shape["special_primes"],
+                    polys=polys * b, geometry=geo, stage="ModDown",
+                ))
+            elif kind == "inner_product":
+                steps = shape.get("steps", 1)
+                per = _distribute(steps, split)[i] if split > 1 else steps
+                if per <= 0:
+                    continue
+                specs.append(K.inner_product_kernel(
+                    part, n, shape["primes"] * per * b, shape["digits"],
+                    accumulators=shape.get("accumulators", 2),
+                    geometry=geo, stage="InProd",
+                ))
+            elif kind == "automorphism":
+                polys = _distribute(shape.get("polys", 2), split)[i]
+                if polys <= 0:
+                    continue
+                specs.append(K.automorphism_kernel(
+                    part, n, shape["primes"], polys=polys * b, geometry=geo,
+                ))
+            elif kind == "modadd":
+                rows = _distribute(shape["rows"], split)[i]
+                if rows <= 0:
+                    continue
+                specs.append(K.modadd_kernel(part, n * rows * b,
+                                             geometry=geo))
+            elif kind == "modmul":
+                rows = _distribute(shape["rows"], split)[i]
+                if rows <= 0:
+                    continue
+                specs.append(K.modmul_kernel(part, n * rows * b,
+                                             geometry=geo))
+            elif kind == "tensor_product":
+                rows = _distribute(shape["rows"], split)[i]
+                if rows <= 0:
+                    continue
+                specs.append(K.elementwise_kernel(
+                    part, n * rows * b,
+                    ops_per_element=4 * 7 + 2 * 2,
+                    read_words=4, write_words=3, geometry=geo,
+                    stage="TensorProduct",
+                ))
+            elif kind == "divide":
+                rows = _distribute(shape["rows"], split)[i]
+                drop = shape.get("drop", 1)
+                if rows <= 0:
+                    continue
+                specs.append(K.elementwise_kernel(
+                    part, n * rows * b,
+                    ops_per_element=drop * (7 + 2),
+                    read_words=1 + drop, write_words=1, geometry=geo,
+                    stage="Rescale",
+                ))
+            else:
+                raise ValueError(f"cannot lower trace event kind {kind!r}")
+        return specs
+
+
+def _leaf(op: str) -> str:
+    return op.rsplit("/", 1)[-1] if op else "trace"
+
+
+def _group_label(op: str) -> str:
+    return op.split("/", 1)[0] if op else ""
+
+
+def lower_trace(trace: OpTrace, *, params: Any = None, style: str = "pe",
+                device: GpuSpec = A100_PCIE_80G,
+                ntt_variant: str = "wd-fuse",
+                geometry: GeometryConfig = DEFAULT_GEOMETRY,
+                batch: int = 1) -> KernelDag:
+    """Translate a recording into a :class:`KernelDag`.
+
+    ``params`` retargets the ring degree: it must share the recorded
+    parameter set's modulus-chain structure (``max_level``,
+    ``num_special``, ``dnum``) because every prime/digit/row count in the
+    trace is taken at face value; only ``n`` is substituted.  ``batch``
+    scales every launch to a batch of ciphertexts, exactly as the static
+    plan builders do.
+    """
+    if style not in STYLES:
+        raise ValueError(f"unknown lowering style {style!r}; one of {STYLES}")
+    n = trace.n
+    if params is not None:
+        rec = trace.params
+        if rec is not None:
+            for field_name in ("max_level", "num_special", "dnum",
+                               "rescale_primes"):
+                a = getattr(rec, field_name, None)
+                b = getattr(params, field_name, None)
+                if a is not None and b is not None and a != b:
+                    raise ValueError(
+                        f"cannot retarget trace: {field_name} differs "
+                        f"(recorded {a}, target {b}) — the trace's chain "
+                        "structure must match the target parameter set"
+                    )
+        n = params.n
+    if not n:
+        raise ValueError("trace has no ring degree and no params given")
+
+    lowerer = _Lowerer(n=n, style=style, device=device,
+                       ntt_variant=ntt_variant, geometry=geometry,
+                       batch=batch)
+    groups = _toposort(_group_events(trace.events, merge=(style == "pe")))
+
+    nodes: List[DagNode] = []
+    #: eid -> node indices downstream readers must wait on.
+    exports: Dict[int, Tuple[int, ...]] = {}
+    for g in groups:
+        dep_nodes = sorted({
+            ni for d in g.external_deps() for ni in exports.get(d, ())
+        })
+        parts, _ = lowerer.atoms(g)
+        tails: List[int] = []
+        for chain in parts:
+            prev: Optional[int] = None
+            for spec in chain:
+                deps = (prev,) if prev is not None else tuple(dep_nodes)
+                nodes.append(DagNode(
+                    spec=spec, deps=tuple(deps), eids=g.eids, op=g.op,
+                    group=_group_label(g.op),
+                ))
+                prev = len(nodes) - 1
+            if prev is not None:
+                tails.append(prev)
+        out = tuple(tails)
+        for eid in g.eids:
+            exports[eid] = out
+    return KernelDag(nodes=tuple(nodes), n=n, style=style,
+                     label=trace.label, device=device)

@@ -1,0 +1,209 @@
+"""Context-wide trace recorder for the functional CKKS layer.
+
+The instrumented hot paths call the module-level :func:`emit` / :func:`span`
+hooks.  When no recording is active both are near-free no-ops (one global
+load and a ``None`` check), so the numerical layer pays nothing outside
+``with record(...)`` blocks.
+
+Dependency resolution is by buffer identity: every emitted event registers
+the Python ``id`` of the objects it writes (ciphertexts expand to their
+polynomials, polynomials to their backing arrays), and later reads resolve
+against that map.  The recorder pins every registered object in a keepalive
+list so ids cannot be recycled mid-recording.  Reads that resolve to no
+writer are external inputs — the lowered DAG treats those events as sources.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ir import OpTrace, TraceEvent
+
+_ACTIVE: Optional["TraceRecorder"] = None
+
+
+def _buffer_keys(obj: Any) -> Iterator[int]:
+    """Identity keys under which a value is tracked.
+
+    Ciphertext-likes (``c0``/``c1``) recurse into both polynomials;
+    plaintext-likes (``poly``) recurse into the polynomial; RnsPoly-likes
+    expose both the wrapper and the backing ``data`` array, so a
+    dependency is found whether the reader saw the wrapper or the array.
+    """
+    c0 = getattr(obj, "c0", None)
+    if c0 is not None and hasattr(obj, "c1"):
+        yield from _buffer_keys(c0)
+        yield from _buffer_keys(obj.c1)
+        return
+    poly = getattr(obj, "poly", None)
+    if poly is not None and hasattr(obj, "scale"):
+        yield from _buffer_keys(poly)
+        return
+    yield id(obj)
+    data = getattr(obj, "data", None)
+    if isinstance(data, np.ndarray):
+        yield id(data)
+
+
+class _Span:
+    """Context manager pushing one named span onto the recorder stack."""
+
+    __slots__ = ("_rec", "_name", "_level")
+
+    def __init__(self, rec: "TraceRecorder", name: str, level: Optional[int]):
+        self._rec = rec
+        self._name = name
+        self._level = level
+
+    def __enter__(self) -> "_Span":
+        self._rec._push(self._name, self._level)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._rec._pop()
+        return False
+
+
+class _NullSpan:
+    """Span stand-in used when no recording is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from instrumented code."""
+
+    def __init__(self, label: str = "", params: Any = None,
+                 n: Optional[int] = None):
+        self.label = label
+        self.params = params
+        self.n = int(n if n is not None else getattr(params, "n", 0))
+        self.events: List[TraceEvent] = []
+        # span stack entries: (name, instance_tag, default_level)
+        self._stack: List[Tuple[str, str, Optional[int]]] = []
+        self._counts: Dict[str, int] = {}
+        self._writers: Dict[int, int] = {}
+        self._keepalive: List[Any] = []
+
+    # -- span management -------------------------------------------------
+    def span(self, name: str, level: Optional[int] = None) -> _Span:
+        return _Span(self, name, level)
+
+    def _push(self, name: str, level: Optional[int]) -> None:
+        parent = self._stack[-1][1] if self._stack else ""
+        key = f"{parent}/{name}" if parent else name
+        seq = self._counts.get(key, 0)
+        self._counts[key] = seq + 1
+        self._stack.append((name, f"{key}#{seq}", level))
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    # -- event emission --------------------------------------------------
+    def emit(self, kind: str, *, level: Optional[int] = None,
+             reads: Sequence[Any] = (), writes: Sequence[Any] = (),
+             deps: Iterable[int] = (), **shape: int) -> int:
+        if level is None:
+            for _, _, lvl in reversed(self._stack):
+                if lvl is not None:
+                    level = lvl
+                    break
+        dep_set = set(int(d) for d in deps)
+        for obj in reads:
+            for key in _buffer_keys(obj):
+                eid = self._writers.get(key)
+                if eid is not None:
+                    dep_set.add(eid)
+        eid = len(self.events)
+        dep_set.discard(eid)
+        op_path = "/".join(name for name, _, _ in self._stack)
+        span_key = self._stack[-1][1] if self._stack else ""
+        event = TraceEvent(
+            eid=eid,
+            kind=kind,
+            op=op_path,
+            span=span_key,
+            level=level,
+            shape={k: int(v) for k, v in shape.items()},
+            deps=tuple(sorted(dep_set)),
+        )
+        self.events.append(event)
+        for obj in writes:
+            self._keepalive.append(obj)
+            for key in _buffer_keys(obj):
+                self._writers[key] = eid
+        if self.n == 0:
+            self.n = _infer_n(writes) or _infer_n(reads) or 0
+        return eid
+
+    @property
+    def trace(self) -> OpTrace:
+        return OpTrace(label=self.label, n=self.n, params=self.params,
+                       events=tuple(self.events))
+
+
+def _infer_n(objs: Sequence[Any]) -> int:
+    for obj in objs:
+        n = getattr(obj, "n", None)
+        if isinstance(n, (int, np.integer)) and n > 0:
+            return int(n)
+        data = getattr(obj, "data", obj)
+        shape = getattr(data, "shape", None)
+        if shape:
+            return int(shape[-1])
+    return 0
+
+
+# -- module-level hooks (what instrumented code calls) --------------------
+
+def active() -> Optional[TraceRecorder]:
+    """The recorder currently collecting events, or ``None``."""
+    return _ACTIVE
+
+
+def emit(kind: str, **kwargs: Any) -> Optional[int]:
+    """Emit one event into the active recorder; no-op when inactive."""
+    rec = _ACTIVE
+    if rec is None:
+        return None
+    return rec.emit(kind, **kwargs)
+
+
+def span(name: str, level: Optional[int] = None):
+    """Open a named span in the active recorder; no-op when inactive."""
+    rec = _ACTIVE
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, level)
+
+
+@contextmanager
+def record(label: str = "", params: Any = None, n: Optional[int] = None):
+    """Record every instrumented operation executed inside the block.
+
+    Yields the :class:`TraceRecorder`; read ``rec.trace`` afterwards.
+    Recordings do not nest — a second ``record`` inside an active one
+    raises rather than silently splitting the event stream.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("trace recording is already active; "
+                           "recordings do not nest")
+    rec = TraceRecorder(label, params=params, n=n)
+    _ACTIVE = rec
+    try:
+        yield rec
+    finally:
+        _ACTIVE = None

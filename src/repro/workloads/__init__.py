@@ -42,6 +42,17 @@ from .schedules import (
     ScheduleItem,
     WorkloadSchedule,
     WorkloadTiming,
+    hoisted_rotation_factor,
+)
+from .recorded import (
+    RECORDED_BOOT_CONFIG,
+    derived_hoisted_rotation_factor,
+    proxy_params_for,
+    record_bootstrap_trace,
+    recorded_workload_timing,
+    simulate_recorded_bootstrap,
+    simulate_recorded_helr_iteration,
+    simulate_recorded_resnet20,
 )
 
 __all__ = [
@@ -74,4 +85,13 @@ __all__ = [
     "EncryptedStatistics",
     "simulate_transcipher",
     "transcipher_schedule",
+    "RECORDED_BOOT_CONFIG",
+    "derived_hoisted_rotation_factor",
+    "hoisted_rotation_factor",
+    "proxy_params_for",
+    "record_bootstrap_trace",
+    "recorded_workload_timing",
+    "simulate_recorded_bootstrap",
+    "simulate_recorded_helr_iteration",
+    "simulate_recorded_resnet20",
 ]

@@ -68,11 +68,13 @@ def helr_iteration_schedule(params: CkksParams = None, *,
 
 def simulate_helr_iteration(params: CkksParams = None, *, batch: int = 1,
                             scheduler: OperationScheduler = None,
-                            ) -> WorkloadTiming:
+                            hoisting: str = "derived") -> WorkloadTiming:
     """Amortized ms/iteration (the Table XIV HELR metric)."""
     params = params or ParameterSets.helr()
     scheduler = scheduler or OperationScheduler(params)
-    return helr_iteration_schedule(params).price(scheduler, batch=batch)
+    return helr_iteration_schedule(params).price(
+        scheduler, batch=batch, hoisting=hoisting
+    )
 
 
 class EncryptedLogisticRegression:

@@ -1,0 +1,291 @@
+"""Recorded workload pricing: price what the functional layer launched.
+
+The hand-counted schedules of this package approximate workloads as op
+lists; this module closes the loop the trace layer opens — it *runs* the
+functional bootstrap under :mod:`repro.trace`, lowers the recording to a
+kernel DAG at the target ring degree, and prices the DAG on the
+dependency-aware scheduler. The hand-counted lists stay around as
+cross-check oracles (``benchmarks/test_table14_workloads.py`` asserts the
+two price within 10% of each other).
+
+**Proxy recording.** Trace events carry ring-degree-free shapes (rows,
+primes, digits, steps), so a run at a small proxy ring that shares the
+target's chain structure (``max_level``, ``num_special``, ``dnum``,
+``rescale_primes``) lowers to the *same* launch DAG as a full-ring run —
+only the per-kernel geometry changes at lowering time. Recording at
+``n = 2**proxy_log2n`` makes tracing a 46-prime bootstrap a seconds-scale
+operation instead of an hours-scale one.
+
+The recorded bootstrap's configuration is calibrated to the published
+hand count (see :data:`RECORDED_BOOT_CONFIG` and DESIGN.md §10): the
+proxy slot count gives the same number of FFT stages as the hand
+schedule's 3-stage radix decomposition, and ``sine_degree`` is chosen so
+the Chebyshev product-recurrence issues about as many HMULTs as the hand
+count's deg-63 BSGS evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..ckks.bootstrap import BootstrapConfig, Bootstrapper
+from ..ckks.context import CkksContext
+from ..ckks.params import CkksParams, ParameterSets
+from ..core.scheduler import OperationScheduler
+from ..trace import lower_trace
+from ..trace.ir import OpTrace
+from ..trace.recorder import record
+from .schedules import WorkloadSchedule, WorkloadTiming
+
+#: Calibrated recording knobs (see module docstring): proxy ring degree,
+#: FFT stage fusion, and sine degree of the recorded bootstrap.
+RECORDED_BOOT_CONFIG: Dict[str, int] = {
+    "proxy_log2n": 10,
+    "fuse": 3,
+    "sine_degree": 31,
+}
+
+_trace_cache: Dict[tuple, OpTrace] = {}
+_factor_cache: Dict[tuple, float] = {}
+
+
+def proxy_params_for(params: CkksParams, log2n: int = 10) -> CkksParams:
+    """``params`` with the ring shrunk to ``2**log2n`` (chain unchanged).
+
+    The chain-structure fields that determine trace shapes are preserved,
+    so :func:`repro.trace.lower_trace` accepts the recording for the
+    original ``params``. Returns ``params`` itself when already small.
+    """
+    n = 2 ** log2n
+    if params.n <= n:
+        return params
+    return dataclasses.replace(
+        params, n=n, name=f"{params.name or 'params'}-proxy{log2n}"
+    )
+
+
+def _chain_key(params: CkksParams) -> tuple:
+    return (params.max_level, params.num_special, params.dnum,
+            params.rescale_primes, params.scale_bits)
+
+
+def record_bootstrap_trace(params: CkksParams = None, *,
+                           proxy_log2n: int = None, fuse: int = None,
+                           sine_degree: int = None,
+                           seed: int = 0) -> OpTrace:
+    """Run one functional slim bootstrap at proxy scale and record it.
+
+    The knobs default to :data:`RECORDED_BOOT_CONFIG`. Traces are cached
+    per chain structure and knob set — the expensive functional run
+    happens once per parameter family per process.
+    """
+    params = params or ParameterSets.boot()
+    cfg = dict(RECORDED_BOOT_CONFIG)
+    if proxy_log2n is not None:
+        cfg["proxy_log2n"] = proxy_log2n
+    if fuse is not None:
+        cfg["fuse"] = fuse
+    if sine_degree is not None:
+        cfg["sine_degree"] = sine_degree
+    proxy = proxy_params_for(params, cfg["proxy_log2n"])
+    key = (_chain_key(params), proxy.n, cfg["fuse"], cfg["sine_degree"],
+           seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+
+    ctx = CkksContext.create(proxy, seed=seed)
+    boot = Bootstrapper(ctx, BootstrapConfig(
+        sine_degree=cfg["sine_degree"], fft_factored=True,
+        fuse=cfg["fuse"],
+    ))
+    keys = ctx.keygen(
+        rotations=boot.required_rotations(), conjugation=True
+    )
+    vals = np.zeros(ctx.slots)
+    vals[:4] = [0.5, -0.25, 0.125, 0.75]
+    ct = ctx.encrypt(vals, keys, level=boot.stc_levels)
+    with record(f"boot[{params.name or 'params'}]", params=proxy,
+                n=proxy.n) as rec:
+        boot.bootstrap(ct, keys)
+    trace = rec.trace
+    _trace_cache[key] = trace
+    return trace
+
+
+def _lower_for(trace: OpTrace, scheduler: OperationScheduler, *,
+               style: str = "pe", batch: int = 1):
+    """Lower ``trace`` at the scheduler's params/device/geometry."""
+    return lower_trace(
+        trace, params=scheduler.params, style=style,
+        device=scheduler.device, ntt_variant=scheduler.ntt.variant,
+        geometry=scheduler.geometry, batch=batch,
+    )
+
+
+def simulate_recorded_bootstrap(params: CkksParams = None, *,
+                                batch: int = 1,
+                                scheduler: OperationScheduler = None,
+                                style: str = "pe",
+                                proxy_log2n: int = None, fuse: int = None,
+                                sine_degree: int = None,
+                                seed: int = 0) -> WorkloadTiming:
+    """Record one bootstrap functionally and price the lowered DAG.
+
+    The drop-in recorded counterpart of
+    :func:`~repro.workloads.bootstrap_workload.simulate_bootstrap`; the
+    breakdown buckets kernel time by recorded phase (StC / ModRaise /
+    CtS / EvalMod). Under SM-level overlap the buckets sum to slightly
+    more than the wall-clock ``total_us``.
+    """
+    params = params or ParameterSets.boot()
+    scheduler = scheduler or OperationScheduler(params)
+    trace = record_bootstrap_trace(
+        params, proxy_log2n=proxy_log2n, fuse=fuse,
+        sine_degree=sine_degree, seed=seed,
+    )
+    dag = _lower_for(trace, scheduler, style=style, batch=batch)
+    result = dag.run(scheduler.device)
+    breakdown: Dict[str, float] = {}
+    for entry in result.entries:
+        group = dag.nodes[entry.index].group
+        breakdown[group] = breakdown.get(group, 0.0) + entry.duration_us
+    return WorkloadTiming(
+        name=f"Boot-recorded[{style}]", total_us=result.elapsed_us,
+        batch=batch, breakdown=breakdown,
+    )
+
+
+def recorded_workload_timing(schedule: WorkloadSchedule,
+                             scheduler: OperationScheduler, *,
+                             batch: int = 1,
+                             recorded_boot: WorkloadTiming,
+                             hoisting: str = "derived") -> WorkloadTiming:
+    """Price ``schedule`` with its embedded bootstraps swapped for a
+    recorded one.
+
+    Hand-counted workload schedules embed bootstraps as ``boot*``-noted
+    items (one ``ModRaise`` per bootstrap, scaled by the amortization
+    count). This prices every non-boot item exactly as
+    :meth:`WorkloadSchedule.price` would, then adds
+    ``bootstraps x recorded_boot.total_us`` — the recorded DAG replacing
+    the hand count.
+    """
+    core = WorkloadSchedule(schedule.name)
+    bootstraps = 0.0
+    for item in schedule.items:
+        note = item.note or item.op
+        if note.startswith("boot"):
+            if note.endswith("ModRaise"):
+                bootstraps += item.count
+            continue
+        core.items.append(item)
+    timing = core.price(scheduler, batch=batch, hoisting=hoisting)
+    boot_us = bootstraps * recorded_boot.total_us
+    timing.breakdown["boot(recorded)"] = boot_us
+    return WorkloadTiming(
+        name=f"{schedule.name}-recorded",
+        total_us=timing.total_us + boot_us, batch=batch,
+        breakdown=timing.breakdown,
+    )
+
+
+def simulate_recorded_helr_iteration(params: CkksParams = None, *,
+                                     batch: int = 1,
+                                     scheduler: OperationScheduler = None,
+                                     style: str = "pe",
+                                     boot_period: int = 2
+                                     ) -> WorkloadTiming:
+    """HELR iteration with the amortized bootstrap recorded, not counted."""
+    from .helr import helr_iteration_schedule
+
+    params = params or ParameterSets.helr()
+    scheduler = scheduler or OperationScheduler(params)
+    boot = simulate_recorded_bootstrap(
+        params, batch=batch, scheduler=scheduler, style=style
+    )
+    return recorded_workload_timing(
+        helr_iteration_schedule(params, boot_period=boot_period),
+        scheduler, batch=batch, recorded_boot=boot,
+    )
+
+
+def simulate_recorded_resnet20(params: CkksParams = None, *,
+                               batch: int = 1,
+                               scheduler: OperationScheduler = None,
+                               style: str = "pe") -> WorkloadTiming:
+    """ResNet-20 inference with every bootstrap recorded, not counted."""
+    from .resnet import resnet20_schedule
+
+    params = params or ParameterSets.resnet()
+    scheduler = scheduler or OperationScheduler(params)
+    boot = simulate_recorded_bootstrap(
+        params, batch=batch, scheduler=scheduler, style=style
+    )
+    return recorded_workload_timing(
+        resnet20_schedule(params), scheduler, batch=batch,
+        recorded_boot=boot,
+    )
+
+
+# -- derived hoisting factor ------------------------------------------------
+
+
+def derived_hoisted_rotation_factor(scheduler: OperationScheduler, *,
+                                    steps: int = 8,
+                                    proxy_log2n: int = 8,
+                                    seed: int = 0) -> float:
+    """Per-extra-rotation cost of a hoisted group, derived from a trace.
+
+    Records one functional ``hoisted_rotations`` call over ``steps``
+    rotation steps and one plain HROTATE at proxy scale, lowers both at
+    the scheduler's parameters, and solves
+
+        ``C_hoisted(S) = C_hrotate * (1 + factor * (S - 1))``
+
+    for ``factor`` — the quantity the hand-tuned
+    :data:`~repro.workloads.schedules.HOISTED_ROTATION_FACTOR` eyeballs.
+    Cached per (chain, device, variant); raises on degenerate traces so
+    callers can fall back to the constant.
+    """
+    params = scheduler.params
+    key = (_chain_key(params), params.n, scheduler.device.name,
+           scheduler.ntt.variant, steps, proxy_log2n, seed)
+    cached = _factor_cache.get(key)
+    if cached is not None:
+        return cached
+
+    from ..ckks.hoisting import hoisted_rotations
+
+    proxy = proxy_params_for(params, proxy_log2n)
+    ctx = CkksContext.create(proxy, seed=seed)
+    rotations = [s + 1 for s in range(steps)]
+    keys = ctx.keygen(rotations=rotations)
+    vals = np.zeros(ctx.slots)
+    vals[:2] = [0.5, -0.25]
+    ct = ctx.encrypt(vals, keys)
+    ev = ctx.evaluator
+
+    with record("hoisted", params=proxy, n=proxy.n) as rec:
+        hoisted_rotations(ev, ct, rotations, keys)
+    hoisted_trace = rec.trace
+    with record("hrotate", params=proxy, n=proxy.n) as rec:
+        ev.hrotate(ct, 1, keys)
+    single_trace = rec.trace
+
+    cost_hoisted = _lower_for(hoisted_trace, scheduler).run(
+        scheduler.device).elapsed_us
+    cost_single = _lower_for(single_trace, scheduler).run(
+        scheduler.device).elapsed_us
+    if cost_single <= 0 or steps < 2:
+        raise ValueError("degenerate hoisting trace")
+    factor = (cost_hoisted - cost_single) / ((steps - 1) * cost_single)
+    if not 0.0 < factor < 1.0:
+        raise ValueError(
+            f"derived hoisting factor {factor:.3f} outside (0, 1)"
+        )
+    _factor_cache[key] = factor
+    return factor

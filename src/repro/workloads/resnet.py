@@ -111,11 +111,13 @@ def resnet20_schedule(params: CkksParams = None, *,
 
 def simulate_resnet20(params: CkksParams = None, *, batch: int = 1,
                       scheduler: OperationScheduler = None,
-                      ) -> WorkloadTiming:
+                      hoisting: str = "derived") -> WorkloadTiming:
     """Amortized seconds per image (the Table XIV ResNet metric)."""
     params = params or ParameterSets.resnet()
     scheduler = scheduler or OperationScheduler(params)
-    return resnet20_schedule(params).price(scheduler, batch=batch)
+    return resnet20_schedule(params).price(
+        scheduler, batch=batch, hoisting=hoisting
+    )
 
 
 class EncryptedConv2d:

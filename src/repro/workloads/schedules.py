@@ -18,8 +18,29 @@ from ..core.scheduler import OperationScheduler
 
 #: Cost of each additional rotation in a hoisted group, as a fraction of a
 #: full HROTATE (the shared ModUp dominates; only the inner product and
-#: automorphism remain per rotation).
+#: automorphism remain per rotation). Hand-tuned; the documented fallback
+#: for :func:`hoisted_rotation_factor`, which derives the same quantity
+#: from a traced hoisted-keyswitch plan.
 HOISTED_ROTATION_FACTOR = 0.35
+
+
+def hoisted_rotation_factor(scheduler: OperationScheduler = None) -> float:
+    """Per-extra-rotation cost fraction of a hoisted BSGS group.
+
+    Derived from a recorded functional ``hoisted_rotations`` plan
+    (:func:`repro.workloads.recorded.derived_hoisted_rotation_factor`)
+    when a scheduler is given; falls back to the hand-tuned
+    :data:`HOISTED_ROTATION_FACTOR` without one or when the derivation
+    cannot run (e.g. a parameter set the functional layer rejects).
+    """
+    if scheduler is None:
+        return HOISTED_ROTATION_FACTOR
+    try:
+        from .recorded import derived_hoisted_rotation_factor
+
+        return derived_hoisted_rotation_factor(scheduler)
+    except Exception:
+        return HOISTED_ROTATION_FACTOR
 
 
 @dataclass
@@ -82,13 +103,25 @@ class WorkloadSchedule:
             counts[item.op] = counts.get(item.op, 0.0) + item.count
         return counts
 
-    def price(self, scheduler: OperationScheduler, *,
-              batch: int = 1) -> WorkloadTiming:
+    def price(self, scheduler: OperationScheduler, *, batch: int = 1,
+              hoisting: str = "derived") -> WorkloadTiming:
         """Total simulated time of the schedule on one device.
 
         ``batch`` ciphertexts ride through every kernel together (the
-        amortization mechanism of Table XIV's BS column).
+        amortization mechanism of Table XIV's BS column). ``hoisting``
+        selects the hoisted-rotation discount: ``"derived"`` (default)
+        solves it from a traced hoisted-keyswitch plan via
+        :func:`hoisted_rotation_factor`; ``"static"`` keeps the
+        hand-tuned :data:`HOISTED_ROTATION_FACTOR`.
         """
+        if hoisting not in ("derived", "static"):
+            raise ValueError(
+                f"hoisting must be 'derived' or 'static', got {hoisting!r}"
+            )
+        factor = (
+            hoisted_rotation_factor(scheduler) if hoisting == "derived"
+            else HOISTED_ROTATION_FACTOR
+        )
         total = 0.0
         breakdown: Dict[str, float] = {}
         cache: Dict[tuple, float] = {}
@@ -100,7 +133,7 @@ class WorkloadSchedule:
                 ).elapsed_us
             cost = cache[key] * item.count
             if item.hoisted:
-                cost *= HOISTED_ROTATION_FACTOR
+                cost *= factor
             total += cost
             label = item.note or item.op
             breakdown[label] = breakdown.get(label, 0.0) + cost

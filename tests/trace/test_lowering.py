@@ -1,0 +1,128 @@
+"""Lowering recorded traces to kernel DAGs: styles, retargeting, runs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext
+from repro.ckks.params import ParameterSets
+from repro.trace import KernelDag, lower_trace
+from repro.trace.recorder import record
+from repro.workloads import proxy_params_for
+
+PARAMS = ParameterSets.small()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = CkksContext.create(PARAMS, seed=3)
+    keys = ctx.keygen(rotations=[1])
+    vals = np.zeros(ctx.slots)
+    vals[:2] = [0.5, -0.25]
+    ct = ctx.encrypt(vals, keys)
+    ct2 = ctx.encrypt(vals, keys)
+    return ctx, keys, ct, ct2
+
+
+def record_hmult(setup):
+    ctx, keys, ct, ct2 = setup
+    with record("hmult", params=PARAMS) as rec:
+        ctx.evaluator.hmult(ct, ct2, keys)
+    return rec.trace
+
+
+class TestStyles:
+    def test_pe_merges_kf_and_tensorfhe_split(self, setup):
+        trace = record_hmult(setup)
+        counts = {
+            style: lower_trace(trace, style=style).kernel_count
+            for style in ("pe", "kf", "tensorfhe")
+        }
+        # PE merges polynomial-level stages into ciphertext-level
+        # launches; kf splits per pane/poly; tensorfhe additionally
+        # expands every NTT pane to the five-stage plan.
+        assert counts["pe"] < counts["kf"] < counts["tensorfhe"]
+
+    def test_pe_honors_split_hints(self, setup):
+        trace = record_hmult(setup)
+        dag = lower_trace(trace, style="pe")
+        names = [nd.spec.name for nd in dag.nodes]
+        # The keyswitch tail keeps its per-accumulator launches.
+        assert "keyswitch.intt[0]" in names
+        assert "keyswitch.intt[1]" in names
+
+    def test_unknown_style_rejected(self, setup):
+        trace = record_hmult(setup)
+        with pytest.raises(ValueError, match="unknown lowering style"):
+            lower_trace(trace, style="fused")
+
+    def test_nodes_topologically_ordered(self, setup):
+        dag = lower_trace(record_hmult(setup), style="pe")
+        for i, nd in enumerate(dag.nodes):
+            assert all(0 <= d < i for d in nd.deps)
+
+    def test_groups_and_ops_labelled(self, setup):
+        dag = lower_trace(record_hmult(setup), style="pe")
+        assert dag.groups() == ["hmult"]
+        assert any(nd.op.endswith("keyswitch") for nd in dag.nodes)
+
+
+class TestRetarget:
+    def test_proxy_recording_lowers_to_target_ring(self, setup):
+        proxy = proxy_params_for(PARAMS, 9)
+        assert proxy.n == 512
+        ctx = CkksContext.create(proxy, seed=3)
+        keys = ctx.keygen()
+        ct = ctx.encrypt([0.5], keys)
+        with record("hmult", params=proxy) as rec:
+            ctx.evaluator.hmult(ct, ct, keys)
+        small = lower_trace(rec.trace, style="pe")
+        full = lower_trace(rec.trace, params=PARAMS, style="pe")
+        # Same launch DAG — only the per-kernel geometry grows.
+        assert small.kernel_count == full.kernel_count
+        assert [nd.spec.name for nd in small.nodes] == \
+               [nd.spec.name for nd in full.nodes]
+        assert [nd.deps for nd in small.nodes] == \
+               [nd.deps for nd in full.nodes]
+        assert full.n == PARAMS.n
+        assert sum(nd.spec.blocks for nd in full.nodes) > \
+               sum(nd.spec.blocks for nd in small.nodes)
+
+    def test_chain_mismatch_rejected(self, setup):
+        trace = record_hmult(setup)
+        other = ParameterSets.set_c()  # different chain structure
+        with pytest.raises(ValueError, match="chain structure"):
+            lower_trace(trace, params=other, style="pe")
+
+    def test_proxy_params_preserve_chain(self):
+        boot = ParameterSets.boot()
+        proxy = proxy_params_for(boot, 10)
+        assert proxy.n == 1024
+        for field_name in ("max_level", "num_special", "dnum",
+                           "rescale_primes", "scale_bits"):
+            assert getattr(proxy, field_name) == getattr(boot, field_name)
+
+    def test_proxy_params_noop_when_already_small(self):
+        toy = ParameterSets.toy()
+        assert proxy_params_for(toy, 10) is toy
+
+
+class TestRun:
+    def test_priced_end_to_end(self, setup):
+        dag = lower_trace(record_hmult(setup), style="pe")
+        result = dag.run()
+        assert result.kernel_count == dag.kernel_count
+        assert result.elapsed_us > 0
+        # Every timeline entry waits for its recorded dependencies.
+        by_index = {e.index: e for e in result.entries}
+        for e in result.entries:
+            for d in e.deps:
+                assert e.start_us >= by_index[d].end_us - 1e-9
+
+    def test_batch_scales_work(self, setup):
+        trace = record_hmult(setup)
+        one = lower_trace(trace, style="pe", batch=1)
+        many = lower_trace(trace, style="pe", batch=16)
+        assert many.kernel_count == one.kernel_count
+        assert many.run().elapsed_us > one.run().elapsed_us

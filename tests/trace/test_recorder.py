@@ -1,0 +1,141 @@
+"""Recorder semantics: hooks, spans, identity-based dependencies."""
+
+import numpy as np
+import pytest
+
+from repro.trace.ir import OpTrace, TraceEvent
+from repro.trace.recorder import active, emit, record, span
+
+
+class Buf:
+    """Minimal RnsPoly-like carrier for dependency tracking."""
+
+    def __init__(self, n=16):
+        self.data = np.zeros((2, n), dtype=np.uint64)
+        self.n = n
+
+
+class TestHooks:
+    def test_emit_is_noop_when_inactive(self):
+        assert active() is None
+        assert emit("modadd", rows=4) is None
+
+    def test_span_is_noop_when_inactive(self):
+        with span("anything"):
+            assert active() is None
+
+    def test_emit_collects_when_active(self):
+        with record("t") as rec:
+            eid = emit("modadd", rows=4, level=2)
+        assert eid == 0
+        tr = rec.trace
+        assert len(tr) == 1
+        assert tr.events[0].kind == "modadd"
+        assert tr.events[0].shape == {"rows": 4}
+        assert tr.events[0].level == 2
+
+    def test_recordings_do_not_nest(self):
+        with record("outer"):
+            with pytest.raises(RuntimeError, match="do not nest"):
+                with record("inner"):
+                    pass
+        assert active() is None
+
+    def test_recorder_cleared_on_exception(self):
+        with pytest.raises(ValueError):
+            with record("t"):
+                raise ValueError("boom")
+        assert active() is None
+
+
+class TestDependencies:
+    def test_reads_resolve_to_last_writer(self):
+        a, b, c = Buf(), Buf(), Buf()
+        with record("t") as rec:
+            emit("ntt", rows=2, writes=(a,))
+            emit("modmul", rows=2, reads=(a,), writes=(b,))
+            emit("intt", rows=2, reads=(b,), writes=(c,))
+        e = rec.trace.events
+        assert e[0].deps == ()
+        assert e[1].deps == (0,)
+        assert e[2].deps == (1,)
+
+    def test_rewrite_shadows_earlier_writer(self):
+        a = Buf()
+        with record("t") as rec:
+            emit("ntt", rows=2, writes=(a,))
+            emit("intt", rows=2, writes=(a,))
+            emit("modadd", rows=2, reads=(a,))
+        assert rec.trace.events[2].deps == (1,)
+
+    def test_unwritten_reads_are_external_inputs(self):
+        a = Buf()
+        with record("t") as rec:
+            emit("modadd", rows=2, reads=(a,))
+        assert rec.trace.events[0].deps == ()
+
+    def test_raw_arrays_and_wrappers_share_identity(self):
+        a = Buf()
+        with record("t") as rec:
+            emit("ntt", rows=2, writes=(a.data,))
+            emit("modadd", rows=2, reads=(a.data,))
+        assert rec.trace.events[1].deps == (0,)
+
+
+class TestSpans:
+    def test_span_path_and_instances(self):
+        with record("t") as rec:
+            with span("StC"):
+                with span("hrotate"):
+                    emit("automorphism", primes=3, polys=2)
+                with span("hrotate"):
+                    emit("automorphism", primes=3, polys=2)
+        e = rec.trace.events
+        assert e[0].op == "StC/hrotate" == e[1].op
+        # Per-instance span keys keep separate invocations apart.
+        assert e[0].span != e[1].span
+        assert e[0].group == "StC"
+        assert e[0].leaf == "hrotate"
+
+    def test_level_defaults_to_innermost_span(self):
+        with record("t") as rec:
+            with span("outer", level=7):
+                emit("modadd", rows=1)
+                with span("inner", level=3):
+                    emit("modadd", rows=1)
+                emit("modadd", rows=1, level=5)
+        levels = [e.level for e in rec.trace.events]
+        assert levels == [7, 3, 5]
+
+    def test_n_inferred_from_buffers(self):
+        with record("t") as rec:
+            emit("ntt", rows=2, writes=(Buf(n=64),))
+        assert rec.trace.n == 64
+
+
+class TestOpTrace:
+    def _trace(self):
+        events = (
+            TraceEvent(0, "ntt", "StC/hrotate", "StC#0/hrotate#0", 3,
+                       {"rows": 4}),
+            TraceEvent(1, "modadd", "StC", "StC#0", 3, {"rows": 2},
+                       deps=(0,)),
+            TraceEvent(2, "ntt", "CtS/hrotate", "CtS#0/hrotate#0", 9,
+                       {"rows": 4}),
+        )
+        return OpTrace(label="boot", n=32, events=events)
+
+    def test_kind_counts(self):
+        assert self._trace().kind_counts() == {"ntt": 2, "modadd": 1}
+
+    def test_ops_in_first_seen_order(self):
+        assert self._trace().ops() == ["StC", "CtS"]
+
+    def test_events_for_prefix(self):
+        tr = self._trace()
+        assert [e.eid for e in tr.events_for("StC")] == [0, 1]
+        assert [e.eid for e in tr.events_for("StC/hrotate")] == [0]
+
+    def test_summary_mentions_label_and_counts(self):
+        s = self._trace().summary()
+        assert "boot" in s and "ntt: 2" in s

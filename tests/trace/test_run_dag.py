@@ -1,0 +1,109 @@
+"""Dependency-aware DAG scheduling on the shared SM array."""
+
+import pytest
+
+from repro.gpusim import A100_PCIE_80G, DagKernel, KernelSpec, run_dag, \
+    run_serial, simulate_kernel
+
+DEV = A100_PCIE_80G
+
+
+def kernel(name, blocks=8, **kw):
+    kw.setdefault("int32_ops", 1e7)
+    kw.setdefault("gmem_read_bytes", 1e6)
+    return KernelSpec(name=name, blocks=blocks, warps_per_block=8, **kw)
+
+
+def entries_by_index(result):
+    return {e.index: e for e in result.entries}
+
+
+class TestDependencies:
+    def test_chain_serializes(self):
+        nodes = [
+            DagKernel(kernel("a")),
+            DagKernel(kernel("b"), deps=(0,)),
+            DagKernel(kernel("c"), deps=(1,)),
+        ]
+        res = run_dag(nodes, DEV)
+        e = entries_by_index(res)
+        assert e[1].start_us >= e[0].end_us - 1e-9
+        assert e[2].start_us >= e[1].end_us - 1e-9
+
+    def test_independent_small_kernels_overlap(self):
+        nodes = [DagKernel(kernel(f"k{i}", blocks=4)) for i in range(4)]
+        res = run_dag(nodes, DEV)
+        starts = {e.start_us for e in res.entries}
+        assert starts == {0.0}
+        single = simulate_kernel(kernel("k0", blocks=4), DEV).elapsed_us
+        assert res.elapsed_us == pytest.approx(single)
+
+    def test_diamond_joins_on_both_parents(self):
+        nodes = [
+            DagKernel(kernel("src", blocks=4)),
+            DagKernel(kernel("left", blocks=4), deps=(0,)),
+            DagKernel(kernel("right", blocks=4, int32_ops=5e7), deps=(0,)),
+            DagKernel(kernel("join", blocks=4), deps=(1, 2)),
+        ]
+        res = run_dag(nodes, DEV)
+        e = entries_by_index(res)
+        assert e[3].start_us >= max(e[1].end_us, e[2].end_us) - 1e-9
+
+    def test_entries_carry_index_and_deps(self):
+        nodes = [DagKernel(kernel("a")), DagKernel(kernel("b"), deps=(0,))]
+        res = run_dag(nodes, DEV)
+        e = entries_by_index(res)
+        assert e[1].deps == (0,)
+
+    def test_forward_dependency_rejected(self):
+        nodes = [DagKernel(kernel("a"), deps=(1,)), DagKernel(kernel("b"))]
+        with pytest.raises(ValueError, match="topological"):
+            run_dag(nodes, DEV)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="topological"):
+            run_dag([DagKernel(kernel("a"), deps=(0,))], DEV)
+
+
+class TestSmCapacity:
+    def test_full_grid_kernels_serialize(self):
+        # Independent in the graph, but each grid fills every SM
+        # (§III-A: multi-stream launches of FHE-size grids degenerate to
+        # serial execution).
+        big = kernel("big", blocks=4 * DEV.sm_count)
+        res = run_dag([DagKernel(big), DagKernel(big)], DEV)
+        ends = sorted(e.end_us for e in res.entries)
+        single = simulate_kernel(big, DEV).elapsed_us
+        assert ends[1] == pytest.approx(2 * single)
+
+    def test_half_grid_kernels_overlap(self):
+        half = kernel("half", blocks=DEV.sm_count // 2)
+        res = run_dag([DagKernel(half), DagKernel(half)], DEV)
+        assert {e.start_us for e in res.entries} == {0.0}
+
+    def test_matches_run_serial_for_linear_chain(self):
+        specs = [kernel(f"k{i}", blocks=2048 + 512 * i) for i in range(5)]
+        nodes = [DagKernel(s, deps=(i - 1,) if i else ())
+                 for i, s in enumerate(specs)]
+        dag_res = run_dag(nodes, DEV)
+        serial_res = run_serial(specs, DEV)
+        assert dag_res.elapsed_us == pytest.approx(serial_res.elapsed_us)
+
+    def test_dag_never_beats_critical_path(self):
+        nodes = [DagKernel(kernel(f"k{i}", blocks=16)) for i in range(6)]
+        nodes.append(DagKernel(kernel("tail", blocks=16),
+                               deps=tuple(range(6))))
+        res = run_dag(nodes, DEV)
+        tail = entries_by_index(res)[6]
+        assert res.elapsed_us == pytest.approx(tail.end_us)
+        critical = (simulate_kernel(kernel("k0", blocks=16), DEV).elapsed_us
+                    + simulate_kernel(kernel("tail", blocks=16),
+                                      DEV).elapsed_us)
+        assert res.elapsed_us >= critical - 1e-9
+
+    def test_deterministic(self):
+        nodes = [DagKernel(kernel(f"k{i}", blocks=32 + i)) for i in range(8)]
+        a = run_dag(nodes, DEV)
+        b = run_dag(nodes, DEV)
+        assert [(e.index, e.start_us) for e in a.entries] == \
+               [(e.index, e.start_us) for e in b.entries]
