@@ -8,6 +8,12 @@ verbatim) against the batched ``(num_primes, N)`` engine for the op mix
 that dominates homomorphic workloads: HADD/HSUB-style element-wise ops,
 eval-domain Hadamard products, and forward/inverse negacyclic NTTs.
 
+A second section times the hot kernels **per compute backend** (numpy
+reference, numba when importable, cupy when importable — see
+``repro.backend``): stacked NTT/INTT, the key-switch ``wide_dot`` inner
+product, and a full ``keyswitch`` call, with every accelerated backend's
+output asserted bit-identical to numpy before it is timed.
+
 Run::
 
     PYTHONPATH=src python benchmarks/bench_poly.py            # full run
@@ -26,7 +32,16 @@ import time
 
 import numpy as np
 
-from repro.ckks.poly import get_reducer
+from repro.backend import (
+    available_backends,
+    backend_name,
+    resolve_backend,
+    use_backend,
+)
+from repro.ckks import CkksContext, ParameterSets
+from repro.ckks.keyswitch import keyswitch
+from repro.ckks.ks_common import wide_dot
+from repro.ckks.poly import RnsPoly, get_reducer
 from repro.ntt import (
     batched_negacyclic_intt,
     batched_negacyclic_ntt,
@@ -35,9 +50,18 @@ from repro.ntt import (
     negacyclic_intt,
     negacyclic_ntt,
 )
+from repro.ntt.stacked import (
+    get_shoup_stack,
+    stacked_negacyclic_intt,
+    stacked_negacyclic_ntt,
+)
 from repro.numtheory import BatchBarrettReducer, find_ntt_primes
 
-CONFIGS = [(2048, 4), (2048, 8), (4096, 4), (4096, 8)]
+# Small configs lead: they are where the batched path once *lost* to the
+# loop path (masked-ufunc overhead dominated at tiny matrices) — the
+# regression this bench pins as fixed.
+CONFIGS = [(256, 2), (256, 4), (1024, 4), (2048, 4), (2048, 8),
+           (4096, 4), (4096, 8)]
 HEADLINE = (4096, 8)
 
 
@@ -136,6 +160,94 @@ def bench_config(n, num_primes, reps, rng):
     return result
 
 
+# -- per-backend kernel bench ------------------------------------------------
+
+BACKEND_N = 2048
+BACKEND_PRIMES = 8
+BACKEND_DIGITS = 4
+
+
+def bench_backends(reps, rng):
+    """Time the backend-dispatched hot kernels under every importable
+    backend, asserting bit-exactness against numpy before timing.
+
+    The ``keyswitch`` entry runs the full batched pipeline (INTT, ModUp,
+    InnerProduct, ModDown, NTT) on the ``small`` parameter set — the op
+    whose kernel breakdown the paper's Figure 9 accounts for.
+    """
+    moduli = tuple(find_ntt_primes(BACKEND_PRIMES, 28, BACKEND_N))
+    stack = get_shoup_stack(moduli, BACKEND_N)
+    batch = BatchBarrettReducer(moduli)
+    x = np.stack([rng.integers(0, q, size=BACKEND_N, dtype=np.uint64)
+                  for q in moduli])
+    ext = np.stack([
+        np.stack([rng.integers(0, q, size=BACKEND_N, dtype=np.uint64)
+                  for _ in range(BACKEND_DIGITS)])
+        for q in moduli
+    ])
+    rows = np.stack([
+        np.stack([rng.integers(0, q, size=BACKEND_N, dtype=np.uint64)
+                  for _ in range(BACKEND_DIGITS)])
+        for q in moduli
+    ])
+
+    ctx = CkksContext.create(ParameterSets.small(), seed=7)
+    keys = ctx.keygen()
+    ev = ctx.evaluator
+    d = RnsPoly(
+        np.stack([rng.integers(0, q, size=ctx.params.n, dtype=np.uint64)
+                  for q in ev.q_moduli]),
+        ev.q_moduli, "eval",
+    )
+
+    kernels = {
+        "ntt": lambda: stacked_negacyclic_ntt(x, stack),
+        "intt": lambda: stacked_negacyclic_intt(x, stack),
+        "mul": lambda: batch.mul_mat(x, x),
+        "wide_dot": lambda: wide_dot(ext, rows, batch),
+        "keyswitch": lambda: keyswitch(d, keys.relin, ev.p_moduli),
+    }
+
+    reference = {name: fn() for name, fn in kernels.items()}
+    section = {
+        "n": BACKEND_N,
+        "num_primes": BACKEND_PRIMES,
+        "digits": BACKEND_DIGITS,
+        "available": available_backends(),
+        "default": backend_name(),
+        "results": {},
+    }
+    for name, importable in section["available"].items():
+        if not importable:
+            continue
+        backend = resolve_backend(name)
+        if backend.name != name:  # constructed but failed self-check
+            continue
+        entry = {"bit_exact": True, "ops": {}}
+        with use_backend(backend):
+            for op, fn in kernels.items():
+                got = fn()
+                want = reference[op]
+                if op == "keyswitch":
+                    same = (np.array_equal(got[0].data, want[0].data)
+                            and np.array_equal(got[1].data, want[1].data))
+                else:
+                    same = np.array_equal(got, want)
+                if not same:
+                    raise AssertionError(
+                        f"backend {name!r} disagrees with numpy on {op}"
+                    )
+                t = best_of(fn, reps)
+                entry["ops"][op] = {"us": t * 1e6}
+        section["results"][name] = entry
+    ref = section["results"].get("numpy")
+    if ref:
+        for name, entry in section["results"].items():
+            for op, rec in entry["ops"].items():
+                rec["speedup_vs_numpy"] = ref["ops"][op]["us"] / rec["us"]
+    return section
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=25,
@@ -167,6 +279,18 @@ def main(argv=None):
         for name, op in cfg["ops"].items():
             print(f"    {name:4s}  {op['loop_us']:9.1f} -> "
                   f"{op['batched_us']:9.1f} us  ({op['speedup']:.2f}x)")
+
+    report["backends"] = bench_backends(args.reps, rng)
+    print(f"\nbackends (N={BACKEND_N}, L={BACKEND_PRIMES}, "
+          f"G={BACKEND_DIGITS}; default={report['backends']['default']}):")
+    for name, entry in report["backends"]["results"].items():
+        line = "  ".join(
+            f"{op} {rec['us']:9.1f} us"
+            + (f" ({rec['speedup_vs_numpy']:.2f}x)"
+               if name != "numpy" else "")
+            for op, rec in entry["ops"].items()
+        )
+        print(f"  {name:6s} {line}")
 
     headline = next(
         c for c in report["configs"]

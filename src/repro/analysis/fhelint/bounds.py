@@ -846,9 +846,13 @@ class BoundsPass:
             if base is not None:
                 return self.registry.attr_class(base, recv.attr)
             return None
-        if isinstance(recv, ast.Call) and isinstance(recv.func, ast.Name) \
-                and recv.func.id[:1].isupper():
-            return recv.func.id
+        if isinstance(recv, ast.Call) and isinstance(recv.func, ast.Name):
+            if recv.func.id[:1].isupper():
+                return recv.func.id
+            # Factory call: resolve through the callee's return annotation
+            # (e.g. ``active_backend() -> ArrayBackend`` dispatches to the
+            # backend-interface contracts).
+            return self.registry.return_class(recv.func.id)
         return None
 
     def handle_astype(self, node: ast.Call, operand: AV) -> AV:

@@ -84,6 +84,15 @@ class Registry:
             return _ann_class_name(info.node.returns)
         return None
 
+    def return_class(self, name: str) -> Optional[str]:
+        """Class named by the return annotation of the (unique) function
+        ``name`` — resolves receivers like ``active_backend().mod_mul``
+        to the annotated backend-interface contract."""
+        infos = self.functions.get(name)
+        if infos and len(infos) == 1 and infos[0].node is not None:
+            return _ann_class_name(infos[0].node.returns)
+        return None
+
     def lookup_method(self, class_name: Optional[str],
                       method: str) -> Optional["FuncInfo"]:
         """Exact contract of ``class_name.method`` when the receiver's

@@ -28,7 +28,7 @@ _ALLOW_RE = re.compile(r"#\s*fhelint:\s*allow-([A-Z]+-[A-Z]+)")
 
 #: Paths (relative, substring match) where the numeric-root-only rules
 #: apply: narrowing astype outside @bounded.
-_NUMERIC_ROOTS = ("repro/ntt/", "repro/numtheory/")
+_NUMERIC_ROOTS = ("repro/ntt/", "repro/numtheory/", "repro/backend/")
 
 #: Directories never linted (the linter itself, tests, caches).
 _SKIP_PARTS = {"__pycache__", ".git", "fhelint"}

@@ -1,0 +1,68 @@
+"""CuPy backend stub: device-resident elementwise ops, host transforms.
+
+This is scaffolding for the WarpDrive GPU mapping (paper §IV), not an
+optimized implementation: each elementwise kernel ships its operands to
+the device, runs the same uint64 expression the numpy reference uses,
+and ships the canonical residues back. The NTT/INTT sweeps and
+``wide_dot`` stay on the numpy path for now — the fused CUDA-core
+butterfly and Tensor-core inner product are tracked as ROADMAP items.
+
+Round-tripping host<->device per call makes this *slower* than numpy
+for real workloads; the stub exists so the selection machinery, the
+bit-exactness gate, and the call-site routing are already proven against
+a third backend shape before GPU hardware enters the picture. The
+module imports ``cupy`` at load time and is only imported after an
+availability probe; construction still runs ``self_check``, which on a
+CUDA-less box fails at the first device allocation and falls back to
+numpy with a warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import cupy as cp
+
+from .numpy_backend import NumpyBackend, _col
+
+
+class CupyBackend(NumpyBackend):
+    """Device-elementwise backend stub; inherits transforms from numpy."""
+
+    name = "cupy"
+
+    @staticmethod
+    def _pair(a: np.ndarray, b: np.ndarray):
+        return (cp.asarray(a.astype(np.uint64, copy=False)),
+                cp.asarray(b.astype(np.uint64, copy=False)))
+
+    def mod_add(self, a: np.ndarray, b: np.ndarray,
+                q: np.ndarray) -> np.ndarray:
+        da, db = self._pair(a, b)
+        s = da + db
+        d = s - cp.asarray(_col(q, s.ndim))
+        cp.minimum(s, d, out=d)
+        return cp.asnumpy(d)
+
+    def mod_sub(self, a: np.ndarray, b: np.ndarray,
+                q: np.ndarray) -> np.ndarray:
+        da, db = self._pair(a, b)
+        d = da - db
+        t = d + cp.asarray(_col(q, d.ndim))
+        cp.minimum(d, t, out=t)
+        return cp.asnumpy(t)
+
+    def mod_neg(self, a: np.ndarray, q: np.ndarray) -> np.ndarray:
+        da = cp.asarray(a.astype(np.uint64, copy=False))
+        out = cp.where(da == 0, da, cp.asarray(_col(q, da.ndim)) - da)
+        return cp.asnumpy(out)
+
+    def mod_reduce(self, t: np.ndarray, q: np.ndarray) -> np.ndarray:
+        dt = cp.asarray(np.ascontiguousarray(t, dtype=np.uint64))
+        return cp.asnumpy(dt % cp.asarray(_col(q, dt.ndim)))
+
+    def mod_mul(self, a: np.ndarray, b: np.ndarray,
+                q: np.ndarray) -> np.ndarray:
+        da, db = self._pair(a, b)
+        prod = da * db
+        cp.remainder(prod, cp.asarray(_col(q, prod.ndim)), out=prod)
+        return cp.asnumpy(prod)

@@ -16,12 +16,10 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded, returns_view
+from ..backend import active_backend
 from ..numtheory.barrett import BatchBarrettReducer
 from .keys import KeySwitchKey
 from .poly import RnsPoly
-
-_U32 = np.uint64(32)
-_LO32 = np.uint64(0xFFFFFFFF)
 
 
 def full_chain_length(ksk: KeySwitchKey) -> int:
@@ -107,7 +105,7 @@ def stacked_key_rows(ksk: KeySwitchKey, num_level: int, *,
     return b_stack, a_stack
 
 
-@bounded(out_q=1, max_lanes=1 << 20,
+@bounded(assume=True, out_q=1, max_lanes=1 << 20,
          params={"ext": {"bits": 32}, "rows": {"q": 1}})
 def wide_dot(ext: np.ndarray, rows: np.ndarray,
              reducer: BatchBarrettReducer, *,
@@ -120,20 +118,18 @@ def wide_dot(ext: np.ndarray, rows: np.ndarray,
     ``(P, N, G)`` layout the stacked NTT works in). ``rows`` must be
     canonical; ``ext`` may be *lazy* — any representatives ``< 2**32``
     give the same result, so the stacked NTT can skip its final
-    canonicalization. Each ``< 2**63`` product is split into 32-bit
+    canonicalization.
+
+    The split-accumulate kernel lives in the active backend
+    (:mod:`repro.backend`): each ``< 2**63`` product splits into 32-bit
     halves which accumulate exactly in uint64 over the digit axis (safe
-    for G up to ~2**25), and the two partial sums are folded with a
-    single Barrett pass: ``(hi mod q) * (2**32 mod q) + lo``. The result
-    is canonical and bit-identical to the reference
-    ``acc = acc + reduce(ext_g * rows_g)`` chain.
+    for G up to ~2**25), and the partial sums fold with
+    ``(hi mod q) * (2**32 mod q) + lo``. The result is canonical and
+    bit-identical to the reference ``acc = acc + reduce(ext_g * rows_g)``
+    chain on every backend.
     """
-    prod = ext * rows
-    hi = reducer.reduce_mat((prod >> _U32).sum(axis=lane_axis))
-    lo = (prod & _LO32).sum(axis=lane_axis)
-    radix = reducer.reduce_scalar(1 << 32).reshape(
-        (-1,) + (1,) * (lo.ndim - 1)
-    )
-    return reducer.reduce_mat(hi * radix + lo)
+    return active_backend().wide_dot(ext, rows, reducer.q_row(),
+                                     lane_axis=lane_axis)
 
 
 @bounded(out_q=1,

@@ -27,8 +27,8 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded, coeff_form, eval_form, takes_form
+from ..ntt.stacked import stacked_negacyclic_intt, stacked_negacyclic_ntt
 from ..ntt.tables import TABLE_CACHE_SIZE
-from ..ntt.twiddles import batched_negacyclic_intt, batched_negacyclic_ntt
 from ..numtheory import BarrettReducer
 from .rns_context import RnsContext, get_rns_context
 
@@ -145,7 +145,7 @@ class RnsPoly:
             return self.copy()
         ctx = self.context
         return RnsPoly(
-            batched_negacyclic_ntt(self.data, ctx.twiddles),
+            stacked_negacyclic_ntt(self.data, ctx.shoup),
             self.moduli, EVAL,
         )
 
@@ -160,7 +160,7 @@ class RnsPoly:
             return self.copy()
         ctx = self.context
         return RnsPoly(
-            batched_negacyclic_intt(self.data, ctx.twiddles),
+            stacked_negacyclic_intt(self.data, ctx.shoup),
             self.moduli, COEFF,
         )
 

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded
+from ..ntt.stacked import ShoupStack, get_shoup_stack
 from ..ntt.tables import TABLE_CACHE_SIZE
 from ..ntt.twiddles import TwiddleStack, get_twiddle_stack
 from ..numtheory import BatchBarrettReducer
@@ -39,6 +40,7 @@ class RnsContext:
         #: (num_primes, 1) modulus column for broadcast arithmetic.
         self.q_col = self.barrett.q_col(2)
         self._twiddles: Optional[TwiddleStack] = None
+        self._shoup: Optional[ShoupStack] = None
 
     @property
     def twiddles(self) -> TwiddleStack:
@@ -46,6 +48,15 @@ class RnsContext:
         if self._twiddles is None:
             self._twiddles = get_twiddle_stack(self.moduli, self.n)
         return self._twiddles
+
+    @property
+    def shoup(self) -> ShoupStack:
+        """The Shoup-multiplication twiddle stack the backend NTT kernels
+        consume (built on first domain conversion; shares the global
+        stack cache with the key-switch pipeline)."""
+        if self._shoup is None:
+            self._shoup = get_shoup_stack(self.moduli, self.n)
+        return self._shoup
 
     @bounded(out_q=1)
     def reduce_scalar(self, value: int) -> np.ndarray:

@@ -38,6 +38,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..analysis.annotations import bounded, coeff_form, eval_form, takes_form
+from ..backend import active_backend
 from ..numtheory import bit_reverse_permutation
 from .tables import TABLE_CACHE_SIZE, get_tables
 
@@ -121,156 +122,49 @@ def _check_shape(x: np.ndarray, stack: ShoupStack) -> np.ndarray:
     return x
 
 
-@bounded(in_q=2, max_q_multiple=4, out_q=2,
-         params={"a": {"q": 2}, "omega": {"q": 1},
-                 "omega_sh": {"shoup": 32}, "q": {"modulus": True}})
-def _butterfly_stages(a: np.ndarray, omega: np.ndarray,
-                      omega_sh: np.ndarray, q: np.ndarray) -> np.ndarray:
-    """Radix-2 DIT sweep over axis 1 of ``a`` (shape ``(P, N, G)``,
-    bit-reversed input order, values ``< 2q``); natural order out, lazy
-    ``< 2q`` values. Mutates and returns ``a``.
-
-    Every stage runs through four preallocated half-size scratch buffers
-    (reshaped per stage — each stage touches exactly ``P * N/2 * G``
-    elements) so the sweep performs zero allocations, and the difference
-    leg exploits uint64 wraparound: ``lo - hi`` either is already the
-    canonical-lazy value or wraps past ``2**63``, so ``min(d, d + 2q)``
-    folds the borrow in one pass instead of pre-biasing by ``2q``.
-    """
-    num_primes, n, g = a.shape
-    q4 = q.reshape(-1, 1, 1, 1)
-    two_q = q4 + q4
-    half_elems = num_primes * (n // 2) * g
-    buf_v = np.empty(half_elems, dtype=np.uint64)
-    buf_t = np.empty(half_elems, dtype=np.uint64)
-    buf_s = np.empty(half_elems, dtype=np.uint64)
-    buf_d = np.empty(half_elems, dtype=np.uint64)
-    length = 2
-    while length <= n:
-        half = length // 2
-        shape = (num_primes, n // length, half, g)
-        view = a.reshape(num_primes, n // length, length, g)
-        lo = view[:, :, :half, :]
-        hi = view[:, :, half:, :]
-        s = buf_s.reshape(shape)
-        d = buf_d.reshape(shape)
-        if length == 2:
-            # The length-2 stage multiplies by omega^0 = 1: no mul, no copy.
-            np.add(lo, hi, out=s)
-            np.subtract(lo, hi, out=d)
-        else:
-            stride = n // length
-            w = omega[:, ::stride][:, :half].reshape(num_primes, 1, half, 1)
-            wsh = omega_sh[:, ::stride][:, :half].reshape(
-                num_primes, 1, half, 1
-            )
-            # Shoup lazy product: v ≡ hi*w (mod q), v < 2q for hi < 2**32.
-            v = buf_v.reshape(shape)
-            t = buf_t.reshape(shape)
-            np.multiply(hi, wsh, out=t)
-            t >>= _U32
-            t *= q4
-            np.multiply(hi, w, out=v)
-            v -= t
-            np.add(lo, v, out=s)
-            np.subtract(lo, v, out=d)
-        # Fold both legs into [0, 2q): s < 4q loses one conditional 2q; the
-        # wrapped d either is correct (< 2q) or recovers via + 2q.
-        t = buf_t.reshape(shape)
-        np.subtract(s, two_q, out=t)
-        np.minimum(s, t, out=s)
-        np.add(d, two_q, out=t)
-        np.minimum(d, t, out=d)
-        view[:, :, :half, :] = s
-        view[:, :, half:, :] = d
-        length *= 2
-    return a
-
-
 @eval_form
 @takes_form(x="coeff")
-@bounded(in_bits=32, out_q=1, out_q_lazy=2, max_q_multiple=4,
-         params={"x": {"bits": 32},
-                 "stack.psi_perm": {"q": 1},
-                 "stack.psi_perm_sh": {"shoup": 32},
-                 "stack.omega": {"q": 1},
-                 "stack.omega_sh": {"shoup": 32},
-                 "stack.q": {"modulus": True}})
+@bounded(in_bits=32, out_q=1, out_q_lazy=2, params={"x": {"bits": 32}})
 def stacked_negacyclic_ntt(x: np.ndarray, stack: ShoupStack, *,
                            lazy: bool = False,
                            t_out: bool = False) -> np.ndarray:
     """Forward negacyclic NTT of a ``(P, G, N)`` digit batch (or a plain
     ``(P, N)`` matrix) in one pass; canonical output, same shape.
 
+    The butterfly sweep itself lives in the active backend
+    (:mod:`repro.backend`); this wrapper owns shape validation and the
+    2-D squeeze so every backend sees the same ``(P, G, N)`` batch.
+
     Accepts lazy inputs: any representatives ``< 2**32`` transform to the
     same canonical result as their reduced values.
 
     ``lazy``: skip the final canonicalization and return lazy values
-    ``< 2q`` (congruent to the canonical transform) — for consumers that
-    tolerate 32-bit representatives, e.g. the wide-accumulator inner
-    product. ``t_out``: return the digit-innermost ``(P, N, G)`` working
-    layout directly, skipping the transpose back (3-D batches only);
-    consumers that reduce over the digit axis read it contiguously.
+    ``< 2q`` (congruent to the canonical transform; the representatives
+    are backend-specific) — for consumers that tolerate 32-bit
+    representatives, e.g. the wide-accumulator inner product.
+    ``t_out``: return the digit-innermost ``(P, N, G)`` working layout
+    directly, skipping the transpose back (3-D batches only); consumers
+    that reduce over the digit axis read it contiguously.
     """
     squeeze = x.ndim == 2
     if squeeze and t_out:
         raise ValueError("t_out requires a 3-D (P, G, N) batch")
     x = _check_shape(x, stack)
-    # Bit-reversal gather, then transpose to the digit-innermost layout so
-    # every butterfly slice below is contiguous over the G lanes.
-    a = np.ascontiguousarray(
-        x.astype(np.uint64, copy=False)[:, :, stack._perm].transpose(0, 2, 1)
-    )
-    q3 = stack.q.reshape(-1, 1, 1)
-    # Pre-twist by psi (permuted table) — also reduces lazy inputs to < 2q.
-    wt = stack.psi_perm[:, :, None]
-    wsh = stack.psi_perm_sh[:, :, None]
-    t = a * wsh
-    t >>= _U32
-    t *= q3
-    a *= wt
-    a -= t
-    a = _butterfly_stages(a, stack.omega, stack.omega_sh, stack.q)
-    if not lazy:
-        np.subtract(a, q3, out=t)  # canonicalize: < 2q -> < q
-        np.minimum(a, t, out=a)
-    if t_out:
-        return a
-    out = np.ascontiguousarray(a.transpose(0, 2, 1))
+    out = active_backend().ntt_forward(x, stack, lazy=lazy, t_out=t_out)
     return out[:, 0, :] if squeeze else out
 
 
 @coeff_form
 @takes_form(x="eval")
-@bounded(in_q=2, out_q=1, max_q_multiple=4,
-         params={"x": {"q": 2},
-                 "stack.omega_inv": {"q": 1},
-                 "stack.omega_inv_sh": {"shoup": 32},
-                 "stack.psi_inv_scale": {"q": 1},
-                 "stack.psi_inv_scale_sh": {"shoup": 32},
-                 "stack.q": {"modulus": True}})
+@bounded(in_q=2, out_q=1, params={"x": {"q": 2}})
 def stacked_negacyclic_intt(x: np.ndarray, stack: ShoupStack) -> np.ndarray:
     """Inverse negacyclic NTT of a ``(P, G, N)`` batch (or ``(P, N)``
     matrix); canonical output, same shape. Inputs must be ``< 2q``
-    (canonical inputs always qualify)."""
+    (canonical inputs always qualify). Delegates the butterfly sweep to
+    the active backend (:mod:`repro.backend`)."""
     squeeze = x.ndim == 2
     x = _check_shape(x, stack)
-    a = np.ascontiguousarray(
-        x.astype(np.uint64, copy=False)[:, :, stack._perm].transpose(0, 2, 1)
-    )
-    a = _butterfly_stages(a, stack.omega_inv, stack.omega_inv_sh, stack.q)
-    q3 = stack.q.reshape(-1, 1, 1)
-    # Fused post-twist psi^{-j} * N^{-1}, then canonicalize.
-    wt = stack.psi_inv_scale[:, :, None]
-    wsh = stack.psi_inv_scale_sh[:, :, None]
-    t = a * wsh
-    t >>= _U32
-    t *= q3
-    a *= wt
-    a -= t
-    np.subtract(a, q3, out=t)
-    np.minimum(a, t, out=a)
-    out = np.ascontiguousarray(a.transpose(0, 2, 1))
+    out = active_backend().ntt_inverse(x, stack)
     return out[:, 0, :] if squeeze else out
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.annotations import bounded, returns_view
+from ..backend import active_backend
 
 _SHIFT = 62
 
@@ -146,92 +147,49 @@ class BatchBarrettReducer:
         return len(self.moduli)
 
     @returns_view
-    def _cols(self, ndim: int) -> tuple:
-        """Reshape row constants to broadcast over ``ndim``-D row-major
-        arrays whose leading axis is the prime index."""
-        shape = (-1,) + (1,) * (ndim - 1)
-        return (
-            self._q.reshape(shape),
-            self._mu_hi.reshape(shape),
-            self._mu_lo.reshape(shape),
-        )
-
-    @returns_view
     @bounded(assume=True, out_q=1)
     def q_col(self, ndim: int = 2) -> np.ndarray:
         """The modulus vector shaped ``(num_primes, 1, ...)`` for
         broadcasting against ``ndim``-D residue arrays."""
         return self._q.reshape((-1,) + (1,) * (ndim - 1))
 
+    @returns_view
+    @bounded(assume=True, out_q=1)
+    def q_row(self) -> np.ndarray:
+        """The modulus vector as a flat ``(num_primes,)`` uint64 array —
+        the per-row constant shape the backend interface takes."""
+        return self._q
+
     @bounded(assume=True, params={"t": {"ubound": _REDUCE_INPUT}},
              out_q=1)
     def reduce_mat(self, t: np.ndarray) -> np.ndarray:
         """Row-wise ``t mod q_i`` for uint64 entries below ``q_i**2``.
 
-        Identical partial-product assembly to
-        :meth:`BarrettReducer.reduce_vec`, with the row's own ``mu``.
+        Delegates to the active backend (`repro.backend`); every backend
+        returns the canonical residue bit-identical to
+        :meth:`BarrettReducer.reduce_vec` with the row's own constants.
         """
-        t = t.astype(np.uint64, copy=False)
-        q, mu_hi, mu_lo = self._cols(t.ndim)
-        t_hi = t >> np.uint64(32)
-        t_lo = t & np.uint64(0xFFFFFFFF)
-        lo_lo = t_lo * mu_lo
-        mid1 = t_hi * mu_lo
-        mid2 = t_lo * mu_hi
-        carry = (lo_lo >> np.uint64(32)) + (mid1 & np.uint64(0xFFFFFFFF)) + (
-            mid2 & np.uint64(0xFFFFFFFF)
-        )
-        high = (
-            t_hi * mu_hi
-            + (mid1 >> np.uint64(32))
-            + (mid2 >> np.uint64(32))
-            + (carry >> np.uint64(32))
-        )
-        low_word = (carry << np.uint64(32)) | (lo_lo & np.uint64(0xFFFFFFFF))
-        approx = (high << np.uint64(2)) | (low_word >> np.uint64(62))
-        # r = t - approx*q, then up to two conditional subtractions — done
-        # in place to keep the working set small at large (L, N).
-        r = approx * q
-        np.subtract(t, r, out=r)
-        np.subtract(r, q, out=r, where=r >= q)
-        np.subtract(r, q, out=r, where=r >= q)
-        return r
+        return active_backend().mod_reduce(t, self._q)
 
     @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise ``a * b mod q_i`` for entries below ``q_i``."""
-        prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
-        return self.reduce_mat(prod)
+        return active_backend().mod_mul(a, b, self._q)
 
     @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def add_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise ``a + b mod q_i`` for entries below ``q_i``."""
-        s = a.astype(np.uint64, copy=False) + b.astype(np.uint64, copy=False)
-        q = self.q_col(s.ndim)
-        np.subtract(s, q, out=s, where=s >= q)
-        return s
+        return active_backend().mod_add(a, b, self._q)
 
     @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def sub_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Row-wise ``a - b mod q_i`` for entries below ``q_i``.
-
-        Computed as the wrapping difference plus a conditional ``+q``:
-        for ``a < b`` the uint64 wrap gives ``a - b + 2**64``, and adding
-        ``q`` wraps again to exactly ``a + q - b``.
-        """
-        a = a.astype(np.uint64, copy=False)
-        b = b.astype(np.uint64, copy=False)
-        q = self.q_col(a.ndim)
-        d = a - b
-        np.add(d, q, out=d, where=a < b)
-        return d
+        """Row-wise ``a - b mod q_i`` for entries below ``q_i``."""
+        return active_backend().mod_sub(a, b, self._q)
 
     @bounded(assume=True, params={"a": {"q": 1}}, out_q=1)
     def neg_mat(self, a: np.ndarray) -> np.ndarray:
         """Row-wise ``-a mod q_i`` for entries below ``q_i``."""
-        a = a.astype(np.uint64, copy=False)
-        q = self.q_col(a.ndim)
-        return np.where(a == 0, a, q - a)
+        return active_backend().mod_neg(a, self._q)
 
     @bounded(assume=True, out_q=1)
     def reduce_scalar(self, value: int) -> np.ndarray:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.annotations import (bounded, montgomery_domain,
                                     standard_domain, takes_domain)
+from ..backend import active_backend
 from .modmath import modinv
 
 #: Montgomery radix: one 32-bit GPU word.
@@ -152,27 +153,16 @@ class BatchMontgomeryReducer:
     def reduce_mat(self, t: np.ndarray) -> np.ndarray:
         """Row-wise REDC for uint64 entries below ``q_i * R``.
 
-        The sequence is elementwise identical to
-        :meth:`MontgomeryReducer.reduce_vec`; intermediates are reused in
-        place to keep the working set small at large ``(L, N)``.
+        The REDC sequence lives in the active backend
+        (:mod:`repro.backend`); every backend is bit-identical to
+        :meth:`MontgomeryReducer.reduce_vec` with the row's constants.
         """
-        t = t.astype(np.uint64, copy=False)
-        q = self._col(self._q, t.ndim)
-        qinv = self._col(self._qinv, t.ndim)
-        m = t & _RADIX_MASK
-        np.multiply(m, qinv, out=m)
-        np.bitwise_and(m, _RADIX_MASK, out=m)
-        np.multiply(m, q, out=m)
-        np.add(m, t, out=m)
-        np.right_shift(m, np.uint64(RADIX_BITS), out=m)
-        np.subtract(m, q, out=m, where=m >= q)
-        return m
+        return active_backend().montgomery_reduce(t, self._q, self._qinv)
 
     @bounded(assume=True, params={"a": {"q": 1}, "b": {"q": 1}}, out_q=1)
     def mul_mat(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Row-wise Montgomery product (entries below ``q_i``)."""
-        prod = a.astype(np.uint64, copy=False) * b.astype(np.uint64, copy=False)
-        return self.reduce_mat(prod)
+        return active_backend().montgomery_mul(a, b, self._q, self._qinv)
 
     @montgomery_domain
     @bounded(assume=True, params={"a": {"q": 1}}, out_q=1)

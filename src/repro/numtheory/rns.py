@@ -26,6 +26,32 @@ from .barrett import BarrettReducer, BatchBarrettReducer
 from .modmath import modinv
 
 
+#: Guard half-width for the float64 quotient estimate. The accumulated
+#: ``sum_i y_i / q_i`` carries at most ``~len(source) * 2**-52`` relative
+#: error (about ``2**-46`` for 64 primes), so any lane whose fractional
+#: part lands within ``2**-38`` of a decision boundary is recomputed
+#: exactly; lanes further away are provably on the correct side.
+_RATIO_EPS = 2.0 ** -38
+
+
+def _ratio_estimate(y: np.ndarray, moduli: Sequence[int]) -> np.ndarray:
+    """Float64 estimate of ``sum_i y_i / q_i`` over the prime axis.
+
+    Exactly ``(x + u * Q) / Q`` in exact arithmetic — the integer part is
+    the basis-extension overshoot ``u``, the fractional part is ``x / Q``.
+    """
+    ratio = np.zeros(y.shape[1:], dtype=np.float64)
+    for i, q_i in enumerate(moduli):
+        ratio += y[i].astype(np.float64) / float(q_i)
+    return ratio
+
+
+def _exact_total(y_flat: np.ndarray, hats: Sequence[int], j: int) -> int:
+    """``sum_i y_i[j] * hat_i`` as an exact Python integer — the CRT sum
+    whose quotient/remainder by ``Q`` the float estimate approximates."""
+    return sum(int(y_flat[i, j]) * hats[i] for i in range(len(hats)))
+
+
 @bounded(assume=True, out_q=1)
 def _const_col(values, ndim: int) -> np.ndarray:
     """Shape per-prime constants to broadcast over ``ndim``-D residue
@@ -155,11 +181,24 @@ def extend_basis(residues: np.ndarray, source: RNSBasis, target: RNSBasis,
     if exact:
         # The approximate result equals x + u*Q with
         # u = floor(sum_i y_i / q_i); float64 is ample for |source| <= ~64
-        # 31-bit primes (relative error ~ 2**-52 per term).
-        ratio = np.zeros(residues.shape[1:], dtype=np.float64)
-        for i, q_i in enumerate(source.moduli):
-            ratio += y[i].astype(np.float64) / float(q_i)
-        u = np.floor(ratio).astype(np.uint64)
+        # 31-bit primes (relative error ~ 2**-52 per term) — EXCEPT when
+        # the true ratio sits next to an integer (x close to 0 or to Q),
+        # where accumulated rounding can push the estimate across the
+        # floor boundary and the result ends up off by a full Q. Guard:
+        # lanes within _RATIO_EPS of an integer recompute u exactly from
+        # the bigint CRT sum.
+        ratio = _ratio_estimate(y, source.moduli)
+        u = np.floor(ratio)
+        frac = ratio - u
+        suspect = np.minimum(frac, 1.0 - frac) < _RATIO_EPS
+        if np.any(suspect):
+            y_flat = y.reshape(len(source), -1)
+            u_flat = u.reshape(-1)
+            for j in np.flatnonzero(suspect.reshape(-1)):
+                u_flat[j] = _exact_total(
+                    y_flat, source._hats, j
+                ) // source.product
+        u = u.astype(np.uint64)
         q_mod_t_col = _const_col(
             [source.product % t for t in target.moduli], ndim
         )
@@ -324,9 +363,12 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
     of positive representatives.
 
     The sign decision reuses the float quotient estimate of the exact
-    extension (``x/Q`` as a float64 sum — ample separation unless ``x``
-    sits within ~2^-40 Q of Q/2, which for uniformly random RLWE values
-    has negligible probability and merely flips a representative).
+    extension (``x/Q`` as a float64 sum). Lanes whose fractional part
+    lands within :data:`_RATIO_EPS` of a decision boundary — ``1/2``
+    (the sign threshold) or an integer (``x`` within rounding error of
+    ``0`` or ``Q``, where the float estimate can wrap the fractional
+    part entirely and misclassify ``x = Q - 1`` as positive) — are
+    decided exactly from the bigint CRT sum.
     """
     if residues.shape[0] != len(source):
         raise ValueError(
@@ -338,11 +380,17 @@ def extend_basis_signed(residues: np.ndarray, source: RNSBasis,
     y = source.batch.mul_mat(
         residues, _const_col(source.hat_invs, residues.ndim)
     )
-    ratio = np.zeros(residues.shape[1:], dtype=np.float64)
-    for i, q_i in enumerate(source.moduli):
-        ratio += y[i].astype(np.float64) / float(q_i)
+    ratio = _ratio_estimate(y, source.moduli)
     frac = ratio - np.floor(ratio)
     negative = frac >= 0.5
+    suspect = (np.abs(frac - 0.5) < _RATIO_EPS) | \
+        (np.minimum(frac, 1.0 - frac) < _RATIO_EPS)
+    if np.any(suspect):
+        y_flat = y.reshape(len(source), -1)
+        neg_flat = negative.reshape(-1)
+        for j in np.flatnonzero(suspect.reshape(-1)):
+            x_mod = _exact_total(y_flat, source._hats, j) % source.product
+            neg_flat[j] = 2 * x_mod >= source.product
     q_mod_t_col = _const_col(
         [source.product % t for t in target.moduli], residues.ndim
     )

@@ -1,0 +1,128 @@
+"""Regression tests for the float64 ratio-floor guard in basis extension.
+
+The exact extension estimates the overshoot ``u = floor(sum_i y_i / q_i)``
+(and the signed extension its fractional part) with an accumulated float64
+sum. For adversarial residues — values within a few units of ``0``, ``Q``
+or ``Q/2`` on deep prime chains — the accumulated rounding error can push
+the estimate across the floor / sign boundary, making the result off by a
+full ``Q`` (the signed case misclassified ``x = Q - 1`` as positive before
+the guard). These tests pin every boundary lane to bigint CRT ground
+truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.numtheory import find_ntt_primes
+from repro.numtheory.rns import (
+    RNSBasis,
+    extend_basis,
+    extend_basis_signed,
+    mod_down,
+)
+
+# A deep chain (24 x 30-bit primes, Q ~ 2**720) maximizes accumulated
+# float error; a disjoint target observes the extended value.
+PRIMES = find_ntt_primes(28, 30, 512)
+SOURCE = RNSBasis(PRIMES[:24])
+TARGET = RNSBasis(PRIMES[24:])
+
+Q = SOURCE.product
+
+
+def boundary_values():
+    """Adversarial x: hugging 0, Q and Q/2 from both sides."""
+    vals = []
+    vals += [k for k in range(17)]
+    vals += [Q - k for k in range(1, 17)]
+    vals += [Q // 2 + k for k in range(-16, 17)]
+    return vals
+
+
+def to_rows(values, basis):
+    return np.stack([
+        np.array([v % q for v in values], dtype=np.uint64)
+        for q in basis.moduli
+    ])
+
+
+def centered(v):
+    return v - Q if 2 * (v % Q) >= Q else v % Q
+
+
+class TestExactExtensionBoundary:
+    def test_exact_extension_at_floor_boundaries(self):
+        values = boundary_values()
+        out = extend_basis(to_rows(values, SOURCE), SOURCE, TARGET,
+                           exact=True)
+        for j, t in enumerate(TARGET.moduli):
+            assert out[j].tolist() == [v % t for v in values], \
+                f"exact extension off by a multiple of Q mod {t}"
+
+    def test_exact_extension_trailing_batch_axes(self):
+        values = boundary_values()[:16]
+        rows = to_rows(values, SOURCE).reshape(len(SOURCE), 4, 4)
+        out = extend_basis(rows, SOURCE, TARGET, exact=True)
+        for j, t in enumerate(TARGET.moduli):
+            assert out[j].reshape(-1).tolist() == [v % t for v in values]
+
+    def test_random_values_still_exact(self):
+        rng = np.random.default_rng(7)
+        values = [int(rng.integers(0, 1 << 62)) % Q for _ in range(64)]
+        out = extend_basis(to_rows(values, SOURCE), SOURCE, TARGET,
+                           exact=True)
+        for j, t in enumerate(TARGET.moduli):
+            assert out[j].tolist() == [v % t for v in values]
+
+
+class TestSignedExtensionBoundary:
+    def test_sign_decision_at_boundaries(self):
+        values = boundary_values()
+        out = extend_basis_signed(to_rows(values, SOURCE), SOURCE, TARGET)
+        for j, t in enumerate(TARGET.moduli):
+            expected = [centered(v) % t for v in values]
+            assert out[j].tolist() == expected, \
+                f"signed extension misclassified a boundary lane mod {t}"
+
+    def test_near_q_is_negative(self):
+        # The historical failure: x = Q - 1 has x/Q within 2**-700 of 1,
+        # the float sum rounds to exactly 1.0, the fractional part
+        # collapses to 0 and the lane was classified positive (+Q off).
+        out = extend_basis_signed(to_rows([Q - 1], SOURCE), SOURCE, TARGET)
+        for j, t in enumerate(TARGET.moduli):
+            assert out[j].tolist() == [(-1) % t]
+
+
+class TestModDownBoundary:
+    def test_mod_down_rounding_at_boundaries(self):
+        # ModDown consumes extend_basis(exact=True) on the special rows;
+        # a floor slip there shifts the quotient by a full multiple of P.
+        main = RNSBasis(PRIMES[:6])
+        special = RNSBasis(PRIMES[6:10])
+        p = special.product
+        big_q = main.product * p
+        values = [0, 1, p - 1, p, p + 1, big_q - 1, big_q - p,
+                  big_q // 2, big_q // 2 + 1]
+        both = RNSBasis(main.moduli + special.moduli)
+        out = mod_down(to_rows(values, both), main, special)
+        for j, q in enumerate(main.moduli):
+            got = out[j].tolist()
+            for k, v in enumerate(values):
+                # exact extension of [x]_P makes this a floor division
+                assert (got[k] - v // p) % q == 0, \
+                    f"ModDown(x={v}) wrong mod {q}"
+
+
+@pytest.mark.parametrize("depth", [2, 8, 16, 24])
+def test_guard_depth_sweep(depth):
+    source = RNSBasis(PRIMES[:depth])
+    target = RNSBasis(PRIMES[24:])
+    q_prod = source.product
+    values = [0, 1, q_prod - 1, q_prod // 2, q_prod // 2 + 1]
+    rows = np.stack([
+        np.array([v % q for v in values], dtype=np.uint64)
+        for q in source.moduli
+    ])
+    out = extend_basis(rows, source, target, exact=True)
+    for j, t in enumerate(target.moduli):
+        assert out[j].tolist() == [v % t for v in values]
