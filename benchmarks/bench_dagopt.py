@@ -1,0 +1,179 @@
+"""Benchmark: the trace-DAG optimizer over recorded CKKS workloads.
+
+Records three functional workloads at proxy scale (the SET-C slim
+bootstrap, one mini-HELR training iteration, one ResNet basic block),
+runs the :mod:`repro.trace.opt` pass pipeline over each recording,
+lowers the recorded and the optimized trace at the target ring, and
+prices both on the dependency-aware scheduler.  The optimized DAG is
+additionally re-ordered by :func:`~repro.trace.opt.schedule_search`.
+
+Hard assertions (the perf contract of DESIGN.md §12):
+
+* every optimized kernel spec passes ``KernelSpec.validate``;
+* per workload, the optimized schedule is never slower than the
+  recorded one;
+* the simulated speedup reaches ``SPEEDUP_TARGET`` (1.15x) on at least
+  ``MIN_AT_TARGET`` (2) of the three workloads.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_dagopt.py             # full run
+    PYTHONPATH=src python benchmarks/bench_dagopt.py --reps 1    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_dagopt.py \
+        --trace-dir traces/                                      # Perfetto pair
+
+Results land in ``BENCH_dagopt.json`` (see ``--out``); ``--trace-dir``
+additionally writes a ``<workload>.{baseline,optimized}.trace.json``
+Chrome-tracing pair per workload so a before/after diff can be eyeballed
+in Perfetto (fused launches carry ``fused``/``fold_*`` args).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.kernels import WORD_BYTES
+from repro.gpusim import save_chrome_trace
+from repro.trace.lowering import lower_trace
+from repro.trace.opt import (
+    optimize_trace,
+    schedule_search,
+    trace_pool_peak_rows,
+)
+from repro.workloads.recorded import (
+    record_bootstrap_trace,
+    record_helr_iteration_trace,
+    record_resnet_block_trace,
+)
+
+SPEEDUP_TARGET = 1.15
+MIN_AT_TARGET = 2
+
+WORKLOADS = (
+    ("SET-C bootstrap", record_bootstrap_trace),
+    ("HELR iteration", record_helr_iteration_trace),
+    ("ResNet block", record_resnet_block_trace),
+)
+
+
+def bench_workload(name, recorder, *, reps=3, trace_dir=None):
+    trace = recorder()
+    t0 = time.perf_counter()
+    opt, report = optimize_trace(trace)  # verify=True: legality checked
+    opt_wall_ms = (time.perf_counter() - t0) * 1e3
+
+    base_dag = lower_trace(trace, style="pe")
+    opt_dag = lower_trace(opt, style="pe")
+    for node in opt_dag.nodes:
+        node.spec.validate()
+
+    base_res = opt_res = None
+    best_us = float("inf")
+    scores = {}
+    for _ in range(max(1, reps)):
+        base_res = base_dag.run()
+        opt_res = opt_dag.run()
+        best_dag, scores = schedule_search(opt_dag)
+        best_us = min(scores.values())
+    baseline_us = base_res.elapsed_us
+    if best_us > baseline_us + 1e-6:
+        raise AssertionError(
+            f"{name}: optimized schedule ({best_us:.1f}us) slower than "
+            f"recorded baseline ({baseline_us:.1f}us)"
+        )
+
+    peak_before = trace_pool_peak_rows(trace)
+    peak_after = trace_pool_peak_rows(opt)
+    n = base_dag.n
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        slug = name.lower().replace(" ", "-")
+        save_chrome_trace(
+            base_res, os.path.join(trace_dir, f"{slug}.baseline.trace.json")
+        )
+        best_res = best_dag.run()
+        save_chrome_trace(
+            best_res, os.path.join(trace_dir, f"{slug}.optimized.trace.json")
+        )
+    return {
+        "name": name,
+        "events_before": len(trace.events),
+        "events_after": len(opt.events),
+        "kernels_before": base_dag.kernel_count,
+        "kernels_after": opt_dag.kernel_count,
+        "baseline_us": baseline_us,
+        "optimized_us": opt_res.elapsed_us,
+        "best_us": best_us,
+        "best_strategy": min(scores, key=scores.get),
+        "schedule_scores_us": {k: round(v, 2) for k, v in scores.items()},
+        "speedup": baseline_us / best_us,
+        "pool_peak_rows_before": peak_before,
+        "pool_peak_rows_after": peak_after,
+        "pool_peak_hbm_mb_before": peak_before * n * WORD_BYTES / 2**20,
+        "pool_peak_hbm_mb_after": peak_after * n * WORD_BYTES / 2**20,
+        "optimize_wall_ms": round(opt_wall_ms, 1),
+        "passes": [s.summary() for s in report.passes],
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--reps", type=int, default=3,
+                    help="pricing repetitions (simulation is "
+                         "deterministic; >1 only steadies wall times)")
+    ap.add_argument("--out", default="BENCH_dagopt.json",
+                    help="output JSON path")
+    ap.add_argument("--trace-dir", default=None,
+                    help="write Perfetto before/after trace pairs here")
+    args = ap.parse_args(argv)
+
+    report = {
+        "bench": "bench_dagopt",
+        "description": (
+            "trace-DAG optimizer: fusion, rotation dedup and schedule "
+            "search over recorded CKKS runs, priced on the simulator"
+        ),
+        "reps": args.reps,
+        "speedup_target": SPEEDUP_TARGET,
+        "workloads": [],
+    }
+    hits = 0
+    for name, recorder in WORKLOADS:
+        w = bench_workload(name, recorder, reps=args.reps,
+                           trace_dir=args.trace_dir)
+        report["workloads"].append(w)
+        if w["speedup"] >= SPEEDUP_TARGET:
+            hits += 1
+        print(f"{name:18s} events {w['events_before']:4d}->"
+              f"{w['events_after']:4d}  kernels {w['kernels_before']:4d}->"
+              f"{w['kernels_after']:4d}  {w['baseline_us']:8.1f} us -> "
+              f"{w['best_us']:8.1f} us  ({w['best_strategy']})  "
+              f"speedup {w['speedup']:.2f}x  "
+              f"pool {w['pool_peak_rows_before']}->"
+              f"{w['pool_peak_rows_after']} rows")
+    if hits < MIN_AT_TARGET:
+        raise AssertionError(
+            f"only {hits} workload(s) reached {SPEEDUP_TARGET:.2f}x "
+            f"(need {MIN_AT_TARGET})"
+        )
+    report["workloads_at_target"] = hits
+    report["headline_speedup"] = max(
+        w["speedup"] for w in report["workloads"]
+    )
+    print(f"\nheadline: {hits}/{len(WORKLOADS)} workloads at "
+          f">= {SPEEDUP_TARGET:.2f}x; best "
+          f"{report['headline_speedup']:.2f}x")
+
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ RULES: Dict[str, str] = {
     "A-VIEW": "returns a view of self/cached buffers without copy",
     "A-FROZEN": "mutation of a @frozen compiled plan",
     "K-VAL": "KernelSpec constructed without .validate()",
+    "T-KIND": "trace emit() with a kind outside the ALL_KINDS vocabulary",
 }
 
 

@@ -23,6 +23,7 @@ from .domains import DomainPass
 from .findings import RULES, Baseline, Finding
 from .kernelrules import kernelspec_findings
 from .registry import ModuleInfo, Registry
+from .tracerules import trace_kind_findings
 
 _ALLOW_RE = re.compile(r"#\s*fhelint:\s*allow-([A-Z]+-[A-Z]+)")
 
@@ -177,6 +178,7 @@ def run_lint(roots: List[str],
         locate = _func_locator(module)
         findings.extend(object_dtype_findings(module, locate))
         findings.extend(kernelspec_findings(module, locate))
+        findings.extend(trace_kind_findings(module, locate))
         if any(part in path.replace("\\", "/")
                for part in _NUMERIC_ROOTS):
             findings.extend(

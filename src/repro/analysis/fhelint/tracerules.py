@@ -1,0 +1,53 @@
+"""Trace-event hygiene (the T-xxx rule family).
+
+**T-KIND** — every ``emit("<kind>", ...)`` call site (including the
+``_temit`` alias the instrumented ckks hot paths use, and method calls
+like ``rec.emit``/``self.emit``) whose first argument is a string
+literal must name a kind in the :data:`repro.trace.ir.ALL_KINDS`
+vocabulary.  The recorder itself accepts any string — a typo'd kind
+would record fine, then fail (or worse, silently misprice) at lowering
+time, far from the emit site.  Call sites passing a variable are out of
+scope for the static check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ...trace.ir import ALL_KINDS
+from .findings import Finding
+from .registry import ModuleInfo
+
+_EMIT_NAMES = frozenset({"emit", "_temit"})
+
+
+def _emit_callee(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def trace_kind_findings(module: ModuleInfo, func_of_line) -> List[Finding]:
+    out: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and _emit_callee(node) in _EMIT_NAMES and node.args):
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or \
+                not isinstance(first.value, str):
+            continue
+        kind = first.value
+        if kind not in ALL_KINDS:
+            out.append(Finding(
+                rule="T-KIND", path=module.path, line=node.lineno,
+                func=func_of_line(node.lineno),
+                message=f"emit() with unknown trace-event kind {kind!r} "
+                        "— not in repro.trace.ir.ALL_KINDS, so the "
+                        "recording cannot be lowered or optimized",
+            ))
+    return out

@@ -232,6 +232,41 @@ class Bootstrapper:
         steps.update(g * baby for g in range(1, -(-s // baby)))
         return sorted(steps)
 
+    def assert_rotations_consistent(self, trace) -> List[int]:
+        """Check a recorded run against the declared key requirements.
+
+        Verifies the containment chain the key-generation story relies
+        on: every automorphism step *observed* in ``trace`` (conjugation
+        aside) must be a step :meth:`required_rotations` declared, and
+        every declared step must sit inside the analytic superset of
+        :meth:`required_rotations_for` — a trace needing an undeclared
+        key means keygen under-provisioned; a declared step outside the
+        superset means the static estimate diverged from the built
+        transforms. Returns the observed steps, sorted.
+        """
+        from ..trace.opt.rotation import observed_rotation_steps
+
+        observed = [s for s in observed_rotation_steps(trace) if s != -1]
+        declared = set(self.required_rotations())
+        missing = sorted(set(observed) - declared)
+        if missing:
+            raise AssertionError(
+                f"trace {trace.label!r} rotates by undeclared steps "
+                f"{missing}; required_rotations() is not a superset of "
+                "the recorded run"
+            )
+        superset = set(self.required_rotations_for(
+            self.ctx.params, bsgs=self.config.bsgs,
+            fft_factored=self.config.fft_factored, fuse=self.config.fuse,
+        ))
+        stray = sorted(declared - superset)
+        if stray:
+            raise AssertionError(
+                f"required_rotations() declares steps {stray} outside "
+                "the analytic superset of required_rotations_for()"
+            )
+        return sorted(set(observed))
+
     # -- public API ---------------------------------------------------------------
 
     def bootstrap(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:

@@ -177,7 +177,7 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
         # --- c0 leg: eval-domain gathers only (no transforms at all) -------
         rot0_eval = ct.c0.data[:, src]  # (L, S, N)
         _temit("automorphism", primes=num_level, polys=num_steps,
-               reads=(ct,), writes=(rot0_eval,))
+               reads=(ct,), writes=(rot0_eval,), args=tuple(steps))
 
         out: Dict[int, Ciphertext] = {}
         for s_idx, step in enumerate(steps):

@@ -244,7 +244,8 @@ class Evaluator:
                 "to KeyGenerator.generate"
             )
         exponent = pow(5, steps, 2 * self.params.n)
-        return self._apply_galois(ct, exponent, key, op="hrotate")
+        return self._apply_galois(ct, exponent, key, op="hrotate",
+                                  step=steps)
 
     def hrotate_composed(self, ct: Ciphertext, steps: int,
                          keys: KeySet) -> Ciphertext:
@@ -283,11 +284,13 @@ class Evaluator:
         if keys.conjugation is None:
             raise KeyError("no conjugation key; generate with conjugation=True")
         return self._apply_galois(
-            ct, 2 * self.params.n - 1, keys.conjugation, op="conjugate"
+            ct, 2 * self.params.n - 1, keys.conjugation, op="conjugate",
+            step=-1,
         )
 
     def _apply_galois(self, ct: Ciphertext, exponent: int,
-                      key: KeySwitchKey, op: str = "hrotate") -> Ciphertext:
+                      key: KeySwitchKey, op: str = "hrotate",
+                      step: int = 0) -> Ciphertext:
         with _tspan(op, level=ct.level):
             rot0 = ct.c0.to_coeff().automorphism(exponent).to_eval()
             rot1 = ct.c1.to_coeff().automorphism(exponent).to_eval()
@@ -295,8 +298,10 @@ class Evaluator:
             # round trip above is a functional-layer artifact (a negacyclic
             # automorphism permutes either domain), so the trace records
             # what a GPU launches — the in-place eval-domain permutation.
+            # ``args`` carries the slot step (-1 = conjugation) so the
+            # optimizer and key audits know *which* rotation this was.
             _temit("automorphism", primes=ct.level + 1, polys=2,
-                   reads=(ct,), writes=(rot0, rot1))
+                   reads=(ct,), writes=(rot0, rot1), args=(step,))
             ks0, ks1 = keyswitch(rot1, key, self.p_moduli)
             c0 = rot0 + ks0
             _temit("modadd", rows=ct.level + 1, reads=(rot0, ks0),

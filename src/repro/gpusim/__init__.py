@@ -41,9 +41,11 @@ from .streams import (
     DagKernel,
     ExecutionResult,
     TimelineEntry,
+    profile_cache_stats,
     run_dag,
     run_serial,
     run_streams,
+    spec_cache_key,
 )
 from .timeline import (
     render_timeline,
@@ -76,12 +78,14 @@ __all__ = [
     "WARP_SIZE",
     "aggregate",
     "compute_occupancy",
+    "profile_cache_stats",
     "render_timeline",
     "run_dag",
     "run_serial",
     "run_streams",
     "save_chrome_trace",
     "scheduler_cycles_breakdown",
+    "spec_cache_key",
     "simulate_kernel",
     "stall_table",
     "summarize",

@@ -147,6 +147,37 @@ def run_streams(streams: Sequence[Sequence[KernelSpec]], device: GpuSpec,
     return result
 
 
+def spec_cache_key(spec: KernelSpec) -> tuple:
+    """Full value identity of a spec (KernelSpec holds dicts, so the
+    key spells it out by hand); two specs with equal keys profile
+    identically on a given device."""
+    s = spec
+    return (
+        s.name, s.blocks, s.warps_per_block, s.int32_ops,
+        s.tensor_macs, s.gmem_read_bytes, s.gmem_write_bytes,
+        s.smem_read_bytes, s.smem_write_bytes, s.smem_per_block_bytes,
+        s.regs_per_thread, s.barriers, s.coalescing, s.efficiency,
+        s.gmem_round_trips, tuple(sorted(s.stall_hints.items())),
+        tuple(sorted(s.tags.items())),
+    )
+
+
+#: Cumulative hit/miss counters of :func:`run_dag`'s kernel-profile
+#: cache, in the ``all_cache_stats`` convention (PR 1).
+_PROFILE_CACHE = {"hits": 0, "misses": 0, "runs": 0, "currsize": 0}
+
+
+def profile_cache_stats() -> Dict[str, int]:
+    """Counters of the per-``run_dag`` kernel-profile cache.
+
+    ``hits``/``misses`` accumulate across calls; ``currsize`` is the
+    distinct-spec count of the most recent run and ``runs`` the number
+    of :func:`run_dag` invocations (the cache is rebuilt per run — specs
+    are only guaranteed profile-identical for one device).
+    """
+    return dict(_PROFILE_CACHE)
+
+
 @dataclass(frozen=True)
 class DagKernel:
     """One node of a dependency-aware launch graph.
@@ -191,19 +222,16 @@ def run_dag(nodes: Sequence[DagKernel], device: GpuSpec) -> ExecutionResult:
     profile_cache: Dict[tuple, KernelProfile] = {}
     profiles = []
     for node in nodes:
-        s = node.spec
-        key = (
-            s.name, s.blocks, s.warps_per_block, s.int32_ops,
-            s.tensor_macs, s.gmem_read_bytes, s.gmem_write_bytes,
-            s.smem_read_bytes, s.smem_write_bytes, s.smem_per_block_bytes,
-            s.regs_per_thread, s.barriers, s.coalescing, s.efficiency,
-            s.gmem_round_trips, tuple(sorted(s.stall_hints.items())),
-            tuple(sorted(s.tags.items())),
-        )
+        key = spec_cache_key(node.spec)
         prof = profile_cache.get(key)
         if prof is None:
             prof = profile_cache[key] = simulate_kernel(node.spec, device)
+            _PROFILE_CACHE["misses"] += 1
+        else:
+            _PROFILE_CACHE["hits"] += 1
         profiles.append(prof)
+    _PROFILE_CACHE["runs"] += 1
+    _PROFILE_CACHE["currsize"] = len(profile_cache)
     result = ExecutionResult(device=device)
 
     #: dep-free nodes awaiting launch, popped in index order.

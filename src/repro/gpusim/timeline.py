@@ -75,6 +75,21 @@ def to_chrome_trace(result: ExecutionResult) -> dict:
     flow_id = 0
     for e in result.entries:
         prof = e.profile
+        args = {
+            "bound_by": prof.bound_by,
+            "blocks": prof.spec.blocks,
+            "sm_used": prof.occupancy.sm_used,
+            "resident_warps_per_sm":
+                prof.occupancy.resident_warps_per_sm,
+            "stall_per_issued":
+                round(prof.stall_cycles_per_issued, 2),
+        }
+        # Optimizer provenance (trace/opt): fused chains and folded
+        # twists tag their specs; surface them so before/after trace
+        # pairs diff meaningfully in Perfetto.
+        for tag in ("fused", "fold_pre", "fold_post"):
+            if tag in prof.spec.tags:
+                args[tag] = prof.spec.tags[tag]
         events.append({
             "name": e.name,
             "ph": "X",  # complete event
@@ -82,15 +97,7 @@ def to_chrome_trace(result: ExecutionResult) -> dict:
             "dur": e.duration_us,
             "pid": 0,
             "tid": e.stream,
-            "args": {
-                "bound_by": prof.bound_by,
-                "blocks": prof.spec.blocks,
-                "sm_used": prof.occupancy.sm_used,
-                "resident_warps_per_sm":
-                    prof.occupancy.resident_warps_per_sm,
-                "stall_per_issued":
-                    round(prof.stall_cycles_per_issued, 2),
-            },
+            "args": args,
         })
         for dep in e.deps:
             src = by_index.get(dep)

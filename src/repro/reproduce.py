@@ -70,6 +70,7 @@ def hmult_summary() -> str:
 
 
 def trace_summary() -> str:
+    from .gpusim import profile_cache_stats
     from .workloads import (
         HOISTED_ROTATION_FACTOR,
         derived_hoisted_rotation_factor,
@@ -81,11 +82,14 @@ def trace_summary() -> str:
     boot = OperationScheduler(ParameterSets.boot())
     hand = simulate_bootstrap(scheduler=boot, hoisting="static")
     rec = simulate_recorded_bootstrap(scheduler=boot)
+    cache = profile_cache_stats()
     rows = [
         ["hoisting factor (SET-C)",
          round(derived_hoisted_rotation_factor(set_c), 3),
          HOISTED_ROTATION_FACTOR],
         ["Boot total ms", round(rec.total_ms, 1), round(hand.total_ms, 1)],
+        ["profile cache hit/miss",
+         f"{cache['hits']}/{cache['misses']}", None],
     ]
     return format_table(
         ["metric", "traced", "hand-counted"], rows,
@@ -94,11 +98,59 @@ def trace_summary() -> str:
     )
 
 
+def dagopt_summary() -> str:
+    """Trace-DAG optimizer results (DESIGN.md §12).
+
+    Reads ``BENCH_dagopt.json`` when the benchmark has been run;
+    otherwise optimizes the recorded SET-C bootstrap live at proxy scale
+    (mirroring how :func:`~repro.analysis.lint_gate_summary` degrades
+    gracefully without a saved baseline).
+    """
+    import json
+    import os
+
+    rows = []
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_dagopt.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        for w in data["workloads"]:
+            rows.append([
+                w["name"], round(w["baseline_us"], 1),
+                round(w["best_us"], 1), f"{w['speedup']:.2f}x",
+                f"{w['kernels_before']}->{w['kernels_after']}",
+            ])
+        title = "Trace-DAG optimizer (BENCH_dagopt.json)"
+    else:
+        from .trace import lower_trace
+        from .trace.opt import optimize_trace, schedule_search
+        from .workloads import record_bootstrap_trace
+
+        tr = record_bootstrap_trace()
+        opt, _ = optimize_trace(tr)
+        base = lower_trace(tr, style="pe")
+        od = lower_trace(opt, style="pe")
+        base_us = base.run().elapsed_us
+        _, scores = schedule_search(od)
+        best = min(scores.values())
+        rows.append([
+            "SET-C boot (proxy)", round(base_us, 1), round(best, 1),
+            f"{base_us / best:.2f}x",
+            f"{base.kernel_count}->{od.kernel_count}",
+        ])
+        title = "Trace-DAG optimizer (live proxy run; see bench_dagopt)"
+    return format_table(
+        ["workload", "recorded us", "optimized us", "speedup", "kernels"],
+        rows, title=title, col_width=13,
+    )
+
+
 def main(argv=None) -> int:
     print("WarpDrive reproduction — headline results")
     print("=" * 64)
     for section in (ntt_summary, variant_summary, hmult_summary,
-                    trace_summary, lint_gate_summary):
+                    trace_summary, dagopt_summary, lint_gate_summary):
         print()
         print(section())
     print()

@@ -41,6 +41,21 @@ EVENT_KINDS = (
     "divide",         # rescale exact-divide over `rows` output rows, `drop` primes
 )
 
+#: Kinds produced only by the optimizer (:mod:`repro.trace.opt`); each
+#: carries its primitive constituents verbatim in ``TraceEvent.fused``.
+FUSED_KINDS = (
+    "fused_elementwise",  # vertical chain: intermediates elided, one launch
+    "fused_launch",       # horizontal merge: independent kernels, one launch
+)
+
+#: Kinds the recorder may emit (the primitive vocabulary) plus the fused
+#: kinds; :func:`validate_trace` and fhelint's T-KIND rule enforce this.
+ALL_KINDS = EVENT_KINDS + FUSED_KINDS
+
+#: Primitive kinds that lower to a single element-wise pass — the fusion
+#: candidates (chains of these collapse into one ``fused_elementwise``).
+ELEMENTWISE_KINDS = ("modadd", "modmul", "tensor_product", "divide")
+
 
 @frozen
 @dataclass(frozen=True)
@@ -54,6 +69,19 @@ class TraceEvent:
     plus optional lowering hints (``split``: the PE plan style launches
     this stage as that many independent kernels; ``steps``: batched
     hoisted-rotation multiplicity).
+
+    ``args`` carries semantic parameters that shapes cannot express —
+    today the slot rotation step(s) of an ``automorphism`` event
+    (conjugation is the sentinel ``-1``), which is what lets the
+    optimizer prove two rotations identical and the bootstrapper audit
+    its key set against what a run actually rotated by.
+
+    ``fused`` is empty on recorded events.  Optimizer-produced events
+    (:data:`FUSED_KINDS`, and ``ntt``/``intt`` events that absorbed
+    twist work) carry their primitive constituents here *verbatim* —
+    original eids, deps and shapes — so an optimized trace expands back
+    to primitive granularity for replay verification, and downstream
+    events keep referencing constituent eids without any rewriting.
     """
 
     eid: int
@@ -63,6 +91,8 @@ class TraceEvent:
     level: Optional[int]
     shape: Dict[str, int]
     deps: Tuple[int, ...] = ()
+    args: Tuple[int, ...] = ()
+    fused: Tuple["TraceEvent", ...] = ()
 
     @property
     def leaf(self) -> str:
@@ -117,3 +147,91 @@ class OpTrace:
             f"OpTrace({self.label!r}, n={self.n}, "
             f"{len(self.events)} events: {body})"
         )
+
+    def expanded(self) -> "OpTrace":
+        """The primitive-granularity view: fused events replaced by their
+        constituents, in order.  A recorded trace expands to itself; an
+        optimized trace expands to something replay-comparable with the
+        recording it came from."""
+        out: List[TraceEvent] = []
+        for e in self.events:
+            out.extend(e.fused if e.fused else (e,))
+        return OpTrace(label=self.label, n=self.n, params=self.params,
+                       events=tuple(out))
+
+
+def validate_trace(trace: OpTrace) -> OpTrace:
+    """Structural validity of a (possibly optimized) trace; chainable.
+
+    Checks, for every event in order: the kind is in :data:`ALL_KINDS`;
+    shape values are non-negative ints; every dependency references the
+    eid of an *earlier* top-level event or of a constituent carried by an
+    earlier fused event; fused constituents are primitive (no nesting),
+    element-wise where the kind demands it, and consistent with the
+    ``fold_pre``/``fold_post`` accounting on folded transforms.  Raises
+    ``ValueError`` on the first violation.
+    """
+    defined: set = set()
+    seen_eids: set = set()
+    for pos, e in enumerate(trace.events):
+        where = f"event #{pos} (eid {e.eid}, kind {e.kind!r})"
+        if e.kind not in ALL_KINDS:
+            raise ValueError(f"{where}: unknown kind")
+        for k, v in e.shape.items():
+            if not isinstance(v, int) or v < 0:
+                raise ValueError(f"{where}: shape[{k!r}] = {v!r}")
+        for d in e.deps:
+            if d not in defined:
+                raise ValueError(
+                    f"{where}: dep {d} does not reference an earlier event"
+                )
+        if e.fused:
+            if e.kind in ("ntt", "intt"):
+                pre = e.shape.get("fold_pre", 0)
+                post = e.shape.get("fold_post", 0)
+                if pre + post + 1 != len(e.fused):
+                    raise ValueError(
+                        f"{where}: fold_pre+fold_post+1 != len(fused)"
+                    )
+                host = e.fused[pre]
+                if host.kind != e.kind:
+                    raise ValueError(
+                        f"{where}: folded host kind {host.kind!r} differs"
+                    )
+                twists = e.fused[:pre] + e.fused[pre + 1:]
+            elif e.kind == "fused_elementwise":
+                twists = e.fused
+            elif e.kind == "fused_launch":
+                twists = ()
+            else:
+                raise ValueError(f"{where}: kind cannot carry constituents")
+            for c in twists:
+                if c.kind not in ELEMENTWISE_KINDS:
+                    raise ValueError(
+                        f"{where}: constituent eid {c.eid} kind {c.kind!r} "
+                        "is not element-wise"
+                    )
+            group_eids = {c.eid for c in e.fused}
+            for c in e.fused:
+                if c.fused:
+                    raise ValueError(
+                        f"{where}: constituent eid {c.eid} is itself fused"
+                    )
+                if c.kind not in EVENT_KINDS:
+                    raise ValueError(
+                        f"{where}: constituent eid {c.eid} has non-primitive "
+                        f"kind {c.kind!r}"
+                    )
+                for d in c.deps:
+                    if d not in defined and d not in group_eids:
+                        raise ValueError(
+                            f"{where}: constituent eid {c.eid} dep {d} is "
+                            "neither earlier nor inside the group"
+                        )
+        new_eids = (e.eid,) + tuple(c.eid for c in e.fused)
+        for eid in new_eids:
+            if eid in seen_eids:
+                raise ValueError(f"{where}: duplicate eid {eid}")
+            seen_eids.add(eid)
+        defined.update(new_eids)
+    return trace

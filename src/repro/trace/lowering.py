@@ -25,10 +25,11 @@ modulus-chain structure and only ``n`` changes (proxy-scale recording).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.annotations import frozen
+from ..core import costs
 from ..core import kernels as K
 from ..core.kernels import DEFAULT_GEOMETRY, GeometryConfig
 from ..core.ntt_engine import WarpDriveNtt
@@ -112,6 +113,10 @@ class _Group:
     def can_absorb(self, event: TraceEvent) -> bool:
         if event.kind != self.kind or event.span != self.span:
             return False
+        # Optimizer-produced fused events already chose their launch
+        # boundary; the PE grid merge must not re-partition them.
+        if event.fused or self.events[0].fused:
+            return False
         s, t = self.shape, event.shape
         if self.kind in ("intt", "ntt", "modadd", "modmul"):
             return True
@@ -135,8 +140,22 @@ class _Group:
     def eids(self) -> Tuple[int, ...]:
         return tuple(e.eid for e in self.events)
 
+    @property
+    def all_eids(self) -> Tuple[int, ...]:
+        """Event ids realized by this launch, constituents included.
+
+        Consumers of an event swallowed by a fused launch still name the
+        constituent eid in their deps; exporting every covered id keeps
+        the eid->node map total.
+        """
+        out: List[int] = []
+        for e in self.events:
+            out.append(e.eid)
+            out.extend(c.eid for c in e.fused)
+        return tuple(out)
+
     def external_deps(self) -> Tuple[int, ...]:
-        mine = set(self.eids)
+        mine = set(self.all_eids)
         out = set()
         for e in self.events:
             out.update(d for d in e.deps if d not in mine)
@@ -144,14 +163,26 @@ class _Group:
 
 
 def _event_ancestors(events: Sequence[TraceEvent]) -> Dict[int, frozenset]:
-    """Transitive data-dependency closure, keyed by event id."""
+    """Transitive data-dependency closure, keyed by event id.
+
+    A fused event's constituents resolve to the fused event itself:
+    depending on a constituent is depending on the launch that realizes
+    it, so the closure stays connected across optimizer-fused nodes.
+    """
     anc: Dict[int, frozenset] = {}
+    owner: Dict[int, int] = {}
     for e in events:
+        for c in e.fused:
+            owner[c.eid] = e.eid
         s: set = set()
         for d in e.deps:
-            s.add(d)
-            s |= anc.get(d, frozenset())
-        anc[e.eid] = frozenset(s)
+            t = owner.get(d, d)
+            s.add(t)
+            s |= anc.get(t, frozenset())
+        fs = frozenset(s)
+        anc[e.eid] = fs
+        for c in e.fused:
+            anc[c.eid] = fs
     return anc
 
 
@@ -168,7 +199,8 @@ def _group_events(events: Sequence[TraceEvent], *, merge: bool,
     groups: List[_Group] = []
     open_groups: Dict[Tuple[str, str], List[int]] = {}
     for e in events:
-        if merge and e.kind in _MERGEABLE and "split" not in e.shape:
+        if merge and e.kind in _MERGEABLE and "split" not in e.shape \
+                and not e.fused:
             placed = False
             for gi in open_groups.get((e.span, e.kind), ()):  # noqa: B007
                 g = groups[gi]
@@ -195,7 +227,7 @@ def _toposort(groups: List[_Group]) -> List[_Group]:
     """
     eid_to_group: Dict[int, int] = {}
     for gi, g in enumerate(groups):
-        for eid in g.eids:
+        for eid in g.all_eids:
             eid_to_group[eid] = gi
     indegree = [0] * len(groups)
     children: List[List[int]] = [[] for _ in groups]
@@ -281,6 +313,8 @@ class _Lowerer:
         """
         kind, shape = g.kind, g.shape
         name = f"{_leaf(g.op)}.{kind}"
+        if len(g.events) == 1 and g.events[0].fused:
+            return self._fused_atoms(g.events[0], name)
         split = self._split_count(kind, shape)
         if kind in ("ntt", "intt"):
             rows = shape["rows"]
@@ -390,6 +424,150 @@ class _Lowerer:
                 raise ValueError(f"cannot lower trace event kind {kind!r}")
         return specs
 
+    # -- optimizer-fused events ----------------------------------------
+    def _fused_atoms(self, event: TraceEvent, name: str,
+                     ) -> Tuple[List[List[KernelSpec]], str]:
+        """Lower an optimizer-produced fused event (DESIGN.md §12)."""
+        if event.kind == "fused_elementwise":
+            return [[self._fused_elementwise_spec(event, name)]], "parallel"
+        if event.kind == "fused_launch":
+            return [[self._fused_launch_spec(event, name)]], "parallel"
+        if event.kind in ("ntt", "intt"):
+            return [self._folded_ntt_chain(event, name)], "parallel"
+        raise ValueError(
+            f"cannot lower fused trace event kind {event.kind!r}"
+        )
+
+    def _fused_elementwise_spec(self, event: TraceEvent, name: str,
+                                ) -> KernelSpec:
+        """One launch for a fused element-wise chain.
+
+        The grid covers the widest constituent; narrower links contribute
+        fractional per-element work.  Intermediates consumed inside the
+        chain stay in registers, so their writes and the matching
+        re-reads drop out of the traffic totals.
+        """
+        max_rows = max(c.shape.get("rows", 1) for c in event.fused)
+        internal = {c.eid for c in event.fused}
+        read_inside: set = set()
+        for c in event.fused:
+            read_inside.update(d for d in c.deps if d in internal)
+        ops = reads = writes = 0.0
+        for c in event.fused:
+            frac = c.shape.get("rows", 1) / max_rows
+            o, r, w = _EW_COSTS[c.kind](c.shape)
+            ops += o * frac
+            reads += r * frac
+            if c.eid in read_inside:
+                reads -= w * frac  # written and re-read in registers
+            else:
+                writes += w * frac
+        return K.elementwise_kernel(
+            name, self.n * max_rows * self.batch,
+            ops_per_element=ops, read_words=max(reads, 0.0),
+            write_words=writes, geometry=self.geometry,
+            stage="FusedElementwise", fused=len(event.fused),
+        )
+
+    def _fused_launch_spec(self, event: TraceEvent, name: str,
+                           ) -> KernelSpec:
+        """Concatenate independent constituents into one launch grid."""
+        specs: List[KernelSpec] = []
+        for c in event.fused:
+            split = self._split_count(c.kind, c.shape)
+            sub = f"{name}+{c.kind}{c.eid}"
+            specs.extend(self._split_specs(c.kind, c.shape, sub, split))
+        merged = specs[0]
+        for s in specs[1:]:
+            merged = _concat_specs(merged, s)
+        return merged.renamed(name, fused=len(event.fused)).validate()
+
+    def _folded_ntt_chain(self, event: TraceEvent, name: str,
+                          ) -> List[KernelSpec]:
+        """NTT/INTT chain with twist work folded into its end stages."""
+        pre_n = event.shape.get("fold_pre", 0)
+        host = event.fused[pre_n]
+        chain = list(self._ntt_chain(
+            name, host.shape["rows"], inverse=(event.kind == "intt")
+        ))
+        chain[0] = _fold_twist(chain[0], event.fused[:pre_n],
+                               n=self.n, b=self.batch, side="pre")
+        chain[-1] = _fold_twist(chain[-1], event.fused[pre_n + 1:],
+                                n=self.n, b=self.batch, side="post")
+        return chain
+
+
+#: (ops_per_element, read_words, write_words) of each element-wise kind,
+#: matching the builders ``_split_specs`` uses for the unfused events.
+_EW_COSTS = {
+    "modadd": lambda s: (costs.MODADD_OPS, 2.0, 1.0),
+    "modmul": lambda s: (costs.BARRETT_MULMOD_OPS, 2.0, 1.0),
+    "tensor_product": lambda s: (4 * 7 + 2 * 2, 4.0, 3.0),
+    "divide": lambda s: (s.get("drop", 1) * (7 + 2),
+                         1.0 + s.get("drop", 1), 1.0),
+}
+
+
+def _concat_specs(a: KernelSpec, b: KernelSpec) -> KernelSpec:
+    """Fuse two independent launches into one grid (horizontal merge).
+
+    Work, traffic and blocks add (the merged grid carries both);
+    per-block resources take the max, throughput derates take the min.
+    """
+    hints = dict(b.stall_hints)
+    for k, v in a.stall_hints.items():
+        hints[k] = max(hints.get(k, 0.0), v)
+    return replace(
+        a,
+        blocks=a.blocks + b.blocks,
+        warps_per_block=max(a.warps_per_block, b.warps_per_block),
+        int32_ops=a.int32_ops + b.int32_ops,
+        tensor_macs=a.tensor_macs + b.tensor_macs,
+        gmem_read_bytes=a.gmem_read_bytes + b.gmem_read_bytes,
+        gmem_write_bytes=a.gmem_write_bytes + b.gmem_write_bytes,
+        smem_read_bytes=a.smem_read_bytes + b.smem_read_bytes,
+        smem_write_bytes=a.smem_write_bytes + b.smem_write_bytes,
+        smem_per_block_bytes=max(a.smem_per_block_bytes,
+                                 b.smem_per_block_bytes),
+        regs_per_thread=max(a.regs_per_thread, b.regs_per_thread),
+        barriers=max(a.barriers, b.barriers),
+        gmem_round_trips=max(a.gmem_round_trips, b.gmem_round_trips),
+        coalescing=min(a.coalescing, b.coalescing),
+        efficiency=min(a.efficiency, b.efficiency),
+        stall_hints=hints,
+    )
+
+
+def _fold_twist(spec: KernelSpec, members: Sequence[TraceEvent], *,
+                n: int, b: int, side: str) -> KernelSpec:
+    """Fold element-wise twist work into one end of an NTT chain.
+
+    A pre-twist's output (``w`` words/element) fed the host's input, so
+    folding elides that round trip and only the member's *extra* operand
+    reads remain; a post-twist re-read the host's one output word and
+    writes ``w`` of its own.
+    """
+    if not members:
+        return spec
+    ops = rd = wr = 0.0
+    for c in members:
+        elements = n * c.shape.get("rows", 1) * b
+        o, r, w = _EW_COSTS[c.kind](c.shape)
+        ops += o * elements
+        if side == "pre":
+            rd += (r - w) * elements
+        else:
+            rd += (r - 1.0) * elements
+            wr += (w - 1.0) * elements
+    word = K.WORD_BYTES
+    return replace(
+        spec,
+        int32_ops=spec.int32_ops + ops,
+        gmem_read_bytes=max(spec.gmem_read_bytes + rd * word, 0.0),
+        gmem_write_bytes=max(spec.gmem_write_bytes + wr * word, 0.0),
+        tags={**spec.tags, f"fold_{side}": len(members)},
+    ).validate()
+
 
 def _leaf(op: str) -> str:
     return op.rsplit("/", 1)[-1] if op else "trace"
@@ -452,14 +630,14 @@ def lower_trace(trace: OpTrace, *, params: Any = None, style: str = "pe",
             for spec in chain:
                 deps = (prev,) if prev is not None else tuple(dep_nodes)
                 nodes.append(DagNode(
-                    spec=spec, deps=tuple(deps), eids=g.eids, op=g.op,
+                    spec=spec, deps=tuple(deps), eids=g.all_eids, op=g.op,
                     group=_group_label(g.op),
                 ))
                 prev = len(nodes) - 1
             if prev is not None:
                 tails.append(prev)
         out = tuple(tails)
-        for eid in g.eids:
+        for eid in g.all_eids:
             exports[eid] = out
     return KernelDag(nodes=tuple(nodes), n=n, style=style,
                      label=trace.label, device=device)

@@ -1,0 +1,327 @@
+"""Fusion passes: element-wise chains, twist folding, launch merging.
+
+Three ways this pipeline removes kernel launches without removing work
+(the A100 model charges ~3 us of launch overhead per kernel, which PR 5
+measured at ~26% of a recorded PE-style bootstrap):
+
+* :class:`FuseElementwisePass` — a producer whose *every* output is read
+  by exactly one element-wise consumer folds into it; chains collapse to
+  one ``fused_elementwise`` event.  The intermediate write and its
+  re-read disappear (the value stays in registers), which is the 100x
+  baseline's element-wise fusion.
+* :class:`FoldTwistPass` — element-wise work adjacent to an ``ntt`` /
+  ``intt`` disappears into the transform's pre/post-twist loops (the
+  twist is already an element-wise multiply; the folded op rides the
+  same pass).  Rescale's exact-divide feeding the re-NTT is the classic
+  case.
+* :class:`MergeLaunchesPass` — independent same-kind launches close in
+  program order merge into one ``fused_launch`` grid: same total work,
+  one launch overhead.  This generalizes the PE merge pass (which only
+  merges within one span instance) across operation boundaries, and is
+  what "hoisting-aware inner-product merging" means concretely: the
+  per-giant-group ``inner_product`` launches of a BSGS linear transform
+  share hoisted panes and merge into one wide launch.
+
+Every pass stores the replaced primitive events verbatim in
+``TraceEvent.fused`` — consumers keep referencing constituent eids, so
+no dependency rewriting happens anywhere and the optimized trace expands
+back to the exact recording for replay verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir import ELEMENTWISE_KINDS, OpTrace, TraceEvent
+from .graphs import (
+    ancestor_positions,
+    consumer_positions,
+    external_deps,
+    next_eid,
+    owner_positions,
+)
+from .pipeline import PassStats, TracePass
+
+
+def _is_primitive(e: TraceEvent) -> bool:
+    return not e.fused and "split" not in e.shape
+
+
+def _rebuild(trace: OpTrace, replacements: Dict[int, Optional[TraceEvent]],
+             ) -> OpTrace:
+    """New trace with position->event replacements (None drops)."""
+    out: List[TraceEvent] = []
+    for pos, e in enumerate(trace.events):
+        if pos in replacements:
+            r = replacements[pos]
+            if r is not None:
+                out.append(r)
+        else:
+            out.append(e)
+    return OpTrace(label=trace.label, n=trace.n, params=trace.params,
+                   events=tuple(out))
+
+
+class FuseElementwisePass(TracePass):
+    """Collapse single-consumer element-wise chains into one launch."""
+
+    name = "fuse-elementwise"
+
+    def __init__(self, kinds: Sequence[str] = ("modadd", "modmul",
+                                               "tensor_product"),
+                 max_chain: int = 6):
+        self.kinds = frozenset(kinds)
+        self.max_chain = max_chain
+
+    def _candidate(self, e: TraceEvent) -> bool:
+        return e.kind in self.kinds and _is_primitive(e)
+
+    def run(self, trace: OpTrace) -> Tuple[OpTrace, PassStats]:
+        events = trace.events
+        owner = owner_positions(events)
+        cons = consumer_positions(events)
+        assigned: Set[int] = set()
+        groups: List[Tuple[int, Set[int]]] = []  # (root position, members)
+        for pos in range(len(events) - 1, -1, -1):
+            e = events[pos]
+            if pos in assigned or not self._candidate(e):
+                continue
+            members = {pos}
+            frontier = [pos]
+            while frontier and len(members) < self.max_chain:
+                y = frontier.pop()
+                for d in events[y].deps:
+                    p = owner.get(d)
+                    if p is None or p in assigned or p in members:
+                        continue
+                    pe = events[p]
+                    # Absorb a producer only when the chain captures its
+                    # every output: all consumers sit inside the group.
+                    if pe.eid != d or not self._candidate(pe):
+                        continue
+                    if set(cons.get(pe.eid, ())) != {y}:
+                        continue
+                    members.add(p)
+                    frontier.append(p)
+                    if len(members) >= self.max_chain:
+                        break
+            if len(members) > 1:
+                assigned |= members
+                groups.append((pos, members))
+
+        if not groups:
+            return trace, PassStats(self.name, len(events), len(events))
+
+        fresh = next_eid(events)
+        replacements: Dict[int, Optional[TraceEvent]] = {}
+        for root_pos, members in groups:
+            parts = tuple(sorted((events[p] for p in members),
+                                 key=lambda ev: ev.eid))
+            root = events[root_pos]
+            fused = TraceEvent(
+                eid=fresh, kind="fused_elementwise", op=root.op,
+                span=root.span, level=root.level,
+                shape={"rows": max(p.shape.get("rows", 1) for p in parts),
+                       "chain": len(parts)},
+                deps=external_deps(parts), fused=parts,
+            )
+            fresh += 1
+            for p in members:
+                replacements[p] = fused if p == root_pos else None
+        out = _rebuild(trace, replacements)
+        return out, PassStats(
+            self.name, len(events), len(out.events),
+            fused_groups=len(groups),
+        )
+
+
+class FoldTwistPass(TracePass):
+    """Fold adjacent element-wise work into ``ntt``/``intt`` twists."""
+
+    name = "fold-twists"
+
+    def run(self, trace: OpTrace) -> Tuple[OpTrace, PassStats]:
+        events = trace.events
+        owner = owner_positions(events)
+        cons = consumer_positions(events)
+        assigned: Set[int] = set()
+        folds: List[Tuple[int, List[int], List[int]]] = []
+        for pos, e in enumerate(events):
+            if e.kind not in ("ntt", "intt") or not _is_primitive(e):
+                continue
+            if pos in assigned:
+                continue
+            pre: List[int] = []
+            for d in e.deps:
+                p = owner.get(d)
+                if p is None or p in assigned or p in pre:
+                    continue
+                pe = events[p]
+                if (pe.eid == d and pe.kind in ELEMENTWISE_KINDS
+                        and _is_primitive(pe)
+                        and set(cons.get(pe.eid, ())) == {pos}):
+                    pre.append(p)
+            post: List[int] = []
+            readers = set(cons.get(e.eid, ()))
+            if len(readers) == 1:
+                c_pos = readers.pop()
+                ce = events[c_pos]
+                # The consumer's work moves to the transform's position:
+                # its other operands must already exist there.
+                if (ce.kind in ELEMENTWISE_KINDS and _is_primitive(ce)
+                        and c_pos not in assigned
+                        and all(owner.get(d, pos) < pos
+                                for d in ce.deps if d != e.eid)):
+                    post.append(c_pos)
+            if pre or post:
+                assigned.update(pre)
+                assigned.update(post)
+                assigned.add(pos)
+                folds.append((pos, sorted(pre), post))
+
+        if not folds:
+            return trace, PassStats(self.name, len(events), len(events))
+
+        fresh = next_eid(events)
+        replacements: Dict[int, Optional[TraceEvent]] = {}
+        folded_twists = 0
+        for pos, pre, post in folds:
+            host = events[pos]
+            pre_events = tuple(events[p] for p in pre)
+            post_events = tuple(events[p] for p in post)
+            parts = pre_events + (host,) + post_events
+            shape = dict(host.shape)
+            shape["fold_pre"] = len(pre_events)
+            shape["fold_post"] = len(post_events)
+            folded = TraceEvent(
+                eid=fresh, kind=host.kind, op=host.op, span=host.span,
+                level=host.level, shape=shape,
+                deps=external_deps(parts), fused=parts,
+            )
+            fresh += 1
+            folded_twists += len(pre_events) + len(post_events)
+            replacements[pos] = folded
+            for p in pre:
+                replacements[p] = None
+            for p in post:
+                replacements[p] = None
+        out = _rebuild(trace, replacements)
+        return out, PassStats(
+            self.name, len(events), len(out.events),
+            fused_groups=len(folds),
+            notes={"folded_twists": float(folded_twists)},
+        )
+
+
+#: Shape fields that must match for two launches to share one grid.
+_MERGE_KEYS = {
+    "modadd": (),
+    "modmul": (),
+    "inner_product": ("primes", "accumulators"),
+    "automorphism": ("primes",),
+}
+
+
+class _OpenGroup:
+    __slots__ = ("first_pos", "last_pos", "members", "min_consumer")
+
+    def __init__(self, pos: int, min_consumer: float):
+        self.first_pos = pos
+        self.last_pos = pos
+        self.members = [pos]
+        self.min_consumer = min_consumer
+
+
+class MergeLaunchesPass(TracePass):
+    """Merge independent same-kind launches into one grid.
+
+    The merged event lands at the *last* member's position; legality
+    requires no member's output to be consumed before that point, no
+    dependency path between members, and a bounded program-order window
+    (so the pass cannot drag a launch arbitrarily far from its data).
+    """
+
+    name = "merge-launches"
+
+    def __init__(self, kinds: Sequence[str] = tuple(_MERGE_KEYS),
+                 window: int = 16, max_group: int = 8):
+        self.kinds = tuple(k for k in kinds if k in _MERGE_KEYS)
+        self.window = window
+        self.max_group = max_group
+
+    def run(self, trace: OpTrace) -> Tuple[OpTrace, PassStats]:
+        events = trace.events
+        owner = owner_positions(events)
+        cons = consumer_positions(events)
+        anc = ancestor_positions(events, owner)
+        open_groups: Dict[tuple, List[_OpenGroup]] = {}
+        closed: List[List[int]] = []
+
+        def _min_consumer(e: TraceEvent) -> float:
+            ps = cons.get(e.eid, ())
+            return float(ps[0]) if ps else float("inf")
+
+        for pos, e in enumerate(events):
+            if e.kind not in self.kinds or not _is_primitive(e):
+                continue
+            key = (e.kind,) + tuple(
+                e.shape.get(f) for f in _MERGE_KEYS[e.kind]
+            )
+            placed = False
+            for g in open_groups.get(key, []):
+                if pos - g.first_pos > self.window:
+                    continue
+                if len(g.members) >= self.max_group:
+                    continue
+                if g.min_consumer <= pos:
+                    continue
+                if any(m in anc[pos] for m in g.members):
+                    continue
+                g.members.append(pos)
+                g.last_pos = pos
+                g.min_consumer = min(g.min_consumer, _min_consumer(e))
+                placed = True
+                break
+            if not placed:
+                open_groups.setdefault(key, []).append(
+                    _OpenGroup(pos, _min_consumer(e))
+                )
+            # Retire groups that fell out of the window.
+            for k, gs in list(open_groups.items()):
+                keep = []
+                for g in gs:
+                    if pos - g.first_pos > self.window:
+                        if len(g.members) > 1:
+                            closed.append(g.members)
+                    else:
+                        keep.append(g)
+                open_groups[k] = keep
+        for gs in open_groups.values():
+            closed.extend(g.members for g in gs if len(g.members) > 1)
+
+        if not closed:
+            return trace, PassStats(self.name, len(events), len(events))
+
+        fresh = next_eid(events)
+        replacements: Dict[int, Optional[TraceEvent]] = {}
+        merged_launches = 0
+        for members in closed:
+            parts = tuple(sorted((events[p] for p in members),
+                                 key=lambda ev: ev.eid))
+            last = max(members)
+            first = events[min(members)]
+            fused = TraceEvent(
+                eid=fresh, kind="fused_launch", op=first.op,
+                span=first.span, level=first.level,
+                shape={"launches": len(parts)},
+                deps=external_deps(parts), fused=parts,
+            )
+            fresh += 1
+            merged_launches += len(parts) - 1
+            for p in members:
+                replacements[p] = fused if p == last else None
+        out = _rebuild(trace, replacements)
+        return out, PassStats(
+            self.name, len(events), len(out.events),
+            merged_launches=merged_launches,
+        )

@@ -1,0 +1,73 @@
+"""Shared graph views over a (possibly already optimized) trace.
+
+All maps are position-based over the trace's *top-level* events; fused
+events are opaque nodes that define every constituent eid at their own
+position and read their constituents' external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..ir import TraceEvent
+
+
+def owner_positions(events: Sequence[TraceEvent]) -> Dict[int, int]:
+    """eid (constituents included) -> position of the defining event."""
+    owner: Dict[int, int] = {}
+    for pos, e in enumerate(events):
+        owner[e.eid] = pos
+        for c in e.fused:
+            owner[c.eid] = pos
+    return owner
+
+
+def event_reads(event: TraceEvent) -> Set[int]:
+    """All eids the event (or its constituents) reads, minus internal."""
+    if not event.fused:
+        return set(event.deps)
+    internal = {c.eid for c in event.fused}
+    out = set(event.deps)
+    for c in event.fused:
+        out.update(d for d in c.deps if d not in internal)
+    return out
+
+
+def consumer_positions(events: Sequence[TraceEvent],
+                       ) -> Dict[int, List[int]]:
+    """eid -> sorted positions of top-level events that read it."""
+    cons: Dict[int, Set[int]] = {}
+    for pos, e in enumerate(events):
+        for d in event_reads(e):
+            cons.setdefault(d, set()).add(pos)
+    return {eid: sorted(ps) for eid, ps in cons.items()}
+
+
+def ancestor_positions(events: Sequence[TraceEvent],
+                       owner: Dict[int, int]) -> List[Set[int]]:
+    """Per position: transitive closure of producer positions."""
+    anc: List[Set[int]] = []
+    for e in events:
+        s: Set[int] = set()
+        for d in event_reads(e):
+            p = owner.get(d)
+            if p is not None:
+                s.add(p)
+                s |= anc[p]
+        anc.append(s)
+    return anc
+
+
+def next_eid(events: Sequence[TraceEvent]) -> int:
+    top = max((e.eid for e in events), default=-1)
+    sub = max((c.eid for e in events for c in e.fused), default=-1)
+    return max(top, sub) + 1
+
+
+def external_deps(members: Sequence[TraceEvent]) -> Tuple[int, ...]:
+    """Union of the members' dependencies outside the member set."""
+    internal = {m.eid for m in members}
+    out: Set[int] = set()
+    for m in members:
+        out.update(d for d in m.deps if d not in internal)
+    return tuple(sorted(out))

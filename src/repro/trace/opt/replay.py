@@ -1,0 +1,107 @@
+"""Replay verification for optimizer passes.
+
+An optimized trace must compute *exactly* what the recording computed —
+"replay bit-identical through the functional layer".  The optimizer
+never re-executes numpy; instead it proves parity symbolically: every
+primitive event gets a **replay token**, a stable hash of its kind,
+shape, semantic args, level and the tokens of its data dependencies.
+Two events with equal tokens perform the same computation on the same
+(transitively identical) inputs, because the functional kernels are
+deterministic pure functions of those fields — that is the property the
+proxy-ring replay tests in ``tests/trace/test_opt_passes.py`` pin down
+by actually re-running the functional layer.
+
+Fused events are transparent here: :meth:`OpTrace.expanded` restores
+their constituents verbatim (original eids, deps, shapes), so an
+optimized trace and its recording expose the *same* primitive event set
+and the legality contract reduces to per-eid token equality plus exact
+work-accounting conservation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from ..ir import OpTrace, TraceEvent
+
+#: Per-kind work measure (ring-degree-free units) used by the
+#: conservation check: a pass may re-partition work across launches but
+#: must not create or destroy any.
+_WORK_FIELDS = {
+    "ntt": lambda s: s.get("rows", 0),
+    "intt": lambda s: s.get("rows", 0),
+    "modup": lambda s: s.get("target_primes", 0) * s.get("polys", 1),
+    "moddown": lambda s: (s.get("main_primes", 0) + s.get(
+        "special_primes", 0)) * s.get("polys", 1),
+    "inner_product": lambda s: s.get("primes", 0) * s.get("digits", 1)
+    * max(s.get("steps", 1), 1) * s.get("accumulators", 2),
+    "automorphism": lambda s: s.get("primes", 0) * s.get("polys", 1),
+    "modadd": lambda s: s.get("rows", 0),
+    "modmul": lambda s: s.get("rows", 0),
+    "tensor_product": lambda s: s.get("rows", 0),
+    "divide": lambda s: s.get("rows", 0) * max(s.get("drop", 1), 1),
+}
+
+
+def primitive_events(trace: OpTrace) -> List[TraceEvent]:
+    """All primitive events, fused constituents included, in order."""
+    out: List[TraceEvent] = []
+    for e in trace.events:
+        out.extend(e.fused if e.fused else (e,))
+    return out
+
+
+def event_work(event: TraceEvent) -> int:
+    """Ring-degree-free work units of one primitive event."""
+    fn = _WORK_FIELDS.get(event.kind)
+    if fn is None:
+        raise ValueError(f"no work measure for kind {event.kind!r}")
+    return int(fn(event.shape))
+
+
+def work_counts(trace: OpTrace) -> Dict[str, int]:
+    """Per-kind work totals over the primitive view of ``trace``."""
+    out: Dict[str, int] = {}
+    for e in primitive_events(trace):
+        out[e.kind] = out.get(e.kind, 0) + event_work(e)
+    return out
+
+
+def _token(event: TraceEvent, dep_tokens: Iterable[str]) -> str:
+    h = hashlib.blake2b(digest_size=12)
+    h.update(repr((
+        event.kind, event.level, tuple(sorted(event.shape.items())),
+        event.args, tuple(sorted(dep_tokens)),
+    )).encode())
+    return h.hexdigest()
+
+
+def replay_tokens(trace: OpTrace) -> Dict[int, str]:
+    """eid -> replay token, over the primitive view of ``trace``.
+
+    Raises ``KeyError`` if any dependency references an eid that no
+    primitive event defines — a structural breach the pass pipeline
+    treats as a legality failure.
+    """
+    env: Dict[int, str] = {}
+    for e in primitive_events(trace):
+        env[e.eid] = _token(e, (env[d] for d in e.deps))
+    return env
+
+
+def sink_signature(trace: OpTrace) -> Tuple[str, ...]:
+    """Sorted multiset of sink tokens — the trace's observable outputs.
+
+    A sink is a primitive event whose output no other primitive event
+    reads.  Dead-rotation elimination shrinks this set; every other pass
+    must preserve it exactly.
+    """
+    prims = primitive_events(trace)
+    tokens = replay_tokens(trace)
+    consumed = set()
+    for e in prims:
+        consumed.update(e.deps)
+    return tuple(sorted(
+        tokens[e.eid] for e in prims if e.eid not in consumed
+    ))

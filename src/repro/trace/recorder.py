@@ -114,7 +114,8 @@ class TraceRecorder:
     # -- event emission --------------------------------------------------
     def emit(self, kind: str, *, level: Optional[int] = None,
              reads: Sequence[Any] = (), writes: Sequence[Any] = (),
-             deps: Iterable[int] = (), **shape: int) -> int:
+             deps: Iterable[int] = (),
+             args: Sequence[int] = (), **shape: int) -> int:
         if level is None:
             for _, _, lvl in reversed(self._stack):
                 if lvl is not None:
@@ -138,6 +139,7 @@ class TraceRecorder:
             level=level,
             shape={k: int(v) for k, v in shape.items()},
             deps=tuple(sorted(dep_set)),
+            args=tuple(int(a) for a in args),
         )
         self.events.append(event)
         for obj in writes:

@@ -49,6 +49,8 @@ from .recorded import (
     derived_hoisted_rotation_factor,
     proxy_params_for,
     record_bootstrap_trace,
+    record_helr_iteration_trace,
+    record_resnet_block_trace,
     recorded_workload_timing,
     simulate_recorded_bootstrap,
     simulate_recorded_helr_iteration,
@@ -90,6 +92,8 @@ __all__ = [
     "hoisted_rotation_factor",
     "proxy_params_for",
     "record_bootstrap_trace",
+    "record_helr_iteration_trace",
+    "record_resnet_block_trace",
     "recorded_workload_timing",
     "simulate_recorded_bootstrap",
     "simulate_recorded_helr_iteration",

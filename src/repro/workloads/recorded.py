@@ -116,14 +116,108 @@ def record_bootstrap_trace(params: CkksParams = None, *,
     return trace
 
 
+def record_helr_iteration_trace(params: CkksParams = None, *,
+                                proxy_log2n: int = 8, samples: int = 2,
+                                features: int = 4,
+                                seed: int = 0) -> OpTrace:
+    """Record one functional mini-HELR training iteration at proxy scale.
+
+    The recording covers the per-sample dot product, the rotation
+    all-reduce, the polynomial sigmoid and the masked gradient update of
+    :class:`~repro.workloads.helr.EncryptedLogisticRegression` — the
+    dataflow the hand-counted ``helr_iteration_schedule`` approximates.
+    Cached per chain structure and knob set.
+    """
+    from .helr import EncryptedLogisticRegression
+
+    params = params or ParameterSets.helr()
+    proxy = proxy_params_for(params, proxy_log2n)
+    key = ("helr", _chain_key(params), proxy.n, samples, features, seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+
+    ctx = CkksContext.create(proxy, seed=seed)
+    keys = ctx.keygen(
+        rotations=EncryptedLogisticRegression.required_rotations(ctx.slots)
+    )
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(samples, features))
+    y = (x.sum(axis=1) > 0).astype(float)
+    model = EncryptedLogisticRegression(ctx, keys)
+    with record(f"helr[{params.name or 'params'}]", params=proxy,
+                n=proxy.n) as rec:
+        model.train(x, y, iterations=1)
+    trace = rec.trace
+    _trace_cache[key] = trace
+    return trace
+
+
+def record_resnet_block_trace(params: CkksParams = None, *,
+                              proxy_log2n: int = 8, height: int = 4,
+                              width: int = 4, seed: int = 0) -> OpTrace:
+    """Record one functional ResNet basic block at proxy scale.
+
+    Conv -> square activation -> conv -> residual add, all under
+    encryption via :class:`~repro.workloads.resnet.EncryptedConv2d`
+    (hoisted kernel-position rotations, wide-accumulator mask reduce).
+    Cached per chain structure and knob set.
+    """
+    from .resnet import EncryptedConv2d
+
+    params = params or ParameterSets.resnet()
+    proxy = proxy_params_for(params, proxy_log2n)
+    key = ("resnet", _chain_key(params), proxy.n, height, width, seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+
+    ctx = CkksContext.create(proxy, seed=seed)
+    keys = ctx.keygen(
+        rotations=EncryptedConv2d.required_rotations(width, ctx.slots)
+    )
+    rng = np.random.default_rng(seed)
+    kernel = rng.uniform(-0.5, 0.5, size=(3, 3))
+    conv1 = EncryptedConv2d(ctx, keys, kernel)
+    conv2 = EncryptedConv2d(ctx, keys, kernel.T.copy())
+    img = np.zeros(ctx.slots)
+    img[: height * width] = rng.uniform(-1, 1, size=height * width)
+    ct = ctx.encrypt(img, keys)
+    ev = ctx.evaluator
+    with record(f"resnet-block[{params.name or 'params'}]", params=proxy,
+                n=proxy.n) as rec:
+        mid = conv1.forward(ct, height, width, square_activation=True)
+        out = conv2.forward(mid, height, width)
+        ev.hadd_matched(ev.level_down(ct, out.level), out)  # residual
+    trace = rec.trace
+    _trace_cache[key] = trace
+    return trace
+
+
 def _lower_for(trace: OpTrace, scheduler: OperationScheduler, *,
-               style: str = "pe", batch: int = 1):
-    """Lower ``trace`` at the scheduler's params/device/geometry."""
-    return lower_trace(
+               style: str = "pe", batch: int = 1, optimize: bool = False,
+               search: bool = False):
+    """Lower ``trace`` at the scheduler's params/device/geometry.
+
+    ``optimize`` runs the :mod:`repro.trace.opt` pass pipeline over the
+    recording first; ``search`` re-orders the lowered DAG with
+    :func:`~repro.trace.opt.schedule_search` (both off by default so the
+    recorded numbers stay directly comparable to the hand counts).
+    """
+    if optimize:
+        from ..trace.opt import optimize_trace
+
+        trace, _ = optimize_trace(trace)
+    dag = lower_trace(
         trace, params=scheduler.params, style=style,
         device=scheduler.device, ntt_variant=scheduler.ntt.variant,
         geometry=scheduler.geometry, batch=batch,
     )
+    if search:
+        from ..trace.opt import schedule_search
+
+        dag, _ = schedule_search(dag, scheduler.device)
+    return dag
 
 
 def simulate_recorded_bootstrap(params: CkksParams = None, *,
@@ -132,6 +226,8 @@ def simulate_recorded_bootstrap(params: CkksParams = None, *,
                                 style: str = "pe",
                                 proxy_log2n: int = None, fuse: int = None,
                                 sine_degree: int = None,
+                                optimize: bool = False,
+                                search: bool = False,
                                 seed: int = 0) -> WorkloadTiming:
     """Record one bootstrap functionally and price the lowered DAG.
 
@@ -147,14 +243,16 @@ def simulate_recorded_bootstrap(params: CkksParams = None, *,
         params, proxy_log2n=proxy_log2n, fuse=fuse,
         sine_degree=sine_degree, seed=seed,
     )
-    dag = _lower_for(trace, scheduler, style=style, batch=batch)
+    dag = _lower_for(trace, scheduler, style=style, batch=batch,
+                     optimize=optimize, search=search)
     result = dag.run(scheduler.device)
     breakdown: Dict[str, float] = {}
     for entry in result.entries:
         group = dag.nodes[entry.index].group
         breakdown[group] = breakdown.get(group, 0.0) + entry.duration_us
+    suffix = "+opt" if optimize or search else ""
     return WorkloadTiming(
-        name=f"Boot-recorded[{style}]", total_us=result.elapsed_us,
+        name=f"Boot-recorded[{style}{suffix}]", total_us=result.elapsed_us,
         batch=batch, breakdown=breakdown,
     )
 
