@@ -157,7 +157,8 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
         )  # each (L+K, S, N)
         _temit("inner_product", primes=num_target, digits=num_digits,
                accumulators=2, steps=num_steps, reads=(ext_eval,),
-               writes=(acc0, acc1))
+               writes=(acc0, acc1),
+               key_material=tuple(keys.rotation[s] for s in steps))
 
         # --- batched tail: INTT + ModDown + NTT of every accumulator -------
         acc = np.concatenate([acc0, acc1], axis=1)  # (L+K, 2S, N)

@@ -149,7 +149,8 @@ def keyswitch(d: RnsPoly, ksk: KeySwitchKey, special_moduli: Tuple[int, ...],
             axis=1,
         )
         _temit("inner_product", primes=num_target, digits=num_digits,
-               accumulators=2, reads=(ext_eval,), writes=(acc,))
+               accumulators=2, reads=(ext_eval,), writes=(acc,),
+               key_material=(ksk,))
         if pool is not None:
             pool.allocate(acc.nbytes, "inner_product")
 

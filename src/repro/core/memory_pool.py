@@ -37,7 +37,16 @@ class Allocation:
 
 class MemoryPool:
     """Bump allocator with explicit reset, mirroring the framework's
-    per-operation reuse of one preallocated slab."""
+    per-operation reuse of one preallocated slab.
+
+    The serving layer additionally uses one pool per simulated device as
+    the HBM admission ledger: batches :meth:`allocate` their working set
+    on admission and :meth:`release` it on completion.  Releases reclaim
+    the bump cursor down to the highest still-live allocation, so the
+    FIFO completion order of a serially-executing device returns memory
+    exactly; out-of-order releases leave a hole until the neighbors
+    retire (which only ever *over*-accounts — capacity is never
+    exceeded)."""
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -46,7 +55,7 @@ class MemoryPool:
         self._cursor = 0
         self._live: List[Allocation] = []
         self.stats: Dict[str, int] = {
-            "allocations": 0, "resets": 0, "peak_bytes": 0,
+            "allocations": 0, "resets": 0, "releases": 0, "peak_bytes": 0,
         }
 
     @classmethod
@@ -78,6 +87,31 @@ class MemoryPool:
         self.stats["allocations"] += 1
         self.stats["peak_bytes"] = max(self.stats["peak_bytes"], self._cursor)
         return alloc
+
+    def fits(self, size: int) -> bool:
+        """Whether :meth:`allocate` of ``size`` would succeed right now."""
+        if size <= 0:
+            return False
+        aligned = (size + 255) // 256 * 256
+        return self._cursor + aligned <= self.capacity
+
+    def release(self, alloc: Allocation) -> None:
+        """Return one live allocation to the pool.
+
+        The cursor rewinds to the end of the highest remaining live
+        allocation, so trailing holes are reclaimed immediately and
+        interior holes as soon as everything above them releases.
+        """
+        try:
+            self._live.remove(alloc)
+        except ValueError:
+            raise ValueError(
+                f"allocation {alloc.tag!r} @{alloc.offset} is not live"
+            ) from None
+        self._cursor = max(
+            (a.offset + a.size for a in self._live), default=0
+        )
+        self.stats["releases"] += 1
 
     def reset(self) -> None:
         """Release everything (between homomorphic operations)."""

@@ -41,7 +41,9 @@ from .streams import (
     DagKernel,
     ExecutionResult,
     TimelineEntry,
+    cache_stats_scope,
     profile_cache_stats,
+    reset_cache_stats,
     run_dag,
     run_serial,
     run_streams,
@@ -54,6 +56,18 @@ from .timeline import (
     to_chrome_trace,
 )
 
+# Imported last: the fleet layer pulls in repro.core (for the per-device
+# MemoryPool ledger), whose own init re-enters this package and needs
+# the engine/stream names above to be bound already.
+from .multi import (  # noqa: E402
+    FleetDevice,
+    FleetEntry,
+    FleetResult,
+    GpuFleet,
+    fleet_to_chrome_trace,
+    save_fleet_trace,
+)
+
 __all__ = [
     "A100_PCIE_80G",
     "A100_SXM_40G",
@@ -62,6 +76,10 @@ __all__ = [
     "BYTES_PER_SMEM_INSTR",
     "DagKernel",
     "ExecutionResult",
+    "FleetDevice",
+    "FleetEntry",
+    "FleetResult",
+    "GpuFleet",
     "GpuSpec",
     "H100_SXM",
     "KNOWN_DEVICES",
@@ -77,10 +95,14 @@ __all__ = [
     "V100",
     "WARP_SIZE",
     "aggregate",
+    "cache_stats_scope",
     "compute_occupancy",
+    "fleet_to_chrome_trace",
     "profile_cache_stats",
     "render_timeline",
+    "reset_cache_stats",
     "run_dag",
+    "save_fleet_trace",
     "run_serial",
     "run_streams",
     "save_chrome_trace",

@@ -1,0 +1,306 @@
+"""Multi-device fleet layer over the single-GPU simulator.
+
+One :class:`GpuFleet` holds N :class:`FleetDevice` instances — each a
+:class:`~repro.gpusim.device.GpuSpec` with its own HBM admission ledger
+(a :class:`~repro.core.memory_pool.MemoryPool`) and its own execution
+timeline.  A device executes admitted batches serially in FIFO order
+(the §III-A observation scaled up: one FHE batch occupies the whole SM
+array, so a device is a single-server queue), with each batch's service
+time priced by :func:`~repro.gpusim.streams.run_dag` over the batch's
+lowered kernel DAG.  The openFHE-GPU ``GPUSetup(numGPUs)`` API is the
+shape of this abstraction: devices are homogeneous by default but any
+mix of specs is accepted.
+
+The fleet is driven by a discrete-event loop (see
+:mod:`repro.serving.simulator`): ``admit`` reserves HBM and enqueues,
+``complete`` retires the finished batch, frees its reservation and
+starts the next queued one.  Both return the batch(es) that *started*
+so the caller can schedule their completion events.  All state changes
+happen at caller-provided simulation times — the fleet never invents
+time — which is what makes whole-fleet runs deterministic.
+
+:func:`fleet_to_chrome_trace` exports the per-device timelines as one
+Perfetto JSON: one process per device, batch slices on the execution
+thread, and counter tracks for HBM-in-use and queue depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.memory_pool import Allocation, MemoryPool
+from .device import A100_PCIE_80G, GpuSpec
+
+#: Default device memory when the caller does not size it explicitly —
+#: the A100-PCIE-80G of the paper's testbed.
+DEFAULT_HBM_BYTES = 80 * 1024**3
+
+
+@dataclass
+class FleetEntry:
+    """One batch that ran to completion on one fleet device."""
+
+    device: int
+    label: str
+    kind: str
+    batch: int
+    enqueued_us: float
+    start_us: float
+    end_us: float
+    hbm_bytes: int
+    jobs: Tuple[int, ...] = ()
+
+    @property
+    def service_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def queue_wait_us(self) -> float:
+        return self.start_us - self.enqueued_us
+
+
+@dataclass
+class FleetJob:
+    """One schedulable unit (a ciphertext batch) while inside the fleet.
+
+    ``service_us`` is the batch's priced :func:`run_dag` latency on the
+    target device; ``hbm_bytes`` the working-set reservation admission
+    control charges against the device pool.  ``payload`` is opaque to
+    the fleet (the serving layer stores its batch record there).
+    """
+
+    label: str
+    service_us: float
+    hbm_bytes: int
+    kind: str = ""
+    batch: int = 1
+    jobs: Tuple[int, ...] = ()
+    payload: Any = None
+    device: int = -1
+    enqueued_us: float = -1.0
+    start_us: float = -1.0
+    end_us: float = -1.0
+    _alloc: Optional[Allocation] = field(default=None, repr=False)
+
+
+class FleetDevice:
+    """One simulated GPU of the fleet: spec + HBM pool + FIFO queue."""
+
+    def __init__(self, spec: GpuSpec, index: int,
+                 hbm_bytes: int = DEFAULT_HBM_BYTES):
+        self.spec = spec
+        self.index = index
+        self.hbm_bytes = int(hbm_bytes)
+        #: Per-device HBM admission ledger (§IV-D-1 pool, fleet-scoped).
+        self.pool = MemoryPool(self.hbm_bytes)
+        self.queue: List[FleetJob] = []
+        self.running: Optional[FleetJob] = None
+        self.busy_us = 0.0
+        self.entries: List[FleetEntry] = []
+
+    @property
+    def hbm_in_use(self) -> int:
+        return self.pool.in_use
+
+    @property
+    def hbm_free(self) -> int:
+        return self.pool.free
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue) + (1 if self.running is not None else 0)
+
+    def outstanding_us(self, now: float) -> float:
+        """Work committed to this device but not yet finished."""
+        total = sum(w.service_us for w in self.queue)
+        if self.running is not None:
+            total += max(self.running.end_us - now, 0.0)
+        return total
+
+    def fits(self, hbm_bytes: int) -> bool:
+        return self.pool.fits(hbm_bytes)
+
+    def utilization(self, horizon_us: float) -> float:
+        return self.busy_us / horizon_us if horizon_us > 0 else 0.0
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished fleet simulation produced."""
+
+    devices: List[FleetDevice]
+    #: (t_us, device, hbm_in_use_bytes, queue_depth) samples at events.
+    counters: List[Tuple[float, int, int, int]]
+
+    @property
+    def entries(self) -> List[FleetEntry]:
+        out = [e for d in self.devices for e in d.entries]
+        out.sort(key=lambda e: (e.start_us, e.device))
+        return out
+
+    @property
+    def makespan_us(self) -> float:
+        return max((e.end_us for d in self.devices for e in d.entries),
+                   default=0.0)
+
+    def utilizations(self, horizon_us: Optional[float] = None
+                     ) -> List[float]:
+        h = horizon_us if horizon_us is not None else self.makespan_us
+        return [d.utilization(h) for d in self.devices]
+
+
+class GpuFleet:
+    """N simulated devices behind one admission/execution interface."""
+
+    def __init__(self, num_devices: int = 1,
+                 spec: GpuSpec = A100_PCIE_80G, *,
+                 hbm_bytes: int = DEFAULT_HBM_BYTES,
+                 specs: Optional[Sequence[GpuSpec]] = None):
+        if specs is not None:
+            self.devices = [
+                FleetDevice(s, i, hbm_bytes) for i, s in enumerate(specs)
+            ]
+        else:
+            if num_devices < 1:
+                raise ValueError("fleet needs at least one device")
+            self.devices = [
+                FleetDevice(spec, i, hbm_bytes)
+                for i in range(num_devices)
+            ]
+        self.counters: List[Tuple[float, int, int, int]] = []
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    # -- admission --------------------------------------------------------
+    def admit(self, job: FleetJob, device: int, now: float
+              ) -> Tuple[bool, Optional[FleetJob]]:
+        """Reserve HBM for ``job`` on ``device`` and enqueue it.
+
+        Returns ``(admitted, started)``: ``admitted`` is whether the
+        reservation fit (on ``False`` the job is left untouched,
+        ``rejections`` increments, and the caller retries later — the
+        per-device :class:`MemoryPool` is never driven past capacity);
+        ``started`` is the job that began *running* as a result
+        (``job`` itself on an idle device, else ``None``).
+        """
+        dev = self.devices[device]
+        if not dev.pool.fits(job.hbm_bytes):
+            self.rejections += 1
+            return False, None
+        job._alloc = dev.pool.allocate(job.hbm_bytes, tag=job.label)
+        job.device = device
+        job.enqueued_us = now
+        dev.queue.append(job)
+        self._sample(dev, now)
+        return True, self._maybe_start(dev, now)
+
+    def complete(self, job: FleetJob, now: float) -> Optional[FleetJob]:
+        """Retire ``job`` at its end time; start the next queued batch."""
+        dev = self.devices[job.device]
+        if dev.running is not job:
+            raise RuntimeError(
+                f"device {dev.index} is not running {job.label!r}"
+            )
+        dev.running = None
+        dev.busy_us += job.service_us
+        dev.pool.release(job._alloc)
+        job._alloc = None
+        dev.entries.append(FleetEntry(
+            device=dev.index, label=job.label, kind=job.kind,
+            batch=job.batch, enqueued_us=job.enqueued_us,
+            start_us=job.start_us, end_us=job.end_us,
+            hbm_bytes=job.hbm_bytes, jobs=job.jobs,
+        ))
+        self._sample(dev, now)
+        return self._maybe_start(dev, now)
+
+    def _maybe_start(self, dev: FleetDevice, now: float
+                     ) -> Optional[FleetJob]:
+        if dev.running is not None or not dev.queue:
+            return None
+        job = dev.queue.pop(0)
+        job.start_us = now
+        job.end_us = now + job.service_us
+        dev.running = job
+        return job
+
+    def _sample(self, dev: FleetDevice, now: float) -> None:
+        self.counters.append(
+            (now, dev.index, dev.hbm_in_use, dev.queue_depth)
+        )
+
+    # -- queries ----------------------------------------------------------
+    def least_loaded(self, now: float, *,
+                     fitting: Optional[int] = None) -> Optional[int]:
+        """Device index with the least outstanding work.
+
+        ``fitting``: only consider devices whose free HBM admits that
+        many bytes; returns ``None`` when no device qualifies.  Ties
+        break by device index, so placement is deterministic.
+        """
+        best, best_load = None, float("inf")
+        for dev in self.devices:
+            if fitting is not None and not dev.fits(fitting):
+                continue
+            load = dev.outstanding_us(now)
+            if load < best_load - 1e-9:
+                best, best_load = dev.index, load
+        return best
+
+    def result(self) -> FleetResult:
+        return FleetResult(devices=list(self.devices),
+                           counters=list(self.counters))
+
+
+# -- Perfetto export ------------------------------------------------------
+
+
+def fleet_to_chrome_trace(result: FleetResult) -> dict:
+    """Chrome-tracing JSON of a whole fleet run.
+
+    One process per device (named after its spec), batch slices on
+    thread 0, plus two counter tracks per device: HBM in use (MiB) and
+    queue depth.  Open in chrome://tracing or Perfetto.
+    """
+    events: List[dict] = []
+    for dev in result.devices:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": dev.index,
+            "args": {"name": f"gpu{dev.index} ({dev.spec.name})"},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": dev.index, "tid": 0,
+            "args": {"name": "batches"},
+        })
+        for e in dev.entries:
+            events.append({
+                "name": e.label, "ph": "X", "ts": e.start_us,
+                "dur": e.service_us, "pid": e.device, "tid": 0,
+                "args": {
+                    "kind": e.kind, "batch": e.batch,
+                    "jobs": len(e.jobs),
+                    "queue_wait_us": round(e.queue_wait_us, 2),
+                    "hbm_mb": round(e.hbm_bytes / 2**20, 1),
+                },
+            })
+    for t, device, hbm, depth in result.counters:
+        events.append({
+            "name": "HBM in use (MiB)", "ph": "C", "ts": t,
+            "pid": device, "args": {"mib": round(hbm / 2**20, 1)},
+        })
+        events.append({
+            "name": "queue depth", "ph": "C", "ts": t,
+            "pid": device, "args": {"batches": depth},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def save_fleet_trace(result: FleetResult, path: str) -> None:
+    """Write :func:`fleet_to_chrome_trace` output as a JSON file."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(fleet_to_chrome_trace(result), fh, indent=1)

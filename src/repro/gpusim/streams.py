@@ -178,6 +178,41 @@ def profile_cache_stats() -> Dict[str, int]:
     return dict(_PROFILE_CACHE)
 
 
+def reset_cache_stats() -> None:
+    """Zero the process-global profile-cache counters.
+
+    Multi-run simulations (the serving layer prices thousands of DAGs
+    per experiment) call this between experiments so hit/miss counts
+    describe one run instead of accumulating across the process — the
+    same scoping problem :func:`profile_cache_stats`'s ``runs`` counter
+    only papers over.
+    """
+    for k in _PROFILE_CACHE:
+        _PROFILE_CACHE[k] = 0
+
+
+class cache_stats_scope:
+    """Context manager giving one block its own cache-stat window.
+
+    Counters are zeroed on entry and *restored cumulatively* on exit
+    (outer totals keep counting through the block); read the block's own
+    numbers with :func:`profile_cache_stats` before leaving, or from the
+    ``stats`` attribute afterwards.
+    """
+
+    def __enter__(self) -> "cache_stats_scope":
+        self._outer = profile_cache_stats()
+        reset_cache_stats()
+        self.stats: Dict[str, int] = {}
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stats = profile_cache_stats()
+        for k in ("hits", "misses", "runs"):
+            _PROFILE_CACHE[k] = self._outer[k] + self.stats[k]
+        return False
+
+
 @dataclass(frozen=True)
 class DagKernel:
     """One node of a dependency-aware launch graph.

@@ -146,11 +146,64 @@ def dagopt_summary() -> str:
     )
 
 
+def serving_summary() -> str:
+    """Multi-GPU serving results (DESIGN.md §13).
+
+    Reads ``BENCH_serving.json`` when the benchmark has been run;
+    otherwise simulates one small boot-only fleet sweep live.
+    """
+    import json
+    import os
+
+    rows = []
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_serving.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        for w in data["scaling"]:
+            for f in w["fleets"]:
+                rows.append([
+                    w["workload"], f["gpus"],
+                    round(f["throughput_jobs_per_s"], 1),
+                    round(f["p99_us"] / 1e3, 1),
+                    f"x{f['throughput_jobs_per_s'] / w['fleets'][0]['throughput_jobs_per_s']:.2f}",
+                ])
+        title = (
+            "Multi-GPU serving (BENCH_serving.json; memory-aware p99 "
+            f"x{data['headline']['memory_aware_vs_round_robin_p99']:.2f} "
+            "vs round-robin, dagopt thr "
+            f"x{data['headline']['dagopt_throughput_gain']:.2f})"
+        )
+    else:
+        from .serving import ServingConfig, ServingSimulator, default_catalog
+
+        catalog = default_catalog(("boot",))
+        base = None
+        for gpus in (1, 2, 4):
+            rep = ServingSimulator(ServingConfig(
+                gpus=gpus, kinds=("boot",), rate_per_s=800.0,
+                horizon_us=300_000.0, seed=0), catalog).run()
+            thr = rep.throughput_jobs_per_s
+            base = thr if base is None else base
+            rows.append([
+                "boot-only", gpus, round(thr, 1),
+                round(rep.latency["p99_us"] / 1e3, 1),
+                f"x{thr / base:.2f}",
+            ])
+        title = "Multi-GPU serving (live run; see bench_serving)"
+    return format_table(
+        ["workload", "gpus", "jobs/s", "p99 ms", "scaling"],
+        rows, title=title, col_width=11,
+    )
+
+
 def main(argv=None) -> int:
     print("WarpDrive reproduction — headline results")
     print("=" * 64)
     for section in (ntt_summary, variant_summary, hmult_summary,
-                    trace_summary, dagopt_summary, lint_gate_summary):
+                    trace_summary, dagopt_summary, serving_summary,
+                    lint_gate_summary):
         print()
         print(section())
     print()

@@ -1,0 +1,81 @@
+"""FHE serving layer: request-queue simulation over a simulated GPU fleet.
+
+The production-traffic story of the ROADMAP north star, made measurable:
+encrypted jobs (HELR iterations, ResNet blocks, SET-C bootstraps, AES
+transcipher blocks — each a recorded trace DAG) arrive at configurable
+rates, are ciphertext-level batched, and are scheduled across N
+simulated A100s (:class:`~repro.gpusim.multi.GpuFleet`), each device
+pricing its batches through the existing dependency-aware
+:func:`~repro.gpusim.run_dag` with per-device
+:class:`~repro.core.memory_pool.MemoryPool` HBM admission control.
+
+Quick use::
+
+    from repro.serving import ServingConfig, simulate_serving
+    report = simulate_serving(ServingConfig(
+        gpus=4, rate_per_s=20.0, policy="memory_aware", seed=0,
+    ))
+    print(report.summary())
+
+or from the command line::
+
+    python -m repro.serving --gpus 4 --rate 20
+
+Every stochastic path takes an explicit seed/rng: the same
+:class:`ServingConfig` always produces the identical report.
+"""
+
+from .arrivals import (
+    Arrival,
+    ArrivalProcess,
+    ClosedLoop,
+    OpenLoop,
+    burst_arrivals,
+    poisson_arrivals,
+)
+from .batcher import Batch, Batcher, BatchingPolicy
+from .jobs import (
+    DEFAULT_JOB_KINDS,
+    JobClass,
+    JobCatalog,
+    PricedBatch,
+    default_catalog,
+)
+from .metrics import ServingReport, percentile
+from .policies import (
+    POLICIES,
+    LeastLoaded,
+    MemoryAware,
+    PlacementPolicy,
+    RoundRobin,
+    make_policy,
+)
+from .simulator import ServingConfig, ServingSimulator, simulate_serving
+
+__all__ = [
+    "Arrival",
+    "ArrivalProcess",
+    "Batch",
+    "Batcher",
+    "BatchingPolicy",
+    "ClosedLoop",
+    "DEFAULT_JOB_KINDS",
+    "JobCatalog",
+    "JobClass",
+    "LeastLoaded",
+    "MemoryAware",
+    "OpenLoop",
+    "POLICIES",
+    "PlacementPolicy",
+    "PricedBatch",
+    "RoundRobin",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSimulator",
+    "burst_arrivals",
+    "default_catalog",
+    "make_policy",
+    "percentile",
+    "poisson_arrivals",
+    "simulate_serving",
+]

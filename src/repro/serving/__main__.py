@@ -1,0 +1,94 @@
+"""CLI front door: ``python -m repro.serving --gpus 4 --rate 20``.
+
+Runs one serving simulation and prints the report summary; ``--json``
+and ``--trace`` additionally write the machine-readable report and the
+per-device Perfetto fleet timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..gpusim.multi import DEFAULT_HBM_BYTES, save_fleet_trace
+from .jobs import DEFAULT_JOB_KINDS
+from .policies import POLICIES
+from .simulator import ServingConfig, ServingSimulator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Simulate an FHE serving fleet over gpusim.",
+    )
+    p.add_argument("--gpus", type=int, default=1,
+                   help="fleet size (default 1)")
+    p.add_argument("--rate", type=float, default=10.0,
+                   help="mean arrival rate, jobs/s (default 10)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=("poisson", "burst", "closed"),
+                   help="arrival process (default poisson)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="closed-loop client population (default 8)")
+    p.add_argument("--think-ms", type=float, default=0.0,
+                   help="closed-loop mean think time, ms (default 0)")
+    p.add_argument("--horizon-s", type=float, default=1.0,
+                   help="arrival horizon, seconds (default 1.0)")
+    p.add_argument("--policy", default="least_loaded",
+                   choices=sorted(POLICIES),
+                   help="placement policy (default least_loaded)")
+    p.add_argument("--kinds", default=",".join(DEFAULT_JOB_KINDS),
+                   help="comma-separated job kinds "
+                        f"(default {','.join(DEFAULT_JOB_KINDS)})")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="cap ciphertext batch size (default: per-class)")
+    p.add_argument("--max-wait-ms", type=float, default=5.0,
+                   help="batching deadline, ms (default 5)")
+    p.add_argument("--optimize", action="store_true",
+                   help="pre-compile job DAGs with the dagopt pipeline")
+    p.add_argument("--seed", type=int, default=0,
+                   help="simulation seed (default 0)")
+    p.add_argument("--hbm-gb", type=float,
+                   default=DEFAULT_HBM_BYTES / 2**30,
+                   help="per-device HBM, GiB (default 80)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full report as JSON")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write the Perfetto fleet timeline JSON")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServingConfig(
+        gpus=args.gpus,
+        kinds=tuple(k.strip() for k in args.kinds.split(",") if k.strip()),
+        rate_per_s=args.rate,
+        arrival=args.arrival,
+        clients=args.clients,
+        think_time_us=args.think_ms * 1e3,
+        horizon_us=args.horizon_s * 1e6,
+        policy=args.policy,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_ms * 1e3,
+        optimize=args.optimize,
+        seed=args.seed,
+        hbm_bytes=int(args.hbm_gb * 2**30),
+    )
+    sim = ServingSimulator(config)
+    report = sim.run()
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1)
+        print(f"report -> {args.json}")
+    if args.trace:
+        save_fleet_trace(sim.fleet_result(), args.trace)
+        print(f"fleet timeline -> {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

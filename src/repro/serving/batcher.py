@@ -1,0 +1,122 @@
+"""Ciphertext-level batching: size- and deadline-triggered batch closure.
+
+Requests of one job class queue per kind; a batch closes (and goes to
+placement) when either
+
+* **size trigger** — the queue reaches the batch ceiling (the smaller of
+  the policy's ``max_batch`` and the class's ``max_batch``), or
+* **deadline trigger** — the oldest queued request has waited
+  ``max_wait_us`` (tail latency is bounded even at trickle rates).
+
+The simulator turns deadline triggers into heap events via
+:meth:`Batcher.next_deadline`; stale deadline events are harmless
+(``flush_due`` simply returns nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Job:
+    """One request through its lifetime."""
+
+    jid: int
+    kind: str
+    arrival_us: float
+    completion_us: float = -1.0
+
+    @property
+    def latency_us(self) -> float:
+        return self.completion_us - self.arrival_us
+
+    @property
+    def done(self) -> bool:
+        return self.completion_us >= 0
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Batch-closure knobs.
+
+    ``max_batch=None`` defers to each job class's own ceiling;
+    ``max_wait_us`` is the deadline trigger.  ``max_batch=1`` disables
+    batching entirely (the no-batching baseline).
+    """
+
+    max_batch: Optional[int] = None
+    max_wait_us: float = 5000.0
+
+
+@dataclass
+class Batch:
+    """A closed batch on its way to (or through) a device."""
+
+    kind: str
+    jobs: Tuple[Job, ...]
+    formed_us: float
+
+    @property
+    def size(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind} x{self.size}"
+
+
+class Batcher:
+    """Per-kind request queues with size/deadline closure."""
+
+    def __init__(self, policy: BatchingPolicy,
+                 batch_ceiling: Callable[[str], int]):
+        self.policy = policy
+        self._ceiling = batch_ceiling
+        self._queues: Dict[str, List[Job]] = {}
+
+    def limit(self, kind: str) -> int:
+        ceiling = self._ceiling(kind)
+        if self.policy.max_batch is not None:
+            ceiling = min(ceiling, self.policy.max_batch)
+        return max(1, ceiling)
+
+    @property
+    def depth(self) -> int:
+        """Requests queued and not yet in a closed batch."""
+        return sum(len(q) for q in self._queues.values())
+
+    def add(self, job: Job, now: float) -> Optional[Batch]:
+        """Queue one request; returns the batch if this closed one."""
+        q = self._queues.setdefault(job.kind, [])
+        q.append(job)
+        if len(q) >= self.limit(job.kind):
+            self._queues[job.kind] = []
+            return Batch(kind=job.kind, jobs=tuple(q), formed_us=now)
+        return None
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest time any queued request hits its wait deadline."""
+        heads = [q[0].arrival_us for q in self._queues.values() if q]
+        if not heads:
+            return None
+        return min(heads) + self.policy.max_wait_us
+
+    def flush_due(self, now: float) -> List[Batch]:
+        """Close every queue whose oldest request has waited out."""
+        out: List[Batch] = []
+        for kind, q in self._queues.items():
+            if q and now - q[0].arrival_us >= self.policy.max_wait_us - 1e-9:
+                self._queues[kind] = []
+                out.append(Batch(kind=kind, jobs=tuple(q), formed_us=now))
+        return out
+
+    def flush_all(self, now: float) -> List[Batch]:
+        """Close everything (end of simulation)."""
+        out = [
+            Batch(kind=kind, jobs=tuple(q), formed_us=now)
+            for kind, q in self._queues.items() if q
+        ]
+        self._queues = {}
+        return out

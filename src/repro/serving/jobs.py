@@ -1,0 +1,211 @@
+"""Job catalog: encrypted workloads as priced, batchable kernel DAGs.
+
+A :class:`JobClass` names one servable workload — the recorded trace of
+a functional run plus the full-ring parameter set it lowers at.  The
+:class:`JobCatalog` prices (kind, batch size, optimized?) combinations
+once each through :func:`~repro.trace.lower_trace` → ``run_dag`` and
+caches the result, so the discrete-event loop looks service times up in
+O(1) no matter how many requests it simulates.
+
+Ciphertext-level batching is the ``batch`` knob of the lowering: a batch
+of B requests of one class runs as one DAG whose every launch carries B
+ciphertexts, exactly as the static plan builders batch.  Because wide
+launches amortize launch overhead and fill the SM array better,
+``service_us(B) < B * service_us(1)`` — that gap is what the batching
+policy harvests.
+
+``optimized=True`` pre-compiles the recording with the
+:mod:`repro.trace.opt` pass pipeline and re-orders the lowered DAG with
+``schedule_search`` — the PR-7 dagopt wins surfacing as served
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..ckks.params import CkksParams, ParameterSets
+from ..core.memory_pool import max_working_set_bytes
+from ..core.scheduler import OperationScheduler
+from ..gpusim import GpuSpec
+from ..gpusim.device import A100_PCIE_80G
+from ..trace import lower_trace
+from ..trace.ir import OpTrace
+from ..workloads.recorded import (
+    record_bootstrap_trace,
+    record_helr_iteration_trace,
+    record_resnet_block_trace,
+    record_transcipher_block_trace,
+)
+
+#: Kinds the default catalog serves, in catalog order.
+DEFAULT_JOB_KINDS = ("boot", "helr", "resnet", "aes")
+
+
+@dataclass(frozen=True)
+class JobClass:
+    """One servable workload class."""
+
+    name: str
+    params: CkksParams
+    #: Returns the recorded proxy-scale trace (cached by the recorder).
+    recorder: Callable[[], OpTrace]
+    #: Ciphertext-batching ceiling the batcher may form.
+    max_batch: int = 8
+    #: Latency SLO as a multiple of the solo (batch-1) service time;
+    #: resolved to microseconds by :meth:`JobCatalog.slo_us`.
+    slo_factor: float = 8.0
+    description: str = ""
+
+
+def _default_classes() -> Dict[str, JobClass]:
+    return {
+        "boot": JobClass(
+            name="boot", params=ParameterSets.set_c(),
+            recorder=lambda: record_bootstrap_trace(ParameterSets.set_c()),
+            description="SET-C slim bootstrap (recorded)",
+        ),
+        "helr": JobClass(
+            name="helr", params=ParameterSets.helr(),
+            recorder=record_helr_iteration_trace,
+            description="HELR training iteration (recorded)",
+        ),
+        "resnet": JobClass(
+            name="resnet", params=ParameterSets.resnet(),
+            recorder=record_resnet_block_trace,
+            description="ResNet basic block (recorded)",
+        ),
+        "aes": JobClass(
+            name="aes", params=ParameterSets.aes(),
+            recorder=record_transcipher_block_trace,
+            description="AES transcipher round block (recorded)",
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class PricedBatch:
+    """One priced (kind, batch, optimized) combination."""
+
+    kind: str
+    batch: int
+    optimized: bool
+    service_us: float
+    kernels: int
+    hbm_bytes: int
+
+
+class JobCatalog:
+    """Prices job classes on one device spec, with caching.
+
+    ``style``/``device`` follow the trace-lowering conventions.  Every
+    public query is deterministic; the only expensive calls are the
+    first per (kind, batch, optimized) triple.
+    """
+
+    def __init__(self, kinds: Sequence[str] = DEFAULT_JOB_KINDS, *,
+                 device: GpuSpec = A100_PCIE_80G, style: str = "pe",
+                 classes: Optional[Dict[str, JobClass]] = None):
+        available = classes if classes is not None else _default_classes()
+        unknown = set(kinds) - set(available)
+        if unknown:
+            raise ValueError(
+                f"unknown job kind(s) {sorted(unknown)}; "
+                f"known: {sorted(available)}"
+            )
+        self.classes: Dict[str, JobClass] = {
+            k: available[k] for k in kinds
+        }
+        self.device = device
+        self.style = style
+        self._traces: Dict[Tuple[str, bool], OpTrace] = {}
+        self._prices: Dict[Tuple[str, int, bool], PricedBatch] = {}
+        self._schedulers: Dict[str, OperationScheduler] = {}
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(self.classes)
+
+    def _scheduler(self, kind: str) -> OperationScheduler:
+        sched = self._schedulers.get(kind)
+        if sched is None:
+            sched = OperationScheduler(
+                self.classes[kind].params, device=self.device
+            )
+            self._schedulers[kind] = sched
+        return sched
+
+    def _trace(self, kind: str, optimized: bool) -> OpTrace:
+        cached = self._traces.get((kind, optimized))
+        if cached is not None:
+            return cached
+        trace = self.classes[kind].recorder()
+        if optimized:
+            from ..trace.opt import optimize_trace
+
+            trace, _ = optimize_trace(trace)
+        self._traces[(kind, optimized)] = trace
+        return trace
+
+    def price(self, kind: str, batch: int = 1, *,
+              optimized: bool = False) -> PricedBatch:
+        """Service time and footprint of one batch, cached."""
+        cls = self.classes[kind]
+        batch = max(1, min(int(batch), cls.max_batch))
+        key = (kind, batch, optimized)
+        cached = self._prices.get(key)
+        if cached is not None:
+            return cached
+
+        sched = self._scheduler(kind)
+        dag = lower_trace(
+            self._trace(kind, optimized), params=sched.params,
+            style=self.style, device=self.device,
+            ntt_variant=sched.ntt.variant, geometry=sched.geometry,
+            batch=batch,
+        )
+        if optimized:
+            from ..trace.opt import schedule_search
+
+            dag, scores = schedule_search(dag, self.device)
+            service_us = min(scores.values())
+        else:
+            service_us = dag.run(self.device).elapsed_us
+        priced = PricedBatch(
+            kind=kind, batch=batch, optimized=optimized,
+            service_us=service_us, kernels=dag.kernel_count,
+            hbm_bytes=self.working_bytes(kind, batch),
+        )
+        self._prices[key] = priced
+        return priced
+
+    def service_us(self, kind: str, batch: int = 1, *,
+                   optimized: bool = False) -> float:
+        return self.price(kind, batch, optimized=optimized).service_us
+
+    def working_bytes(self, kind: str, batch: int = 1) -> int:
+        """HBM working set one batch reserves on its device: the paper's
+        ``S_max`` key-switch working set at the class's parameters plus
+        the batch's resident input ciphertexts."""
+        params = self.classes[kind].params
+        return (
+            max_working_set_bytes(params, batch_size=batch)
+            + batch * params.ciphertext_bytes()
+        )
+
+    def slo_us(self, kind: str) -> float:
+        """The class's latency SLO in microseconds."""
+        return (
+            self.classes[kind].slo_factor * self.service_us(kind, 1)
+        )
+
+    def max_batch(self, kind: str) -> int:
+        return self.classes[kind].max_batch
+
+
+def default_catalog(kinds: Sequence[str] = DEFAULT_JOB_KINDS, *,
+                    device: GpuSpec = A100_PCIE_80G,
+                    style: str = "pe") -> JobCatalog:
+    """The standard four-workload catalog (module docstring)."""
+    return JobCatalog(kinds, device=device, style=style)

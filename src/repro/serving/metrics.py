@@ -1,0 +1,123 @@
+"""Serving metrics: latency percentiles, SLO attainment, fleet report.
+
+Percentiles are computed from **per-job completion times on the
+simulated fleet clock** (never wall-clock), with linear interpolation
+between order statistics so the same sample always yields the same
+value.  The :class:`ServingReport` is a plain-data summary of one
+finished simulation — ``to_dict`` round-trips through JSON untouched,
+which is what the same-seed determinism test compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0..100) with linear interpolation; 0 if empty."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    xs = sorted(float(v) for v in values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * (q / 100.0)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+
+def latency_stats(latencies_us: Sequence[float]) -> Dict[str, float]:
+    """The standard percentile block used everywhere in the report."""
+    if not latencies_us:
+        return {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                "p95_us": 0.0, "p99_us": 0.0, "max_us": 0.0}
+    return {
+        "count": len(latencies_us),
+        "mean_us": round(sum(latencies_us) / len(latencies_us), 3),
+        "p50_us": round(percentile(latencies_us, 50), 3),
+        "p95_us": round(percentile(latencies_us, 95), 3),
+        "p99_us": round(percentile(latencies_us, 99), 3),
+        "max_us": round(max(latencies_us), 3),
+    }
+
+
+@dataclass
+class ServingReport:
+    """Everything one serving simulation measured.
+
+    All times are simulated microseconds.  ``throughput_jobs_per_s``
+    counts jobs completed within the arrival horizon only, so drain
+    work after the last arrival does not flatter it.
+    """
+
+    config: Dict[str, Any]
+    horizon_us: float
+    makespan_us: float
+    submitted: int
+    completed: int
+    completed_by_horizon: int
+    throughput_jobs_per_s: float
+    latency: Dict[str, float]
+    per_kind: Dict[str, Dict[str, float]]
+    batches: Dict[str, float]
+    queue: Dict[str, float]
+    devices: List[Dict[str, float]] = field(default_factory=list)
+    rejections: int = 0
+    slo_attainment: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": dict(self.config),
+            "horizon_us": self.horizon_us,
+            "makespan_us": round(self.makespan_us, 3),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "completed_by_horizon": self.completed_by_horizon,
+            "throughput_jobs_per_s": round(self.throughput_jobs_per_s, 4),
+            "latency": dict(self.latency),
+            "per_kind": {k: dict(v) for k, v in self.per_kind.items()},
+            "batches": dict(self.batches),
+            "queue": dict(self.queue),
+            "devices": [dict(d) for d in self.devices],
+            "rejections": self.rejections,
+            "slo_attainment": round(self.slo_attainment, 4),
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest."""
+        cfg = self.config
+        lines = [
+            f"serving: {cfg.get('gpus', '?')} GPU(s), "
+            f"policy={cfg.get('policy', '?')}, "
+            f"arrival={cfg.get('arrival', '?')} "
+            f"@ {cfg.get('rate_per_s', '?')}/s, "
+            f"optimize={cfg.get('optimize', False)}, "
+            f"seed={cfg.get('seed', 0)}",
+            f"  jobs: {self.completed}/{self.submitted} completed "
+            f"({self.completed_by_horizon} within the "
+            f"{self.horizon_us / 1e6:.2f}s horizon) -> "
+            f"{self.throughput_jobs_per_s:.2f} jobs/s",
+            f"  latency: p50={self.latency['p50_us'] / 1e3:.2f}ms "
+            f"p95={self.latency['p95_us'] / 1e3:.2f}ms "
+            f"p99={self.latency['p99_us'] / 1e3:.2f}ms "
+            f"(SLO attainment {self.slo_attainment * 100:.1f}%)",
+            f"  batches: {int(self.batches['count'])} formed, "
+            f"mean size {self.batches['mean_size']:.2f}; "
+            f"queue depth mean {self.queue['mean_depth']:.2f} "
+            f"max {int(self.queue['max_depth'])}; "
+            f"admission rejections {self.rejections}",
+        ]
+        for dev in self.devices:
+            lines.append(
+                f"  gpu{int(dev['index'])}: "
+                f"util {dev['utilization'] * 100:.1f}%  "
+                f"busy {dev['busy_us'] / 1e3:.1f}ms  "
+                f"batches {int(dev['batches'])}  "
+                f"hbm peak {dev['hbm_peak_mib']:.0f} MiB"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Placement and admission policies for the GPU fleet.
+
+A policy answers one question per closed batch: *which device should run
+this?*  Three are shipped, ordered by how much fleet state they read:
+
+* :class:`RoundRobin` — rotate through devices, blind to both load and
+  memory.  The batch **pins** to its chosen device: if the reservation
+  does not fit, it waits for that device (head-of-line blocking — the
+  naive baseline's failure mode at high load).
+* :class:`LeastLoaded` — shortest-queue-first by outstanding work
+  (queued + remaining running microseconds); still memory-blind and
+  pinned on rejection.
+* :class:`MemoryAware` — least-loaded **among devices whose free HBM
+  admits the batch's working set**; when nothing fits the batch stays
+  *unpinned* and is re-placed at the next completion, so one full
+  device never blocks work that another could take.
+
+Ties break by device index everywhere — placement is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..gpusim.multi import GpuFleet
+
+
+class PlacementPolicy:
+    """Interface: pick a device index for a batch, or ``None``."""
+
+    name = "abstract"
+    #: On admission rejection, does the batch wait for the selected
+    #: device (True) or return to the unplaced pool (False)?
+    pins = True
+
+    def select(self, fleet: GpuFleet, hbm_bytes: int,
+               now: float) -> Optional[int]:
+        raise NotImplementedError
+
+
+class RoundRobin(PlacementPolicy):
+    """Rotate through devices regardless of load or memory."""
+
+    name = "round_robin"
+    pins = True
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, fleet: GpuFleet, hbm_bytes: int,
+               now: float) -> Optional[int]:
+        device = self._next % len(fleet)
+        self._next = (self._next + 1) % len(fleet)
+        return device
+
+
+class LeastLoaded(PlacementPolicy):
+    """Shortest outstanding work, memory-blind."""
+
+    name = "least_loaded"
+    pins = True
+
+    def select(self, fleet: GpuFleet, hbm_bytes: int,
+               now: float) -> Optional[int]:
+        return fleet.least_loaded(now)
+
+
+class MemoryAware(PlacementPolicy):
+    """Least loaded among devices with room; defer when none fits."""
+
+    name = "memory_aware"
+    pins = False
+
+    def select(self, fleet: GpuFleet, hbm_bytes: int,
+               now: float) -> Optional[int]:
+        return fleet.least_loaded(now, fitting=hbm_bytes)
+
+
+POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    RoundRobin.name: RoundRobin,
+    LeastLoaded.name: LeastLoaded,
+    MemoryAware.name: MemoryAware,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Fresh policy instance by name (policies carry mutable state)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; one of {sorted(POLICIES)}"
+        ) from None

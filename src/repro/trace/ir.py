@@ -76,6 +76,16 @@ class TraceEvent:
     optimizer prove two rotations identical and the bootstrapper audit
     its key set against what a run actually rotated by.
 
+    ``key`` is the key-material identity of an ``inner_product`` event:
+    one recorder-scoped ordinal per switching key the reduction consumed
+    (one entry per rotation step for batched hoisting, a single entry
+    for a plain key-switch, empty for keyless reductions such as
+    plaintext-diagonal wide dots).  Two inner products over identical
+    inputs but different evk stacks compute different results, so any
+    future cross-``inner_product`` CSE must require equal ``key`` tuples
+    — the replay tokens of :mod:`repro.trace.opt.replay` already fold
+    the field in.
+
     ``fused`` is empty on recorded events.  Optimizer-produced events
     (:data:`FUSED_KINDS`, and ``ntt``/``intt`` events that absorbed
     twist work) carry their primitive constituents here *verbatim* —
@@ -92,6 +102,7 @@ class TraceEvent:
     shape: Dict[str, int]
     deps: Tuple[int, ...] = ()
     args: Tuple[int, ...] = ()
+    key: Tuple[int, ...] = ()
     fused: Tuple["TraceEvent", ...] = ()
 
     @property

@@ -72,7 +72,7 @@ def _token(event: TraceEvent, dep_tokens: Iterable[str]) -> str:
     h = hashlib.blake2b(digest_size=12)
     h.update(repr((
         event.kind, event.level, tuple(sorted(event.shape.items())),
-        event.args, tuple(sorted(dep_tokens)),
+        event.args, event.key, tuple(sorted(dep_tokens)),
     )).encode())
     return h.hexdigest()
 

@@ -96,6 +96,8 @@ class TraceRecorder:
         self._counts: Dict[str, int] = {}
         self._writers: Dict[int, int] = {}
         self._keepalive: List[Any] = []
+        #: id(key object) -> recorder-scoped key-material ordinal.
+        self._key_ids: Dict[int, int] = {}
 
     # -- span management -------------------------------------------------
     def span(self, name: str, level: Optional[int] = None) -> _Span:
@@ -111,11 +113,29 @@ class TraceRecorder:
     def _pop(self) -> None:
         self._stack.pop()
 
+    # -- key-material identity -------------------------------------------
+    def key_id(self, key_obj: Any) -> int:
+        """Stable ordinal for one piece of key material.
+
+        Ordinals are assigned in first-seen order and scoped to this
+        recording, so equal ids mean *the same* switching key object was
+        consumed (the property a cross-``inner_product`` CSE pass needs).
+        The object is pinned in the keepalive list so its ``id`` cannot
+        be recycled mid-recording.
+        """
+        ordinal = self._key_ids.get(id(key_obj))
+        if ordinal is None:
+            ordinal = len(self._key_ids)
+            self._key_ids[id(key_obj)] = ordinal
+            self._keepalive.append(key_obj)
+        return ordinal
+
     # -- event emission --------------------------------------------------
     def emit(self, kind: str, *, level: Optional[int] = None,
              reads: Sequence[Any] = (), writes: Sequence[Any] = (),
              deps: Iterable[int] = (),
-             args: Sequence[int] = (), **shape: int) -> int:
+             args: Sequence[int] = (),
+             key_material: Sequence[Any] = (), **shape: int) -> int:
         if level is None:
             for _, _, lvl in reversed(self._stack):
                 if lvl is not None:
@@ -140,6 +160,7 @@ class TraceRecorder:
             shape={k: int(v) for k, v in shape.items()},
             deps=tuple(sorted(dep_set)),
             args=tuple(int(a) for a in args),
+            key=tuple(self.key_id(k) for k in key_material),
         )
         self.events.append(event)
         for obj in writes:

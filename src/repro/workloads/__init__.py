@@ -51,6 +51,7 @@ from .recorded import (
     record_bootstrap_trace,
     record_helr_iteration_trace,
     record_resnet_block_trace,
+    record_transcipher_block_trace,
     recorded_workload_timing,
     simulate_recorded_bootstrap,
     simulate_recorded_helr_iteration,
@@ -94,6 +95,7 @@ __all__ = [
     "record_bootstrap_trace",
     "record_helr_iteration_trace",
     "record_resnet_block_trace",
+    "record_transcipher_block_trace",
     "recorded_workload_timing",
     "simulate_recorded_bootstrap",
     "simulate_recorded_helr_iteration",

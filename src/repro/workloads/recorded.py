@@ -194,6 +194,62 @@ def record_resnet_block_trace(params: CkksParams = None, *,
     return trace
 
 
+def record_transcipher_block_trace(params: CkksParams = None, *,
+                                   proxy_log2n: int = 8,
+                                   sbox_degree: int = 7,
+                                   seed: int = 0) -> OpTrace:
+    """Record one byte-slice AES transcipher round block at proxy scale.
+
+    The homomorphic kernel of the Table XV transcipher workload, run
+    functionally: SubBytes as a packed Chebyshev interpolation of the
+    S-box over one byte-slice ciphertext (``sbox_degree`` stands in for
+    the full deg-254 GF(2^8) interpolation, which only changes HMULT
+    count, not dataflow), ShiftRows/MixColumns as masked slot rotations
+    combined under encryption, and AddRoundKey as a plaintext add.
+    Cached per chain structure and knob set.
+    """
+    from ..ckks.polyeval import PolynomialEvaluator
+
+    params = params or ParameterSets.aes()
+    proxy = proxy_params_for(params, proxy_log2n)
+    key = ("aes-block", _chain_key(params), proxy.n, sbox_degree, seed)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+
+    ctx = CkksContext.create(proxy, seed=seed)
+    rotations = [1, 2, 3]  # the byte-lane shifts of ShiftRows/MixColumns
+    keys = ctx.keygen(rotations=rotations)
+    ev = ctx.evaluator
+    poly = PolynomialEvaluator(ev)
+    coeffs = PolynomialEvaluator.chebyshev_fit(
+        np.tanh, sbox_degree  # any smooth stand-in for the S-box fit
+    )
+    rng = np.random.default_rng(seed)
+    slice_vals = rng.uniform(-0.9, 0.9, size=ctx.slots)
+    round_key = rng.uniform(-0.5, 0.5, size=ctx.slots)
+    ct = ctx.encrypt(slice_vals, keys)
+    with record(f"aes-block[{params.name or 'params'}]", params=proxy,
+                n=proxy.n) as rec:
+        sub = poly.eval_chebyshev(ct, coeffs, keys)        # SubBytes
+        mixed = sub
+        for step in rotations:                             # ShiftRows+MC
+            rot = ev.hrotate(sub, step, keys)
+            mask = np.zeros(ctx.slots)
+            mask[step::4] = 1.0
+            masked = ev.pmult(rot, ctx.encode(
+                mask, level=rot.level, scale=rot.scale))
+            masked = ev.rescale(masked)
+            mixed = ev.hadd_matched(ev.level_down(mixed, masked.level),
+                                    masked)
+        pt_key = ctx.encode(round_key, level=mixed.level,
+                            scale=mixed.scale)
+        ev.add_plain(mixed, pt_key)                        # AddRoundKey
+    trace = rec.trace
+    _trace_cache[key] = trace
+    return trace
+
+
 def _lower_for(trace: OpTrace, scheduler: OperationScheduler, *,
                style: str = "pe", batch: int = 1, optimize: bool = False,
                search: bool = False):

@@ -1,0 +1,55 @@
+"""Process-global profile-cache counters: reset and scoping."""
+
+from repro.gpusim import (
+    A100_PCIE_80G,
+    DagKernel,
+    KernelSpec,
+    cache_stats_scope,
+    profile_cache_stats,
+    reset_cache_stats,
+    run_dag,
+)
+
+DEV = A100_PCIE_80G
+
+
+def dag(*names):
+    return [
+        DagKernel(spec=KernelSpec(name=n, blocks=512, warps_per_block=8,
+                                  int32_ops=1e6, gmem_read_bytes=1e5),
+                  deps=())
+        for n in names
+    ]
+
+
+class TestResetCacheStats:
+    def test_reset_zeroes_every_counter(self):
+        run_dag(dag("warm", "warm"), DEV)
+        assert profile_cache_stats()["runs"] > 0
+        reset_cache_stats()
+        stats = profile_cache_stats()
+        assert all(v == 0 for v in stats.values())
+
+    def test_counters_accumulate_after_reset(self):
+        reset_cache_stats()
+        run_dag(dag("a", "a"), DEV)
+        stats = profile_cache_stats()
+        assert stats["runs"] == 1
+        assert stats["hits"] == 1  # second "a" reuses the first profile
+        assert stats["misses"] == 1
+
+
+class TestCacheStatsScope:
+    def test_scope_isolates_block_counters(self):
+        reset_cache_stats()
+        run_dag(dag("outer"), DEV)
+        before = profile_cache_stats()
+        with cache_stats_scope() as scope:
+            run_dag(dag("inner", "inner"), DEV)
+        assert scope.stats["runs"] == 1
+        assert scope.stats["hits"] == 1
+        after = profile_cache_stats()
+        # Outer counters were restored and the block's added on top.
+        assert after["runs"] == before["runs"] + scope.stats["runs"]
+        assert after["hits"] == before["hits"] + scope.stats["hits"]
+        assert after["misses"] == before["misses"] + scope.stats["misses"]

@@ -1,0 +1,197 @@
+"""Fleet layer: admission, FIFO execution, HBM safety, determinism."""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuFleet, fleet_to_chrome_trace
+from repro.gpusim.multi import FleetJob
+
+
+def job(label="j", service_us=100.0, hbm=1000, **kw):
+    return FleetJob(label=label, service_us=service_us, hbm_bytes=hbm,
+                    kind=kw.pop("kind", "k"), **kw)
+
+
+class TestAdmission:
+    def test_idle_device_starts_immediately(self):
+        fleet = GpuFleet(2)
+        j = job()
+        admitted, started = fleet.admit(j, 0, now=5.0)
+        assert admitted and started is j
+        assert j.device == 0
+        assert j.start_us == 5.0
+        assert j.end_us == 105.0
+
+    def test_busy_device_queues_fifo(self):
+        fleet = GpuFleet(1)
+        a, b, c = job("a"), job("b"), job("c")
+        _, started = fleet.admit(a, 0, 0.0)
+        assert started is a
+        for j in (b, c):
+            admitted, started = fleet.admit(j, 0, 0.0)
+            assert admitted and started is None
+        nxt = fleet.complete(a, a.end_us)
+        assert nxt is b
+        nxt = fleet.complete(b, b.end_us)
+        assert nxt is c
+        assert fleet.complete(c, c.end_us) is None
+        labels = [e.label for e in fleet.devices[0].entries]
+        assert labels == ["a", "b", "c"]
+
+    def test_memory_rejection_leaves_job_untouched(self):
+        fleet = GpuFleet(1, hbm_bytes=4096)
+        big = job(hbm=5000)
+        admitted, started = fleet.admit(big, 0, 0.0)
+        assert not admitted and started is None
+        assert fleet.rejections == 1
+        assert big.device == -1
+        assert fleet.devices[0].pool.in_use == 0
+
+    def test_completion_frees_memory_for_next(self):
+        fleet = GpuFleet(1, hbm_bytes=4096)
+        a = job("a", hbm=3000)
+        fleet.admit(a, 0, 0.0)
+        admitted, _ = fleet.admit(job("b", hbm=3000), 0, 0.0)
+        assert not admitted
+        fleet.complete(a, a.end_us)
+        admitted, started = fleet.admit(job("c", hbm=3000), 0, a.end_us)
+        assert admitted and started is not None
+
+    def test_complete_wrong_job_raises(self):
+        fleet = GpuFleet(1)
+        a, b = job("a"), job("b")
+        fleet.admit(a, 0, 0.0)
+        fleet.admit(b, 0, 0.0)
+        with pytest.raises(RuntimeError, match="not running"):
+            fleet.complete(b, 1.0)
+
+    def test_busy_accounting(self):
+        fleet = GpuFleet(1)
+        a = job(service_us=42.0)
+        fleet.admit(a, 0, 0.0)
+        fleet.complete(a, a.end_us)
+        dev = fleet.devices[0]
+        assert dev.busy_us == pytest.approx(42.0)
+        assert dev.utilization(84.0) == pytest.approx(0.5)
+
+
+class TestLeastLoaded:
+    def test_ties_break_by_index(self):
+        fleet = GpuFleet(3)
+        assert fleet.least_loaded(0.0) == 0
+
+    def test_prefers_empty_device(self):
+        fleet = GpuFleet(2)
+        fleet.admit(job(), 0, 0.0)
+        assert fleet.least_loaded(0.0) == 1
+
+    def test_fitting_filter(self):
+        fleet = GpuFleet(2, hbm_bytes=4096)
+        fleet.admit(job(hbm=4000), 0, 0.0)
+        assert fleet.least_loaded(0.0, fitting=3000) == 1
+        fleet.admit(job(hbm=4000), 1, 0.0)
+        assert fleet.least_loaded(0.0, fitting=3000) is None
+
+    def test_outstanding_counts_queue_and_remaining(self):
+        fleet = GpuFleet(1)
+        a = job("a", service_us=100.0)
+        b = job("b", service_us=50.0)
+        fleet.admit(a, 0, 0.0)
+        fleet.admit(b, 0, 0.0)
+        assert fleet.devices[0].outstanding_us(40.0) == pytest.approx(110.0)
+
+
+class TestValidation:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            GpuFleet(0)
+
+    def test_heterogeneous_specs(self):
+        from repro.gpusim import A100_PCIE_80G, V100
+
+        fleet = GpuFleet(specs=[A100_PCIE_80G, V100])
+        assert len(fleet) == 2
+        assert fleet.devices[1].spec is V100
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        fleet = GpuFleet(2)
+        a, b = job("a"), job("b")
+        fleet.admit(a, 0, 0.0)
+        fleet.admit(b, 1, 10.0)
+        fleet.complete(a, a.end_us)
+        fleet.complete(b, b.end_us)
+        doc = fleet_to_chrome_trace(fleet.result())
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {s["name"] for s in slices} == {"a", "b"}
+        assert {s["pid"] for s in slices} == {0, 1}
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters  # HBM + queue depth tracks sampled at events
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 4  # process + thread name per device
+
+
+def _drive(seed, num_jobs=300, devices=3, capacity=10_000):
+    """Random admit/complete stream; returns the full decision log."""
+    rng = np.random.default_rng(seed)
+    fleet = GpuFleet(devices, hbm_bytes=capacity)
+    heap, seq = [], 0
+    now, rejected, log = 0.0, 0, []
+    for i in range(num_jobs):
+        now += float(rng.exponential(50.0))
+        while heap and heap[0][0] <= now:
+            end, _, running = heapq.heappop(heap)
+            started = fleet.complete(running, end)
+            if started is not None:
+                heapq.heappush(heap, (started.end_us, seq, started))
+                seq += 1
+        j = job(f"j{i}", service_us=float(rng.uniform(10.0, 300.0)),
+                hbm=int(rng.integers(1, capacity // 2)))
+        device = int(rng.integers(devices))
+        admitted, started = fleet.admit(j, device, now)
+        if not admitted:
+            rejected += 1
+        elif started is not None:
+            heapq.heappush(heap, (started.end_us, seq, started))
+            seq += 1
+        for dev in fleet.devices:
+            assert dev.pool.in_use <= dev.pool.capacity
+        log.append((i, device, admitted))
+    while heap:
+        end, _, running = heapq.heappop(heap)
+        started = fleet.complete(running, end)
+        if started is not None:
+            heapq.heappush(heap, (started.end_us, seq, started))
+            seq += 1
+    return fleet, rejected, log
+
+
+class TestFleetProperties:
+    """Fleet-wide HBM accounting under a randomized admit stream."""
+
+    def test_capacity_never_exceeded_and_everything_drains(self):
+        fleet, rejected, log = _drive(seed=0)
+        ran = sum(len(d.entries) for d in fleet.devices)
+        assert ran == len(log) - rejected
+        assert fleet.rejections == rejected
+        for dev in fleet.devices:
+            assert dev.pool.in_use == 0
+            assert dev.running is None and not dev.queue
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_rejections_deterministic_given_seed(self, seed):
+        fleet_a, rej_a, log_a = _drive(seed)
+        fleet_b, rej_b, log_b = _drive(seed)
+        assert rej_a == rej_b
+        assert log_a == log_b
+        assert ([e.label for d in fleet_a.devices for e in d.entries]
+                == [e.label for d in fleet_b.devices for e in d.entries])
+
+    def test_different_seeds_diverge(self):
+        _, _, log_a = _drive(10)
+        _, _, log_b = _drive(11)
+        assert log_a != log_b

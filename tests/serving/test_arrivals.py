@@ -1,0 +1,98 @@
+"""Arrival processes: distributions, seeding, validation."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ClosedLoop,
+    OpenLoop,
+    burst_arrivals,
+    poisson_arrivals,
+)
+
+KINDS = ("a", "b")
+
+
+class TestPoisson:
+    def test_rate_is_roughly_honored(self):
+        rng = np.random.default_rng(0)
+        arr = poisson_arrivals(100.0, 2_000_000.0, KINDS, rng)
+        assert 140 <= len(arr) <= 260  # ~200 expected
+        assert all(0 <= a.t_us < 2_000_000.0 for a in arr)
+        assert arr == sorted(arr, key=lambda a: a.t_us)
+
+    def test_same_seed_same_stream(self):
+        a = poisson_arrivals(50.0, 500_000.0, KINDS,
+                             np.random.default_rng(3))
+        b = poisson_arrivals(50.0, 500_000.0, KINDS,
+                             np.random.default_rng(3))
+        assert a == b
+
+    def test_mix_weights_bias_kinds(self):
+        rng = np.random.default_rng(1)
+        arr = poisson_arrivals(200.0, 1_000_000.0, KINDS, rng,
+                               mix=(1.0, 0.0))
+        assert arr and all(a.kind == "a" for a in arr)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="positive"):
+            poisson_arrivals(0.0, 1e6, KINDS, rng)
+        with pytest.raises(ValueError, match="weights"):
+            poisson_arrivals(10.0, 1e6, KINDS, rng, mix=(1.0,))
+        with pytest.raises(ValueError, match="non-negative"):
+            poisson_arrivals(10.0, 1e6, KINDS, rng, mix=(1.0, -1.0))
+
+
+class TestBurst:
+    def test_mean_rate_preserved(self):
+        rng = np.random.default_rng(0)
+        arr = burst_arrivals(100.0, 4_000_000.0, KINDS, rng)
+        assert 280 <= len(arr) <= 520  # ~400 expected on average
+
+    def test_burst_windows_are_denser(self):
+        rng = np.random.default_rng(2)
+        arr = burst_arrivals(100.0, 4_000_000.0, KINDS, rng,
+                             burst_factor=4.0, period_us=250_000.0,
+                             duty=0.25)
+        in_burst = sum(
+            1 for a in arr if (a.t_us % 250_000.0) < 62_500.0)
+        # A quarter of the time carries ~all the traffic at factor 4.
+        assert in_burst > len(arr) * 0.7
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="duty"):
+            burst_arrivals(10.0, 1e6, KINDS, rng, duty=1.5)
+        with pytest.raises(ValueError, match="burst_factor"):
+            burst_arrivals(10.0, 1e6, KINDS, rng, burst_factor=0.5)
+
+
+class TestClosedLoop:
+    def test_initial_is_one_per_client(self):
+        proc = ClosedLoop(clients=5, kinds=KINDS, think_time_us=1000.0)
+        arr = proc.initial(np.random.default_rng(0))
+        assert len(arr) == 5
+
+    def test_completion_feeds_back_within_horizon(self):
+        proc = ClosedLoop(clients=1, kinds=KINDS,
+                          think_time_us=0.0, horizon_us=100.0)
+        rng = np.random.default_rng(0)
+        nxt = proc.on_completion("a", now=50.0, rng=rng)
+        assert nxt is not None and nxt.t_us == 50.0
+        assert proc.on_completion("a", now=100.0, rng=rng) is None
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(ValueError, match="at least one client"):
+            ClosedLoop(clients=0, kinds=KINDS).initial(
+                np.random.default_rng(0))
+
+
+class TestOpenLoop:
+    def test_wraps_generator(self):
+        proc = OpenLoop(lambda rng: poisson_arrivals(
+            20.0, 1e6, KINDS, rng))
+        arr = proc.initial(np.random.default_rng(5))
+        assert arr
+        assert proc.on_completion("a", 0.0,
+                                  np.random.default_rng(5)) is None

@@ -1,0 +1,85 @@
+"""Batching: size and deadline triggers, per-kind queues."""
+
+from repro.serving import Batcher, BatchingPolicy
+from repro.serving.batcher import Job
+
+
+def make(max_batch=None, max_wait_us=100.0, ceiling=4):
+    return Batcher(BatchingPolicy(max_batch=max_batch,
+                                  max_wait_us=max_wait_us),
+                   lambda kind: ceiling)
+
+
+def job(jid, kind="a", t=0.0):
+    return Job(jid=jid, kind=kind, arrival_us=t)
+
+
+class TestSizeTrigger:
+    def test_closes_at_ceiling(self):
+        b = make(ceiling=3)
+        assert b.add(job(0), 0.0) is None
+        assert b.add(job(1), 1.0) is None
+        batch = b.add(job(2), 2.0)
+        assert batch is not None
+        assert batch.size == 3 and batch.kind == "a"
+        assert [j.jid for j in batch.jobs] == [0, 1, 2]
+        assert b.depth == 0
+
+    def test_policy_cap_overrides_class_ceiling(self):
+        b = make(max_batch=2, ceiling=8)
+        assert b.add(job(0), 0.0) is None
+        assert b.add(job(1), 0.0) is not None
+
+    def test_max_batch_one_disables_batching(self):
+        b = make(max_batch=1)
+        batch = b.add(job(0), 0.0)
+        assert batch is not None and batch.size == 1
+
+    def test_kinds_queue_separately(self):
+        b = make(ceiling=2)
+        assert b.add(job(0, "a"), 0.0) is None
+        assert b.add(job(1, "b"), 0.0) is None
+        assert b.depth == 2
+        batch = b.add(job(2, "a"), 1.0)
+        assert batch is not None and batch.kind == "a"
+        assert b.depth == 1
+
+
+class TestDeadlineTrigger:
+    def test_next_deadline_tracks_oldest(self):
+        b = make(max_wait_us=100.0)
+        assert b.next_deadline() is None
+        b.add(job(0, t=10.0), 10.0)
+        b.add(job(1, "b", t=5.0), 5.0)
+        assert b.next_deadline() == 105.0
+
+    def test_flush_due_closes_expired_queues_only(self):
+        b = make(max_wait_us=100.0)
+        b.add(job(0, "a", t=0.0), 0.0)
+        b.add(job(1, "b", t=80.0), 80.0)
+        flushed = b.flush_due(100.0)
+        assert [f.kind for f in flushed] == ["a"]
+        assert b.depth == 1
+
+    def test_stale_flush_is_noop(self):
+        b = make(max_wait_us=100.0)
+        b.add(job(0, t=50.0), 50.0)
+        assert b.flush_due(60.0) == []
+
+    def test_flush_all_drains_everything(self):
+        b = make()
+        b.add(job(0, "a"), 0.0)
+        b.add(job(1, "b"), 0.0)
+        flushed = b.flush_all(5.0)
+        assert {f.kind for f in flushed} == {"a", "b"}
+        assert b.depth == 0
+        assert all(f.formed_us == 5.0 for f in flushed)
+
+
+class TestJobLifetime:
+    def test_latency_and_done(self):
+        j = job(0, t=10.0)
+        assert not j.done
+        j.completion_us = 35.0
+        assert j.done
+        assert j.latency_us == 25.0

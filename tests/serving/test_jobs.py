@@ -1,0 +1,42 @@
+"""Job catalog: pricing, caching, batching sublinearity, SLOs."""
+
+import pytest
+
+from repro.serving import JobCatalog, default_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(("boot",))
+
+
+class TestCatalog:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobCatalog(("boot", "nope"))
+
+    def test_pricing_is_cached(self, catalog):
+        assert catalog.price("boot", 2) is catalog.price("boot", 2)
+
+    def test_batching_is_sublinear(self, catalog):
+        solo = catalog.service_us("boot", 1)
+        four = catalog.service_us("boot", 4)
+        assert solo < four < 4 * solo
+
+    def test_batch_clamped_to_class_ceiling(self, catalog):
+        cap = catalog.max_batch("boot")
+        assert catalog.price("boot", cap + 10).batch == cap
+
+    def test_working_bytes_grow_with_batch(self, catalog):
+        assert (catalog.working_bytes("boot", 4)
+                > catalog.working_bytes("boot", 1) > 0)
+
+    def test_slo_is_a_multiple_of_solo_latency(self, catalog):
+        factor = catalog.classes["boot"].slo_factor
+        assert catalog.slo_us("boot") == pytest.approx(
+            factor * catalog.service_us("boot", 1))
+
+    def test_optimized_is_never_slower(self, catalog):
+        base = catalog.service_us("boot", 1)
+        opt = catalog.service_us("boot", 1, optimized=True)
+        assert opt <= base + 1e-6

@@ -1,0 +1,70 @@
+"""Placement policies over a small fleet."""
+
+import pytest
+
+from repro.gpusim import GpuFleet
+from repro.gpusim.multi import FleetJob
+from repro.serving import POLICIES, make_policy
+
+
+def load(fleet, device, service_us=100.0, hbm=1000):
+    fleet.admit(FleetJob(label="x", service_us=service_us,
+                         hbm_bytes=hbm), device, 0.0)
+
+
+class TestRegistry:
+    def test_three_policies_ship(self):
+        assert set(POLICIES) == {
+            "round_robin", "least_loaded", "memory_aware"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("fifo")
+
+    def test_instances_are_fresh(self):
+        assert make_policy("round_robin") is not make_policy("round_robin")
+
+
+class TestRoundRobin:
+    def test_rotates_blindly(self):
+        fleet = GpuFleet(3)
+        load(fleet, 1)  # load is ignored
+        pol = make_policy("round_robin")
+        picks = [pol.select(fleet, 10, 0.0) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        assert pol.pins
+
+
+class TestLeastLoaded:
+    def test_prefers_idle_device(self):
+        fleet = GpuFleet(2)
+        load(fleet, 0)
+        pol = make_policy("least_loaded")
+        assert pol.select(fleet, 10, 0.0) == 1
+        assert pol.pins
+
+    def test_ignores_memory(self):
+        fleet = GpuFleet(2, hbm_bytes=4096)
+        load(fleet, 0, hbm=4000)
+        load(fleet, 1, service_us=10.0)
+        # Device 1 has less work, even though only device 0 is full.
+        assert make_policy("least_loaded").select(
+            fleet, 3000, 0.0) == 1
+
+
+class TestMemoryAware:
+    def test_filters_by_free_hbm(self):
+        fleet = GpuFleet(2, hbm_bytes=4096)
+        load(fleet, 0, service_us=10.0, hbm=4000)
+        load(fleet, 1, service_us=500.0, hbm=100)
+        # Device 0 is less loaded but full: the batch goes to device 1.
+        assert make_policy("memory_aware").select(
+            fleet, 3000, 0.0) == 1
+
+    def test_returns_none_when_nothing_fits(self):
+        fleet = GpuFleet(2, hbm_bytes=4096)
+        load(fleet, 0, hbm=4000)
+        load(fleet, 1, hbm=4000)
+        pol = make_policy("memory_aware")
+        assert pol.select(fleet, 3000, 0.0) is None
+        assert not pol.pins

@@ -1,0 +1,87 @@
+"""Key-material identity on recorded events (ISSUE 8 satellite).
+
+Key-switching stacks are read by ``inner_product`` launches but are not
+tracked as read buffers, so two events with identical inputs and shapes
+can still compute different results under different keys.  The recorder
+tags each event with recorder-scoped key ordinals; replay tokens fold
+them in so any future cross-``inner_product`` CSE stays sound.
+"""
+
+import numpy as np
+
+from repro.ckks import CkksContext
+from repro.ckks.params import ParameterSets
+from repro.trace.opt.replay import replay_tokens
+from repro.trace.recorder import emit, record
+
+
+class Buf:
+    def __init__(self, n=16):
+        self.data = np.zeros((2, n), dtype=np.uint64)
+
+
+class TestKeyOrdinals:
+    def test_default_is_empty(self):
+        with record("t") as rec:
+            emit("modadd", rows=2)
+        assert rec.trace.events[0].key == ()
+
+    def test_same_object_same_ordinal(self):
+        ksk = object()
+        with record("t") as rec:
+            emit("inner_product", rows=2, key_material=(ksk,))
+            emit("inner_product", rows=2, key_material=(ksk,))
+        e = rec.trace.events
+        assert e[0].key == e[1].key == (0,)
+
+    def test_distinct_objects_distinct_ordinals(self):
+        k1, k2 = object(), object()
+        with record("t") as rec:
+            emit("inner_product", rows=2, key_material=(k1,))
+            emit("inner_product", rows=2, key_material=(k2,))
+            emit("inner_product", rows=2, key_material=(k1, k2))
+        e = rec.trace.events
+        assert e[0].key == (0,)
+        assert e[1].key == (1,)
+        assert e[2].key == (0, 1)
+
+    def test_ordinals_are_recorder_scoped(self):
+        k1, k2 = object(), object()
+        with record("a") as rec_a:
+            emit("inner_product", rows=2, key_material=(k1,))
+        with record("b") as rec_b:
+            emit("inner_product", rows=2, key_material=(k2,))
+        assert rec_a.trace.events[0].key == (0,)
+        assert rec_b.trace.events[0].key == (0,)
+
+
+class TestReplayTokens:
+    def test_key_material_distinguishes_tokens(self):
+        k1, k2 = object(), object()
+        a, b, c = Buf(), Buf(), Buf()
+        with record("t") as rec:
+            emit("inner_product", rows=2, writes=(a,), key_material=(k1,))
+            emit("inner_product", rows=2, writes=(b,), key_material=(k2,))
+            emit("inner_product", rows=2, writes=(c,), key_material=(k1,))
+        tokens = replay_tokens(rec.trace)
+        assert tokens[0] != tokens[1]  # different key stack, no CSE
+        assert tokens[0] == tokens[2]  # same key stack, same value
+
+
+class TestRecordedKeyswitch:
+    def test_relin_and_rotation_keys_get_distinct_ordinals(self):
+        params = ParameterSets.small()
+        ctx = CkksContext.create(params, seed=7)
+        keys = ctx.keygen(rotations=[1])
+        vals = np.zeros(ctx.slots)
+        vals[:2] = [0.5, -0.25]
+        ct = ctx.encrypt(vals, keys)
+        ev = ctx.evaluator
+        with record("ks", params=params) as rec:
+            ev.hmult(ct, ct, keys)      # key-switch under relin key
+            ev.hrotate(ct, 1, keys)     # ... under the rotation key
+        inner = [e for e in rec.trace.events
+                 if e.kind == "inner_product"]
+        assert len(inner) >= 2, "expected two recorded inner_products"
+        assert all(e.key != () for e in inner)
+        assert inner[0].key != inner[1].key

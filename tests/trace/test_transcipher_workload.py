@@ -1,0 +1,32 @@
+"""The recorded AES transcipher round block (serving's fourth job)."""
+
+import pytest
+
+from repro.trace import lower_trace
+from repro.workloads import record_transcipher_block_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return record_transcipher_block_trace()
+
+
+class TestTranscipherTrace:
+    def test_records_the_round_structure(self, trace):
+        ops = {e.op for e in trace.events}
+        assert "hrotate" in ops          # ShiftRows-style masked rotations
+        assert "add_plain" in ops        # AddRoundKey
+        assert any(e.kind == "inner_product" for e in trace.events)
+        assert any(e.kind == "automorphism" for e in trace.events)
+        assert len(trace.events) > 50
+
+    def test_cached_per_process(self, trace):
+        assert record_transcipher_block_trace() is trace
+
+    def test_lowers_and_prices(self, trace):
+        dag = lower_trace(trace, style="pe")
+        assert dag.kernel_count >= len(
+            [e for e in trace.events if not e.fused]
+        ) // 2
+        res = dag.run()
+        assert res.elapsed_us > 0
