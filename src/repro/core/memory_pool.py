@@ -13,7 +13,7 @@ tests can verify reuse (no allocation churn during operation streams).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..ckks.params import CkksParams
 
@@ -36,24 +36,26 @@ class Allocation:
 
 
 class MemoryPool:
-    """Bump allocator with explicit reset, mirroring the framework's
-    per-operation reuse of one preallocated slab.
+    """First-fit slab allocator with explicit reset, mirroring the
+    framework's per-operation reuse of one preallocated slab.
 
     The serving layer additionally uses one pool per simulated device as
     the HBM admission ledger: batches :meth:`allocate` their working set
-    on admission and :meth:`release` it on completion.  Releases reclaim
-    the bump cursor down to the highest still-live allocation, so the
-    FIFO completion order of a serially-executing device returns memory
-    exactly; out-of-order releases leave a hole until the neighbors
-    retire (which only ever *over*-accounts — capacity is never
-    exceeded)."""
+    on admission and :meth:`release` it on completion.  ``in_use`` is
+    the byte sum of live allocations, so every release returns its bytes
+    immediately regardless of order — in particular the FIFO completion
+    order of a serially-executing device.  New allocations go into the
+    first gap that fits (gaps coalesce as neighbors retire), so capacity
+    is never exceeded and a bounded pool sustains unbounded streaming
+    traffic."""
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
             raise ValueError("pool capacity must be positive")
         self.capacity = capacity_bytes
-        self._cursor = 0
+        #: Live allocations, sorted by offset.
         self._live: List[Allocation] = []
+        self._in_use = 0
         self.stats: Dict[str, int] = {
             "allocations": 0, "resets": 0, "releases": 0, "peak_bytes": 0,
         }
@@ -73,19 +75,33 @@ class MemoryPool:
         )
         return cls(min(want, available_bytes))
 
+    def _find_spot(self, aligned: int) -> Optional[Tuple[int, int]]:
+        """First gap holding ``aligned`` bytes: (offset, insert index)."""
+        prev_end = 0
+        for i, a in enumerate(self._live):
+            if a.offset - prev_end >= aligned:
+                return prev_end, i
+            prev_end = a.offset + a.size
+        if self.capacity - prev_end >= aligned:
+            return prev_end, len(self._live)
+        return None
+
     def allocate(self, size: int, tag: str = "") -> Allocation:
         if size <= 0:
             raise ValueError("allocation size must be positive")
         aligned = (size + 255) // 256 * 256
-        if self._cursor + aligned > self.capacity:
+        spot = self._find_spot(aligned)
+        if spot is None:
             raise MemoryError(
-                f"pool exhausted: {self._cursor + aligned} > {self.capacity}"
+                f"pool exhausted: no gap for {aligned} bytes "
+                f"({self.capacity - self._in_use} free of {self.capacity})"
             )
-        alloc = Allocation(self._cursor, aligned, tag)
-        self._cursor += aligned
-        self._live.append(alloc)
+        offset, index = spot
+        alloc = Allocation(offset, aligned, tag)
+        self._live.insert(index, alloc)
+        self._in_use += aligned
         self.stats["allocations"] += 1
-        self.stats["peak_bytes"] = max(self.stats["peak_bytes"], self._cursor)
+        self.stats["peak_bytes"] = max(self.stats["peak_bytes"], self._in_use)
         return alloc
 
     def fits(self, size: int) -> bool:
@@ -93,14 +109,14 @@ class MemoryPool:
         if size <= 0:
             return False
         aligned = (size + 255) // 256 * 256
-        return self._cursor + aligned <= self.capacity
+        return self._find_spot(aligned) is not None
 
     def release(self, alloc: Allocation) -> None:
         """Return one live allocation to the pool.
 
-        The cursor rewinds to the end of the highest remaining live
-        allocation, so trailing holes are reclaimed immediately and
-        interior holes as soon as everything above them releases.
+        Its bytes come back immediately (``in_use`` drops by the
+        allocation's aligned size); the gap it leaves coalesces with any
+        free neighbors and is reusable by the next :meth:`allocate`.
         """
         try:
             self._live.remove(alloc)
@@ -108,21 +124,19 @@ class MemoryPool:
             raise ValueError(
                 f"allocation {alloc.tag!r} @{alloc.offset} is not live"
             ) from None
-        self._cursor = max(
-            (a.offset + a.size for a in self._live), default=0
-        )
+        self._in_use -= alloc.size
         self.stats["releases"] += 1
 
     def reset(self) -> None:
         """Release everything (between homomorphic operations)."""
-        self._cursor = 0
         self._live.clear()
+        self._in_use = 0
         self.stats["resets"] += 1
 
     @property
     def in_use(self) -> int:
-        return self._cursor
+        return self._in_use
 
     @property
     def free(self) -> int:
-        return self.capacity - self._cursor
+        return self.capacity - self._in_use

@@ -8,8 +8,9 @@ placement) when either
 * **deadline trigger** — the oldest queued request has waited
   ``max_wait_us`` (tail latency is bounded even at trickle rates).
 
-The simulator turns deadline triggers into heap events via
-:meth:`Batcher.next_deadline`; stale deadline events are harmless
+The simulator schedules one deadline event per arrival at
+``arrival + max_wait_us``; stale deadline events — the request already
+left in a size-closed or earlier-flushed batch — are harmless
 (``flush_due`` simply returns nothing).
 """
 
@@ -95,13 +96,6 @@ class Batcher:
             self._queues[job.kind] = []
             return Batch(kind=job.kind, jobs=tuple(q), formed_us=now)
         return None
-
-    def next_deadline(self) -> Optional[float]:
-        """Earliest time any queued request hits its wait deadline."""
-        heads = [q[0].arrival_us for q in self._queues.values() if q]
-        if not heads:
-            return None
-        return min(heads) + self.policy.max_wait_us
 
     def flush_due(self, now: float) -> List[Batch]:
         """Close every queue whose oldest request has waited out."""

@@ -88,6 +88,9 @@ class ServingConfig:
             "max_batch": self.max_batch, "max_wait_us": self.max_wait_us,
             "optimize": self.optimize, "seed": self.seed,
             "hbm_bytes": self.hbm_bytes, "style": self.style,
+            "burst_factor": self.burst_factor,
+            "burst_period_us": self.burst_period_us,
+            "burst_duty": self.burst_duty,
         }
 
 
@@ -132,7 +135,10 @@ class ServingSimulator:
 
     # -- event plumbing ---------------------------------------------------
     def _push(self, t: float, tag: int, payload: Any) -> None:
-        heapq.heappush(self._heap, (t, next(self._seq), tag, payload))
+        # (t, tag, seq): the tag breaks timestamp ties (completions
+        # first, so freed HBM is visible to same-instant arrivals), the
+        # monotone seq breaks equal-tag ties in insertion order.
+        heapq.heappush(self._heap, (t, tag, next(self._seq), payload))
 
     def _schedule_completion(self, started: Optional[FleetJob]) -> None:
         if started is not None:
@@ -273,7 +279,7 @@ class ServingSimulator:
             self._push(arrival.t_us, _ARRIVAL, arrival.kind)
         while True:
             while self._heap:
-                t, _, tag, payload = heapq.heappop(self._heap)
+                t, tag, _, payload = heapq.heappop(self._heap)
                 self._advance(t)
                 if tag == _COMPLETE:
                     self._on_complete(payload, t, process, rng)

@@ -117,6 +117,43 @@ class TestMemoryPool:
         with pytest.raises(MemoryError):
             pool.allocate(2048)
 
+    def test_release_oldest_frees_its_bytes(self):
+        # FIFO completion order — the serving fleet's only order — must
+        # return memory immediately, not only when the pool drains.
+        pool = MemoryPool(4096)
+        a = pool.allocate(256, "a")
+        pool.allocate(256, "b")
+        pool.allocate(256, "c")
+        before = pool.in_use
+        pool.release(a)
+        assert pool.in_use == before - a.size
+        assert pool.fits(3328)  # all remaining capacity is allocatable
+
+    def test_fifo_stream_never_ratchets(self):
+        # A bounded pool sustains an unbounded stream of allocate /
+        # release-oldest pairs (the admission-ledger steady state).
+        pool = MemoryPool(1024)
+        live = [pool.allocate(256) for _ in range(4)]
+        for _ in range(64):
+            pool.release(live.pop(0))
+            live.append(pool.allocate(256))
+        assert pool.in_use == 4 * 256
+
+    def test_freed_gap_is_reused(self):
+        pool = MemoryPool(1024)
+        a = pool.allocate(256, "a")
+        pool.allocate(256, "b")
+        pool.release(a)
+        c = pool.allocate(256, "c")
+        assert c.offset == 0  # first fit lands in the freed gap
+
+    def test_release_non_live_rejected(self):
+        pool = MemoryPool(1024)
+        a = pool.allocate(100, "a")
+        pool.release(a)
+        with pytest.raises(ValueError, match="not live"):
+            pool.release(a)
+
     def test_alignment(self):
         pool = MemoryPool(4096)
         a = pool.allocate(1)

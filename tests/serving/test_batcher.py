@@ -46,13 +46,6 @@ class TestSizeTrigger:
 
 
 class TestDeadlineTrigger:
-    def test_next_deadline_tracks_oldest(self):
-        b = make(max_wait_us=100.0)
-        assert b.next_deadline() is None
-        b.add(job(0, t=10.0), 10.0)
-        b.add(job(1, "b", t=5.0), 5.0)
-        assert b.next_deadline() == 105.0
-
     def test_flush_due_closes_expired_queues_only(self):
         b = make(max_wait_us=100.0)
         b.add(job(0, "a", t=0.0), 0.0)

@@ -73,6 +73,34 @@ class TestDeterminism:
         assert a.rejections > 0  # the regime actually exercises admission
 
 
+class TestEventOrdering:
+    def test_completion_beats_arrival_at_equal_time(self, catalog):
+        # Engineered tie: all three kinds pushed at t=10 in reverse
+        # priority order.  The tag must decide (completions free HBM
+        # before same-instant arrivals dispatch), not insertion order.
+        import heapq
+
+        from repro.serving.simulator import _ARRIVAL, _COMPLETE, _DEADLINE
+
+        sim = ServingSimulator(config(), catalog)
+        sim._push(10.0, _DEADLINE, None)
+        sim._push(10.0, _ARRIVAL, "boot")
+        sim._push(10.0, _COMPLETE, "sentinel")
+        tags = [heapq.heappop(sim._heap)[1] for _ in range(3)]
+        assert tags == [_COMPLETE, _ARRIVAL, _DEADLINE]
+
+    def test_equal_tag_ties_keep_insertion_order(self, catalog):
+        import heapq
+
+        from repro.serving.simulator import _ARRIVAL
+
+        sim = ServingSimulator(config(), catalog)
+        sim._push(10.0, _ARRIVAL, "first")
+        sim._push(10.0, _ARRIVAL, "second")
+        payloads = [heapq.heappop(sim._heap)[3] for _ in range(2)]
+        assert payloads == ["first", "second"]
+
+
 class TestArrivalModes:
     def test_closed_loop_completes_population(self, catalog):
         cfg = config(arrival="closed", clients=6,
@@ -116,6 +144,14 @@ class TestReportShape:
         assert len(doc["devices"]) == 2
         assert 0.0 <= doc["slo_attainment"] <= 1.0
         assert doc["latency"]["p50_us"] <= doc["latency"]["p99_us"]
+
+    def test_config_embeds_burst_fields(self, catalog):
+        cfg = config(arrival="burst", burst_factor=2.0,
+                     burst_period_us=100_000.0, burst_duty=0.5)
+        doc = simulate_serving(cfg, catalog).to_dict()["config"]
+        assert doc["burst_factor"] == 2.0
+        assert doc["burst_period_us"] == 100_000.0
+        assert doc["burst_duty"] == 0.5
 
     def test_summary_is_printable(self, catalog):
         rep = simulate_serving(config(), catalog)
