@@ -2,6 +2,7 @@
 
 from .metrics import kops_from_us, us_from_kops, within_factor
 from .report import (
+    dagcheck_gate_summary,
     format_table,
     lint_gate_summary,
     paper_vs_measured,
@@ -10,6 +11,7 @@ from .report import (
 )
 
 __all__ = [
+    "dagcheck_gate_summary",
     "format_table",
     "kops_from_us",
     "lint_gate_summary",

@@ -69,6 +69,13 @@ Vocabulary
     Acknowledges that the function intentionally returns a view of
     internal/cached state (read-only by construction); suppresses the
     aliased-return rule at this definition.
+``@exact_oracle``
+    Marks a deliberately slow, exact reference implementation (Python
+    bigints, ``dtype=object``): its arbitrary-precision arithmetic is
+    the point, not a silent fallback, so the object-dtype rule (B-OBJ)
+    does not apply inside its body. Use only on O(N^2)-style ground
+    truths that the fast kernels are tested against — never on a
+    production path.
 """
 
 from __future__ import annotations
@@ -177,4 +184,10 @@ def frozen(cls: type) -> type:
 def returns_view(func: Callable) -> Callable:
     """Bless an intentional view-returning function (read-only views)."""
     _meta(func)["returns_view"] = True
+    return func
+
+
+def exact_oracle(func: Callable) -> Callable:
+    """Mark an exact bigint reference oracle (module docstring)."""
+    _meta(func)["exact_oracle"] = True
     return func

@@ -1,0 +1,69 @@
+"""dagcheck: static verification over recorded trace DAGs.
+
+Where :mod:`repro.analysis.fhelint` lints *source text*, dagcheck
+verifies *recorded executions*: it walks the
+:class:`~repro.trace.ir.OpTrace` / lowered
+:class:`~repro.trace.lowering.KernelDag` of a workload and proves, with
+no replay, that
+
+* **ciphertext semantics** hold along every data dependency — level and
+  prime-count bookkeeping, coeff/eval domain discipline, CKKS scale
+  matching at additions and divides, mandatory rescale placement between
+  tensor products, and automorphism steps against the declared
+  rotation-key set (:mod:`.semantics`);
+* the **noise budget** is never statically exhausted — an
+  interval-abstract version of the
+  :class:`~repro.ckks.noise.NoiseEstimator` walked over the DAG
+  (:mod:`.noise`);
+* every **schedule is legal** — dependencies precede dependents in both
+  the (optimized) trace and the lowered DAG, with an ancestor-bitmask
+  happens-before certificate (:mod:`.schedule`), and a liveness-based
+  static peak-HBM certificate bounds what any legal execution can
+  allocate (:mod:`.memory`).
+
+Findings reuse fhelint's :class:`~repro.analysis.fhelint.findings.Finding`
+records (``path`` = trace label, ``line`` = event id / node index) under
+the rule ids of
+:data:`~repro.analysis.fhelint.findings.DAG_RULES`, so baselines,
+suppression and JSON reporting carry over.  :mod:`.mutations` forges
+known-illegal variants of a clean trace; the CI gate asserts the clean
+catalog has zero findings while every forged mutation is caught.
+"""
+
+from .semantics import ScaleMap, check_semantics
+from .noise import NoiseWalk, check_noise
+from .schedule import (
+    check_dag_schedule,
+    check_trace_schedule,
+    happens_before_certificate,
+)
+from .memory import (
+    HbmCertificate,
+    check_hbm_budget,
+    observed_peak_bytes,
+    static_hbm_certificate,
+)
+from .mutations import MUTATIONS, forge
+from .catalog import CATALOG, check_trace, run_catalog
+from .runner import DagcheckResult, run_dagcheck
+
+__all__ = [
+    "CATALOG",
+    "DagcheckResult",
+    "HbmCertificate",
+    "MUTATIONS",
+    "NoiseWalk",
+    "ScaleMap",
+    "check_dag_schedule",
+    "check_hbm_budget",
+    "check_noise",
+    "check_semantics",
+    "check_trace",
+    "check_trace_schedule",
+    "forge",
+    "happens_before_certificate",
+    "observed_peak_bytes",
+    "run_catalog",
+    "run_dagcheck",
+    "static_hbm_certificate",
+]

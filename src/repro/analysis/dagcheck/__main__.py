@@ -1,0 +1,65 @@
+"""CLI: ``python -m repro.analysis.dagcheck``.
+
+Runs the full catalog verification plus the mutation-kill battery,
+writes the JSON report consumed by CI (``ANALYSIS_dagcheck.json``) and
+exits non-zero on any finding, surviving mutation or loose certificate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .runner import run_dagcheck
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.dagcheck",
+        description="static ciphertext-semantics, noise-budget and "
+                    "schedule-legality verification over recorded traces",
+    )
+    parser.add_argument("--json", default="ANALYSIS_dagcheck.json",
+                        help="JSON report path (default %(default)s; "
+                             "'-' disables)")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format (github = workflow "
+                             "error annotations)")
+    parser.add_argument("--workload", action="append", dest="names",
+                        help="restrict to one catalog workload "
+                             "(repeatable)")
+    parser.add_argument("--no-optimizer", action="store_true",
+                        help="skip optimizer-output surfaces")
+    parser.add_argument("--no-search", action="store_true",
+                        help="skip schedule_search surfaces")
+    parser.add_argument("--no-memory", action="store_true",
+                        help="skip HBM certificates")
+    parser.add_argument("--no-mutations", action="store_true",
+                        help="skip the mutation-kill battery")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the text report")
+    args = parser.parse_args(argv)
+
+    result = run_dagcheck(
+        optimizer=not args.no_optimizer,
+        search=not args.no_search,
+        memory=not args.no_memory,
+        mutations=not args.no_mutations,
+        names=args.names,
+    )
+    if args.json != "-":
+        result.write_json(args.json)
+    if args.format == "github":
+        rendered = result.render(fmt="github")
+        if rendered:
+            print(rendered)
+        if not args.quiet:
+            print(result.render(), file=sys.stderr)
+    elif not args.quiet:
+        print(result.render())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Run dagcheck over the full recorded-workload catalog.
+
+For every catalog workload (bootstrap, HELR iteration, ResNet block,
+AES transcipher block) this drives the complete verification surface:
+
+1. the recorded trace — semantics + noise + trace-order legality;
+2. every optimizer output — the full ``optimize_trace`` pipeline result
+   re-checked at primitive granularity (scale tags and the declared
+   rotation set survive the passes by construction);
+3. the lowered DAG of both — index legality plus the ancestor-bitmask
+   happens-before certificate against the trace's data flow;
+4. every ``schedule_search`` permutation strategy — the winning order
+   re-certified;
+5. the static peak-HBM certificate vs the simulated observed peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..fhelint.findings import Finding
+from ...trace.ir import OpTrace
+from ...trace.lowering import KernelDag, lower_trace
+from .memory import (
+    HbmCertificate,
+    observed_peak_bytes,
+    static_hbm_certificate,
+)
+from .noise import check_noise
+from .schedule import (
+    check_dag_schedule,
+    check_trace_schedule,
+    happens_before_certificate,
+)
+from .semantics import check_semantics
+
+
+def _catalog_recorders() -> Dict[str, Callable[[], OpTrace]]:
+    from ...workloads.recorded import (
+        record_bootstrap_trace,
+        record_helr_iteration_trace,
+        record_resnet_block_trace,
+        record_transcipher_block_trace,
+    )
+    return {
+        "bootstrap": record_bootstrap_trace,
+        "helr_iteration": record_helr_iteration_trace,
+        "resnet_block": record_resnet_block_trace,
+        "aes_transcipher": record_transcipher_block_trace,
+    }
+
+
+#: Workload name -> zero-argument recorder (lazily imported).
+CATALOG = _catalog_recorders
+
+
+def check_trace(trace: OpTrace) -> List[Finding]:
+    """Semantics + noise + trace-order legality of one trace."""
+    out = check_semantics(trace)
+    out.extend(check_noise(trace))
+    out.extend(check_trace_schedule(trace))
+    return out
+
+
+@dataclass
+class WorkloadReport:
+    """Everything dagcheck proved about one catalog workload."""
+
+    name: str
+    findings: List[Finding] = field(default_factory=list)
+    surfaces: List[str] = field(default_factory=list)
+    certificate: Optional[HbmCertificate] = None
+    observed_peak: Optional[float] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def cert_ratio(self) -> Optional[float]:
+        """certificate / observed peak (>= 1.0 means the certificate is
+        a true upper bound)."""
+        if self.certificate is None or not self.observed_peak:
+            return None
+        return self.certificate.peak_bytes / self.observed_peak
+
+
+def check_workload(name: str, trace: OpTrace, *,
+                   optimizer: bool = True,
+                   search: bool = True,
+                   memory: bool = True) -> WorkloadReport:
+    """The full verification surface of one recorded workload."""
+    report = WorkloadReport(name=name)
+
+    def run(surface: str, findings: List[Finding]) -> None:
+        report.surfaces.append(surface)
+        report.findings.extend(findings)
+
+    run("trace", check_trace(trace))
+
+    dag = lower_trace(trace)
+    run("dag", check_dag_schedule(dag))
+    run("dag-hb", happens_before_certificate(dag, trace))
+
+    if optimizer:
+        from ...trace.opt import optimize_trace, schedule_search
+        opt, _ = optimize_trace(trace)
+        run("opt-trace", check_trace(opt))
+        opt_dag = lower_trace(opt)
+        run("opt-dag", check_dag_schedule(opt_dag))
+        run("opt-dag-hb", happens_before_certificate(opt_dag, opt))
+        if search:
+            best, _ = schedule_search(opt_dag)
+            run("sched-search", check_dag_schedule(best))
+            run("sched-search-hb", happens_before_certificate(best, opt))
+        dag = opt_dag  # certify the DAG the serving layer would run
+
+    if memory:
+        report.certificate = static_hbm_certificate(dag)
+        report.observed_peak = observed_peak_bytes(dag.run())
+    return report
+
+
+def run_catalog(*, optimizer: bool = True, search: bool = True,
+                memory: bool = True,
+                names: Optional[List[str]] = None
+                ) -> Dict[str, WorkloadReport]:
+    """Check every catalog workload; returns per-workload reports."""
+    recorders = CATALOG()
+    out: Dict[str, WorkloadReport] = {}
+    for name, recorder in recorders.items():
+        if names is not None and name not in names:
+            continue
+        trace = recorder()
+        out[name] = check_workload(name, trace, optimizer=optimizer,
+                                   search=search, memory=memory)
+    return out

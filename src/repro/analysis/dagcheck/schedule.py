@@ -1,0 +1,110 @@
+"""D-SCH: schedule legality without replay.
+
+Three layers of proof, cheapest first:
+
+* :func:`check_trace_schedule` — in a (possibly optimizer-permuted)
+  trace, every data dependency must be *positioned* before its
+  dependent.  ``validate_trace`` raises on this; here it is a finding so
+  a forged reorder is reported, not crashed on.
+* :func:`check_dag_schedule` — the lowered :class:`KernelDag` invariant:
+  node dependency indices strictly below the node's own index
+  (``run_dag`` launches in index order, so this *is* executability).
+* :func:`happens_before_certificate` — the full certificate: ancestor
+  bitsets (arbitrary-width Python ints) close the dependency relation
+  transitively, then every trace-level data dep is checked to be an
+  ancestor of (or co-located with) the node realizing the dependent
+  event.  This proves any legal execution of the DAG replays the
+  recorded data flow — the property ``schedule_search`` permutations
+  must preserve — in O(V·E/64) without running the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..fhelint.findings import Finding
+from ...trace.ir import OpTrace
+from ...trace.lowering import KernelDag
+
+
+def check_trace_schedule(trace: OpTrace) -> List[Finding]:
+    """Findings for deps that do not precede their dependents in order."""
+    ex = trace.expanded()
+    pos: Dict[int, int] = {}
+    out: List[Finding] = []
+    for i, e in enumerate(ex.events):
+        for d in e.deps:
+            where = pos.get(d)
+            if where is None or where >= i:
+                out.append(Finding(
+                    rule="D-SCH", path=ex.label or "<trace>", line=e.eid,
+                    func=e.op or e.kind,
+                    message=(
+                        f"event at position {i} depends on eid {d} which "
+                        + ("does not precede it"
+                           if where is None else
+                           f"is positioned later (at {where})")),
+                ))
+        pos[e.eid] = i
+    return out
+
+
+def check_dag_schedule(dag: KernelDag) -> List[Finding]:
+    """Findings for lowered-DAG nodes whose deps are not earlier nodes."""
+    out: List[Finding] = []
+    for i, node in enumerate(dag.nodes):
+        bad = sorted(d for d in node.deps if not 0 <= d < i)
+        if bad:
+            out.append(Finding(
+                rule="D-SCH", path=dag.label or "<dag>", line=i,
+                func=node.op,
+                message=(
+                    f"node {i} ({node.spec.name}) depends on node(s) "
+                    f"{bad} not scheduled before it"),
+            ))
+    return out
+
+
+def happens_before_certificate(dag: KernelDag,
+                               trace: OpTrace) -> List[Finding]:
+    """Prove the DAG's dependency closure covers the trace's data flow.
+
+    Returns an empty list when, for every trace event ``e`` realized by
+    node ``i`` and every data dep ``d`` of ``e``, the node realizing
+    ``d`` is ``i`` itself or a transitive ancestor of ``i`` — i.e. every
+    legal topological execution of the DAG observes the recorded
+    happens-before relation.
+    """
+    ex = trace.expanded()
+    realizes: Dict[int, int] = {}
+    for i, node in enumerate(dag.nodes):
+        for eid in node.eids:
+            realizes[eid] = i
+
+    anc: List[int] = []
+    for i, node in enumerate(dag.nodes):
+        mask = 0
+        for d in node.deps:
+            if 0 <= d < i:
+                mask |= anc[d] | (1 << d)
+        anc.append(mask)
+
+    out: List[Finding] = []
+    for e in ex.events:
+        i = realizes.get(e.eid)
+        if i is None:
+            continue  # elided by lowering (folded into another launch)
+        for d in e.deps:
+            j = realizes.get(d)
+            if j is None or j == i:
+                continue
+            if not (anc[i] >> j) & 1:
+                out.append(Finding(
+                    rule="D-SCH", path=dag.label or "<dag>", line=i,
+                    func=e.op or e.kind,
+                    message=(
+                        f"no happens-before: node {j} (producing eid {d}) "
+                        f"is not an ancestor of node {i} (consuming it "
+                        f"via eid {e.eid})"),
+                ))
+    return out

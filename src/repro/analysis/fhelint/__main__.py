@@ -29,6 +29,14 @@ def main(argv=None) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite --baseline to cover every current "
                              "finding, then exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries that no longer fire "
+                             "(stale entries otherwise fail the gate), "
+                             "then exit 0")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "github"),
+                        help="output style: human text or GitHub Actions "
+                             "::error annotations (default: text)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary table; print only "
                              "active findings")
@@ -51,12 +59,34 @@ def main(argv=None) -> int:
               f"fingerprint(s) -> {args.baseline}")
         return 0
 
+    if args.prune_baseline:
+        if not args.baseline:
+            parser.error("--prune-baseline requires --baseline")
+        kept = Baseline({
+            rule: pruned
+            for rule, fps in (baseline or Baseline()).fingerprints.items()
+            if (pruned := [fp for fp in fps if fp not in result.stale])
+        })
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(kept.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fhelint: pruned {len(result.stale)} stale "
+              f"fingerprint(s) -> {args.baseline}")
+        return 0
+
     if args.json_out and args.json_out != "-":
         write_json(result, args.json_out)
-    if args.quiet:
+    if args.fmt == "github":
+        out = result.render_github()
+        if out:
+            print(out)
+        print(f"fhelint: {'clean' if result.exit_code == 0 else 'failed'}")
+    elif args.quiet:
         for f in sorted(result.active, key=lambda f: (f.path, f.line)):
             print(f.render())
-        print(f"fhelint: {'clean' if not result.active else str(len(result.active)) + ' finding(s)'}")
+        for fp in result.stale:
+            print(f"stale baseline entry (no longer fires): {fp}")
+        print(f"fhelint: {'clean' if result.exit_code == 0 else str(len(result.active)) + ' finding(s)'}")
     else:
         print(result.render())
     return result.exit_code

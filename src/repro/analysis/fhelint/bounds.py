@@ -1087,11 +1087,35 @@ class BoundsPass:
 # -- module-wide syntactic checks --------------------------------------------
 
 
+def _exact_oracle_spans(module: ModuleInfo) -> List[tuple]:
+    """Line spans of functions decorated ``@exact_oracle`` — declared
+    bigint reference oracles where object-dtype arithmetic is the
+    intent, not a silent fallback."""
+    spans = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = target.attr if isinstance(target, ast.Attribute) else \
+                getattr(target, "id", None)
+            if name == "exact_oracle":
+                spans.append(
+                    (node.lineno, getattr(node, "end_lineno", node.lineno)))
+                break
+    return spans
+
+
 def object_dtype_findings(module: ModuleInfo,
                           func_of_line) -> List[Finding]:
-    """B-OBJ: every ``astype(object)`` / ``dtype=object`` in the module."""
+    """B-OBJ: every ``astype(object)`` / ``dtype=object`` in the module,
+    except inside ``@exact_oracle``-declared reference implementations."""
+    oracle_spans = _exact_oracle_spans(module)
     out: List[Finding] = []
     for node in ast.walk(module.tree):
+        if any(lo <= getattr(node, "lineno", 0) <= hi
+               for lo, hi in oracle_spans):
+            continue
         hit = None
         if isinstance(node, ast.Call):
             if isinstance(node.func, ast.Attribute) and \

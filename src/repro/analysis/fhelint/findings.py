@@ -24,6 +24,22 @@ RULES: Dict[str, str] = {
     "T-KIND": "trace emit() with a kind outside the ALL_KINDS vocabulary",
 }
 
+#: The dagcheck (D-family) rules: static verification over recorded trace
+#: DAGs rather than source text (see :mod:`repro.analysis.dagcheck`).
+#: Findings reuse :class:`Finding` with ``path`` = trace label and
+#: ``line`` = event id, so fingerprints, baselines and suppression
+#: machinery carry over unchanged.
+DAG_RULES: Dict[str, str] = {
+    "D-LVL": "ciphertext level/prime-count inconsistent along data deps",
+    "D-CEV": "coeff/eval domain mismatch along a trace data path",
+    "D-SCL": "CKKS scale mismatch at an addition or divide",
+    "D-RES": "tensor product consumes an unrescaled tensor product",
+    "D-KEY": "automorphism step outside the declared rotation-key set",
+    "D-NSE": "statically predicted noise-budget exhaustion",
+    "D-SCH": "schedule illegality: event ordered before a dependency",
+    "D-HBM": "declared HBM budget below the static liveness certificate",
+}
+
 
 @dataclass
 class Finding:

@@ -42,6 +42,12 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     functions_checked: int = 0
+    #: Baseline fingerprints that no longer match any finding — dead
+    #: grandfather entries.  They gate too: a stale entry would silently
+    #: re-admit the finding if the code regressed, so CI requires the
+    #: baseline be pruned (``--prune-baseline``) the moment a baselined
+    #: finding is fixed.
+    stale: List[str] = field(default_factory=list)
 
     @property
     def active(self) -> List[Finding]:
@@ -51,7 +57,7 @@ class LintResult:
 
     @property
     def exit_code(self) -> int:
-        return 1 if self.active else 0
+        return 1 if self.active or self.stale else 0
 
     def rule_counts(self) -> Dict[str, Dict[str, int]]:
         out: Dict[str, Dict[str, int]] = {
@@ -82,9 +88,31 @@ class LintResult:
         lines = [table, ""]
         for f in sorted(self.active, key=lambda f: (f.path, f.line)):
             lines.append(f.render())
-        verdict = "clean" if not self.active else \
-            f"{len(self.active)} finding(s)"
+        for fp in self.stale:
+            lines.append(f"stale baseline entry (no longer fires): {fp}")
+        verdict = "clean" if self.exit_code == 0 else ", ".join(
+            part for part in (
+                f"{len(self.active)} finding(s)" if self.active else "",
+                f"{len(self.stale)} stale baseline entr"
+                f"{'y' if len(self.stale) == 1 else 'ies'}"
+                if self.stale else "",
+            ) if part)
         lines.append(f"fhelint: {verdict}")
+        return "\n".join(lines)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotations, one per active
+        finding (stale baseline entries annotate the baseline file)."""
+        lines = [
+            f"::error file={f.path},line={f.line}::"
+            f"[{f.rule}] {f.func}: {f.message}"
+            for f in sorted(self.active, key=lambda f: (f.path, f.line))
+        ]
+        lines.extend(
+            f"::error::stale fhelint baseline entry {fp} — "
+            "run --prune-baseline"
+            for fp in self.stale
+        )
         return "\n".join(lines)
 
     def to_json(self) -> Dict:
@@ -95,6 +123,7 @@ class LintResult:
             "rules": RULES,
             "counts": self.rule_counts(),
             "active": len(self.active),
+            "stale_baseline": list(self.stale),
             "exit_code": self.exit_code,
             "findings": [f.to_json() for f in self.findings
                          if not f.suppressed],
@@ -201,6 +230,13 @@ def run_lint(roots: List[str],
         for f in findings:
             if not f.suppressed and baseline.covers(f):
                 f.baselined = True
+        fired = {f.fingerprint for f in findings if not f.suppressed}
+        result.stale = sorted(
+            fp
+            for fps in baseline.fingerprints.values()
+            for fp in fps
+            if fp not in fired
+        )
     return result
 
 

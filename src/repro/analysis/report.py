@@ -115,3 +115,57 @@ def lint_gate_summary(json_path: str = "ANALYSIS_lint.json") -> str:
         first_col_width=12, col_width=10,
     )
     return f"{table}\n{shape_check('fhelint gate: ' + verdict, verdict == 'CLEAN')}"
+
+
+def dagcheck_gate_summary(json_path: str = "ANALYSIS_dagcheck.json") -> str:
+    """Fold the dagcheck trace-DAG verification gate into the report.
+
+    Reads a previously written ``ANALYSIS_dagcheck.json`` (the CI
+    artifact) when one exists; otherwise verifies one catalog workload
+    live at proxy scale so the summary never silently skips the gate.
+    The optimizer/serving numbers above only mean something if the
+    rewritten DAGs provably preserve ciphertext semantics, stay inside
+    noise budget, and admit under their memory certificates.
+    """
+    import json
+    import os
+
+    if os.path.exists(json_path):
+        with open(json_path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        origin = json_path
+    else:
+        # Local import: dagcheck's runner renders with format_table,
+        # so a top-level import would be circular.
+        from .dagcheck import run_dagcheck
+
+        data = run_dagcheck(names=["resnet_block"], search=False).to_json()
+        origin = "live run (resnet_block only)"
+
+    rows = []
+    for wl in sorted(data.get("workloads", {})):
+        info = data["workloads"][wl]
+        cert = data.get("certificates", {}).get(wl, {})
+        ratio = cert.get("ratio")
+        rows.append([
+            wl, info.get("findings", 0), len(info.get("surfaces", [])),
+            round(cert.get("peak_bytes", 0) / 2**20, 1),
+            f"{ratio:.2f}x" if ratio else "-",
+        ])
+    if not rows:
+        rows.append(["(no workloads)", 0, 0, 0, "-"])
+    findings = len(data.get("findings", []))
+    survivors = data.get("surviving_mutations", [])
+    kills = data.get("mutation_kills", {})
+    ok = data.get("exit_code", 1) == 0
+    verdict = "CLEAN" if ok else (
+        f"{findings} FINDING(S), {len(survivors)} SURVIVING MUTATION(S)"
+    )
+    table = format_table(
+        ["workload", "findings", "surfaces", "cert MiB", "cert/obs"],
+        rows,
+        title=f"Trace-DAG verification gate: dagcheck ({origin}) — "
+              f"{len(kills)} mutation(s) killed",
+        first_col_width=16, col_width=10,
+    )
+    return f"{table}\n{shape_check('dagcheck gate: ' + verdict, ok)}"

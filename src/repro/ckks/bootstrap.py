@@ -328,7 +328,7 @@ class Bootstrapper:
             # Priced like the hand-counted schedules do: one element-wise
             # pass writing both raised polynomials over the full chain.
             _temit("modadd", rows=2 * len(full), reads=(ct,),
-                   writes=(raised,))
+                   writes=(raised,), scale=raised.scale)
         return raised
 
     def coeff_to_slot(self, ct: Ciphertext, keys: KeySet) -> Ciphertext:

@@ -178,7 +178,8 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
         # --- c0 leg: eval-domain gathers only (no transforms at all) -------
         rot0_eval = ct.c0.data[:, src]  # (L, S, N)
         _temit("automorphism", primes=num_level, polys=num_steps,
-               reads=(ct,), writes=(rot0_eval,), args=tuple(steps))
+               reads=(ct,), writes=(rot0_eval,), args=tuple(steps),
+               scale=ct.scale)
 
         out: Dict[int, Ciphertext] = {}
         for s_idx, step in enumerate(steps):
@@ -196,7 +197,8 @@ def hoisted_rotations(ev: Evaluator, ct: Ciphertext, steps: Sequence[int],
                 rot0_poly + part0, part1, ct.level, ct.scale
             )
         _temit("modadd", rows=num_steps * num_level,
-               reads=(parts, rot0_eval), writes=tuple(out.values()))
+               reads=(parts, rot0_eval), writes=tuple(out.values()),
+               scale=ct.scale)
     if passthrough:
         out[0] = ct
     return out

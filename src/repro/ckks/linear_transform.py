@@ -252,7 +252,7 @@ class LinearTransform:
                 # stack, for both ciphertext components.
                 _temit("inner_product", primes=ct.level + 1,
                        digits=len(idx), accumulators=2, reads=rot_cts,
-                       writes=(inner,))
+                       writes=(inner,), scale=inner.scale)
                 if self.bsgs:
                     inner = ev.rescale(inner)
                     if g_rot:

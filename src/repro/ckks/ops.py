@@ -91,7 +91,7 @@ class Evaluator:
         with _tspan("hadd", level=a.level):
             out = Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.level, a.scale)
             _temit("modadd", rows=2 * (a.level + 1), reads=(a, b),
-                   writes=(out,))
+                   writes=(out,), scale=out.scale)
         return out
 
     def hsub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -99,7 +99,7 @@ class Evaluator:
         with _tspan("hsub", level=a.level):
             out = Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.level, a.scale)
             _temit("modadd", rows=2 * (a.level + 1), reads=(a, b),
-                   writes=(out,))
+                   writes=(out,), scale=out.scale)
         return out
 
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
@@ -110,7 +110,8 @@ class Evaluator:
         m = self._plain_at_level(pt, ct.level)
         with _tspan("add_plain", level=ct.level):
             out = Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
-            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,))
+            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,),
+                   scale=out.scale)
         return out
 
     def negate(self, ct: Ciphertext) -> Ciphertext:
@@ -126,7 +127,7 @@ class Evaluator:
                 ct.c0 * m, ct.c1 * m, ct.level, ct.scale * pt.scale
             )
             _temit("modmul", rows=2 * (ct.level + 1), reads=(ct, m),
-                   writes=(out,))
+                   writes=(out,), scale=out.scale)
         return out
 
     def hmult(self, a: Ciphertext, b: Ciphertext, keys: KeySet, *,
@@ -138,12 +139,14 @@ class Evaluator:
             d1 = (a.c0 * b.c1).fma_(a.c1, b.c0)
             d2 = a.c1 * b.c1
             _temit("tensor_product", rows=a.level + 1, reads=(a, b),
-                   writes=(d0, d1, d2))
+                   writes=(d0, d1, d2), scale=a.scale * b.scale)
             ks0, ks1 = keyswitch(d2, keys.relin, self.p_moduli)
             c0 = d0 + ks0
             c1 = d1 + ks1
-            _temit("modadd", rows=a.level + 1, reads=(d0, ks0), writes=(c0,))
-            _temit("modadd", rows=a.level + 1, reads=(d1, ks1), writes=(c1,))
+            _temit("modadd", rows=a.level + 1, reads=(d0, ks0), writes=(c0,),
+                   scale=a.scale * b.scale)
+            _temit("modadd", rows=a.level + 1, reads=(d1, ks1), writes=(c1,),
+                   scale=a.scale * b.scale)
             ct = Ciphertext(c0, c1, a.level, a.scale * b.scale)
             return self.rescale(ct) if rescale else ct
 
@@ -160,7 +163,8 @@ class Evaluator:
             out_c0 = new_c0.to_eval()
             out_c1 = new_c1.to_eval()
             _temit("ntt", rows=2 * (ct.level + 1 - k), panes=2,
-                   reads=(new_c0, new_c1), writes=(out_c0, out_c1))
+                   reads=(new_c0, new_c1), writes=(out_c0, out_c1),
+                   scale=ct.scale / divisor)
             return Ciphertext(
                 out_c0, out_c1, ct.level - k, ct.scale / divisor,
             )
@@ -188,7 +192,7 @@ class Evaluator:
                 ct.c0 * m, ct.c1 * m, ct.level, ct.scale * scale
             )
             _temit("modmul", rows=2 * (ct.level + 1), reads=(ct, m),
-                   writes=(out,))
+                   writes=(out,), scale=out.scale)
         return out
 
     def add_scalar(self, ct: Ciphertext, value: float) -> Ciphertext:
@@ -199,7 +203,8 @@ class Evaluator:
         m = RnsPoly.from_signed(coeffs, moduli).to_eval()
         with _tspan("add_scalar", level=ct.level):
             out = Ciphertext(ct.c0 + m, ct.c1.copy(), ct.level, ct.scale)
-            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,))
+            _temit("modadd", rows=ct.level + 1, reads=(ct, m), writes=(out,),
+                   scale=out.scale)
         return out
 
     def match_scale(self, ct: Ciphertext, target: float) -> Ciphertext:
@@ -301,11 +306,12 @@ class Evaluator:
             # ``args`` carries the slot step (-1 = conjugation) so the
             # optimizer and key audits know *which* rotation this was.
             _temit("automorphism", primes=ct.level + 1, polys=2,
-                   reads=(ct,), writes=(rot0, rot1), args=(step,))
+                   reads=(ct,), writes=(rot0, rot1), args=(step,),
+                   scale=ct.scale)
             ks0, ks1 = keyswitch(rot1, key, self.p_moduli)
             c0 = rot0 + ks0
             _temit("modadd", rows=ct.level + 1, reads=(rot0, ks0),
-                   writes=(c0,))
+                   writes=(c0,), scale=ct.scale)
             return Ciphertext(c0, ks1, ct.level, ct.scale)
 
     # -- internals --------------------------------------------------------------------

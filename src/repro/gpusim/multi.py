@@ -66,13 +66,19 @@ class FleetJob:
 
     ``service_us`` is the batch's priced :func:`run_dag` latency on the
     target device; ``hbm_bytes`` the working-set reservation admission
-    control charges against the device pool.  ``payload`` is opaque to
-    the fleet (the serving layer stores its batch record there).
+    control charges against the device pool — either the S_max formula
+    or, when the catalog runs ``hbm_model="certified"``, the static
+    liveness certificate of the priced DAG.  ``certified_hbm_bytes``
+    carries that certificate regardless, so pool admission can audit
+    the reservation against it (a reservation below the certificate is
+    an overcommit the D-HBM rule flags).  ``payload`` is opaque to the
+    fleet (the serving layer stores its batch record there).
     """
 
     label: str
     service_us: float
     hbm_bytes: int
+    certified_hbm_bytes: int = 0
     kind: str = ""
     batch: int = 1
     jobs: Tuple[int, ...] = ()

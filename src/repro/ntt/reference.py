@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.annotations import exact_oracle
 from ..numtheory import modinv
 from .tables import NttTables
 
@@ -29,16 +30,16 @@ def reference_cyclic_ntt(x: np.ndarray, omega: int, modulus: int) -> np.ndarray:
     return out
 
 
+@exact_oracle
 def reference_cyclic_intt(x: np.ndarray, omega: int, modulus: int) -> np.ndarray:
     """Inverse of :func:`reference_cyclic_ntt` (includes the 1/N factor)."""
     n = len(x)
     raw = reference_cyclic_ntt(x, modinv(omega, modulus), modulus)
     n_inv = modinv(n, modulus)
-    return (  # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
-        (raw.astype(object) * n_inv) % modulus
-    ).astype(np.uint64)
+    return ((raw.astype(object) * n_inv) % modulus).astype(np.uint64)
 
 
+@exact_oracle
 def reference_negacyclic_ntt(x: np.ndarray, tables: NttTables) -> np.ndarray:
     """Negacyclic forward NTT: evaluate at the odd powers of ``psi``.
 
@@ -46,22 +47,22 @@ def reference_negacyclic_ntt(x: np.ndarray, tables: NttTables) -> np.ndarray:
     negacyclic (mod ``X^N + 1``) convolution becomes pointwise product.
     """
     q = tables.modulus
-    # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
     scaled = (x.astype(object) * tables.psi_pows.astype(object)) % q
     return reference_cyclic_ntt(
         np.array(scaled, dtype=np.uint64), tables.omega, q
     )
 
 
+@exact_oracle
 def reference_negacyclic_intt(x: np.ndarray, tables: NttTables) -> np.ndarray:
     """Inverse of :func:`reference_negacyclic_ntt`."""
     q = tables.modulus
     raw = reference_cyclic_intt(x, tables.omega, q)
-    # fhelint: allow-B-OBJ (exact bigint oracle, not a kernel)
     out = (raw.astype(object) * tables.psi_inv_pows.astype(object)) % q
     return np.array(out, dtype=np.uint64)
 
 
+@exact_oracle
 def negacyclic_convolution(a: np.ndarray, b: np.ndarray, modulus: int,
                            ) -> np.ndarray:
     """Schoolbook product in ``Z_q[X] / (X^N + 1)`` — O(N^2), exact."""
@@ -83,7 +84,7 @@ def negacyclic_convolution(a: np.ndarray, b: np.ndarray, modulus: int,
                 out[k - n] = (out[k - n] - term) % modulus
     if modulus < 1 << 64:
         return np.array(out, dtype=np.uint64)
-    return np.array(out, dtype=object)  # fhelint: allow-B-OBJ (oracle)
+    return np.array(out, dtype=object)
 
 
 def cyclic_convolution(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:

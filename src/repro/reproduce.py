@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import sys
 
-from .analysis import format_table, lint_gate_summary
+from .analysis import (dagcheck_gate_summary, format_table,
+                       lint_gate_summary)
 from .baselines import TensorFheNtt, cpu_ntt_throughput_kops
 from .baselines.published import TABLE_VII_NTT_KOPS, TABLE_VIII_LATENCY_US
 from .ckks import ParameterSets
@@ -203,7 +204,7 @@ def main(argv=None) -> int:
     print("=" * 64)
     for section in (ntt_summary, variant_summary, hmult_summary,
                     trace_summary, dagopt_summary, serving_summary,
-                    lint_gate_summary):
+                    lint_gate_summary, dagcheck_gate_summary):
         print()
         print(section())
     print()

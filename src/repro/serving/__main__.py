@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hbm-gb", type=float,
                    default=DEFAULT_HBM_BYTES / 2**30,
                    help="per-device HBM, GiB (default 80)")
+    p.add_argument("--hbm-model", default="formula",
+                   choices=("formula", "certified"),
+                   help="per-job HBM reservation: S_max formula or the "
+                        "static dagcheck liveness certificate")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the full report as JSON")
     p.add_argument("--trace", metavar="PATH", default=None,
@@ -76,6 +80,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         optimize=args.optimize,
         seed=args.seed,
         hbm_bytes=int(args.hbm_gb * 2**30),
+        hbm_model=args.hbm_model,
     )
     sim = ServingSimulator(config)
     report = sim.run()

@@ -86,7 +86,14 @@ def _default_classes() -> Dict[str, JobClass]:
 
 @dataclass(frozen=True)
 class PricedBatch:
-    """One priced (kind, batch, optimized) combination."""
+    """One priced (kind, batch, optimized) combination.
+
+    ``hbm_bytes`` is what fleet admission reserves; its source is the
+    catalog's ``hbm_model``.  ``certified_hbm_bytes`` always carries the
+    static liveness certificate of the priced DAG
+    (:func:`repro.analysis.dagcheck.static_hbm_certificate`) so the
+    serving layer and the D-HBM audit can consume it either way.
+    """
 
     kind: str
     batch: int
@@ -94,6 +101,7 @@ class PricedBatch:
     service_us: float
     kernels: int
     hbm_bytes: int
+    certified_hbm_bytes: int = 0
 
 
 class JobCatalog:
@@ -106,7 +114,12 @@ class JobCatalog:
 
     def __init__(self, kinds: Sequence[str] = DEFAULT_JOB_KINDS, *,
                  device: GpuSpec = A100_PCIE_80G, style: str = "pe",
-                 classes: Optional[Dict[str, JobClass]] = None):
+                 classes: Optional[Dict[str, JobClass]] = None,
+                 hbm_model: str = "formula"):
+        if hbm_model not in ("formula", "certified"):
+            raise ValueError(
+                f"hbm_model must be 'formula' or 'certified', "
+                f"got {hbm_model!r}")
         available = classes if classes is not None else _default_classes()
         unknown = set(kinds) - set(available)
         if unknown:
@@ -119,6 +132,10 @@ class JobCatalog:
         }
         self.device = device
         self.style = style
+        #: ``formula`` reserves the paper's S_max working-set estimate;
+        #: ``certified`` reserves the static liveness certificate of the
+        #: actual priced DAG instead.
+        self.hbm_model = hbm_model
         self._traces: Dict[Tuple[str, bool], OpTrace] = {}
         self._prices: Dict[Tuple[str, int, bool], PricedBatch] = {}
         self._schedulers: Dict[str, OperationScheduler] = {}
@@ -172,13 +189,36 @@ class JobCatalog:
             service_us = min(scores.values())
         else:
             service_us = dag.run(self.device).elapsed_us
+        from ..analysis.dagcheck.memory import static_hbm_certificate
+
+        certified = int(static_hbm_certificate(dag, self.device).peak_bytes)
+        formula = self.working_bytes(kind, batch)
         priced = PricedBatch(
             kind=kind, batch=batch, optimized=optimized,
             service_us=service_us, kernels=dag.kernel_count,
-            hbm_bytes=self.working_bytes(kind, batch),
+            hbm_bytes=certified if self.hbm_model == "certified"
+            else formula,
+            certified_hbm_bytes=certified,
         )
         self._prices[key] = priced
         return priced
+
+    def audit_hbm(self, kind: str, batch: int = 1, *,
+                  optimized: bool = False):
+        """D-HBM audit of one priced batch: findings when the bytes
+        admission would reserve undercut the static liveness
+        certificate (an overcommitted pool waiting to happen)."""
+        from ..analysis.dagcheck.memory import (
+            HbmCertificate,
+            check_hbm_budget,
+        )
+
+        priced = self.price(kind, batch, optimized=optimized)
+        cert = HbmCertificate(
+            label=f"{kind}/batch{priced.batch}", node_count=priced.kernels,
+            peak_bytes=float(priced.certified_hbm_bytes),
+        )
+        return check_hbm_budget(cert.label, float(priced.hbm_bytes), cert)
 
     def service_us(self, kind: str, batch: int = 1, *,
                    optimized: bool = False) -> float:
@@ -206,6 +246,8 @@ class JobCatalog:
 
 def default_catalog(kinds: Sequence[str] = DEFAULT_JOB_KINDS, *,
                     device: GpuSpec = A100_PCIE_80G,
-                    style: str = "pe") -> JobCatalog:
+                    style: str = "pe",
+                    hbm_model: str = "formula") -> JobCatalog:
     """The standard four-workload catalog (module docstring)."""
-    return JobCatalog(kinds, device=device, style=style)
+    return JobCatalog(kinds, device=device, style=style,
+                      hbm_model=hbm_model)

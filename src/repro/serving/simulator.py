@@ -73,6 +73,9 @@ class ServingConfig:
     optimize: bool = False
     seed: int = 0
     hbm_bytes: int = DEFAULT_HBM_BYTES
+    #: Per-job reservation source: ``formula`` (S_max working-set
+    #: estimate) or ``certified`` (static DAG liveness certificate).
+    hbm_model: str = "formula"
     style: str = "pe"
     burst_factor: float = 4.0
     burst_period_us: float = 250_000.0
@@ -87,7 +90,8 @@ class ServingConfig:
             "horizon_us": self.horizon_us, "policy": self.policy,
             "max_batch": self.max_batch, "max_wait_us": self.max_wait_us,
             "optimize": self.optimize, "seed": self.seed,
-            "hbm_bytes": self.hbm_bytes, "style": self.style,
+            "hbm_bytes": self.hbm_bytes, "hbm_model": self.hbm_model,
+            "style": self.style,
             "burst_factor": self.burst_factor,
             "burst_period_us": self.burst_period_us,
             "burst_duty": self.burst_duty,
@@ -107,7 +111,8 @@ class ServingSimulator:
                  spec: GpuSpec = A100_PCIE_80G):
         self.config = config
         self.catalog = catalog if catalog is not None else default_catalog(
-            config.kinds, device=spec, style=config.style
+            config.kinds, device=spec, style=config.style,
+            hbm_model=config.hbm_model,
         )
         self.fleet = GpuFleet(
             config.gpus, spec, hbm_bytes=config.hbm_bytes
@@ -172,7 +177,9 @@ class ServingSimulator:
             )
         return FleetJob(
             label=batch.label, service_us=priced.service_us,
-            hbm_bytes=priced.hbm_bytes, kind=batch.kind,
+            hbm_bytes=priced.hbm_bytes,
+            certified_hbm_bytes=priced.certified_hbm_bytes,
+            kind=batch.kind,
             batch=batch.size, jobs=tuple(j.jid for j in batch.jobs),
             payload=batch,
         )

@@ -22,7 +22,7 @@ exactly the ordering the functional run required and nothing more.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.annotations import frozen
@@ -92,6 +92,14 @@ class TraceEvent:
     original eids, deps and shapes — so an optimized trace expands back
     to primitive granularity for replay verification, and downstream
     events keep referencing constituent eids without any rewriting.
+
+    ``scale`` is the CKKS scale of the ciphertext this stage produced,
+    recorded where the emitting operation knows it (element-wise stages
+    and the post-rescale NTT).  ``None`` means "not a ciphertext-scale
+    boundary" — key-switch interior stages pass their input scale
+    through.  The static checker (:mod:`repro.analysis.dagcheck`)
+    propagates tags along data deps and verifies consistency at adds,
+    divides and tensor products; nothing at runtime consumes the field.
     """
 
     eid: int
@@ -104,6 +112,7 @@ class TraceEvent:
     args: Tuple[int, ...] = ()
     key: Tuple[int, ...] = ()
     fused: Tuple["TraceEvent", ...] = ()
+    scale: Optional[float] = None
 
     @property
     def leaf(self) -> str:
@@ -119,12 +128,19 @@ class TraceEvent:
 @frozen
 @dataclass(frozen=True)
 class OpTrace:
-    """One recording: the events of a functional run, in program order."""
+    """One recording: the events of a functional run, in program order.
+
+    ``rotations`` is the declared rotation-key step set the run's keygen
+    provisioned (``-1`` = a conjugation key was generated); ``None``
+    means the recording did not declare one.  The static key-audit rule
+    checks every ``automorphism`` event's step arguments against it.
+    """
 
     label: str
     n: int
     params: Any = None  # CkksParams of the recorded run (opaque here)
     events: Tuple[TraceEvent, ...] = field(default_factory=tuple)
+    rotations: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
         return len(self.events)
@@ -167,8 +183,7 @@ class OpTrace:
         out: List[TraceEvent] = []
         for e in self.events:
             out.extend(e.fused if e.fused else (e,))
-        return OpTrace(label=self.label, n=self.n, params=self.params,
-                       events=tuple(out))
+        return replace(self, events=tuple(out))
 
 
 def validate_trace(trace: OpTrace) -> OpTrace:

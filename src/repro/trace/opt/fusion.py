@@ -30,6 +30,7 @@ back to the exact recording for replay verification.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ir import ELEMENTWISE_KINDS, OpTrace, TraceEvent
@@ -58,8 +59,7 @@ def _rebuild(trace: OpTrace, replacements: Dict[int, Optional[TraceEvent]],
                 out.append(r)
         else:
             out.append(e)
-    return OpTrace(label=trace.label, n=trace.n, params=trace.params,
-                   events=tuple(out))
+    return dataclasses.replace(trace, events=tuple(out))
 
 
 class FuseElementwisePass(TracePass):

@@ -153,9 +153,8 @@ class PoolReorderPass(TracePass):
             # Greedy did not help; keep the recorded order.
             order = list(range(len(events)))
             after_peak = before_peak
-        out = OpTrace(
-            label=trace.label, n=trace.n, params=trace.params,
-            events=tuple(events[pos] for pos in order),
+        out = dataclasses.replace(
+            trace, events=tuple(events[pos] for pos in order)
         )
         return out, PassStats(
             self.name, len(events), len(out.events),

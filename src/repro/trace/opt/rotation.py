@@ -108,8 +108,7 @@ class RotationDedupPass(TracePass):
                     kept.append(e)
             out_events = kept
 
-        out = OpTrace(label=trace.label, n=trace.n, params=trace.params,
-                      events=tuple(out_events))
+        out = dataclasses.replace(trace, events=tuple(out_events))
         return out, PassStats(
             self.name, len(events), len(out.events),
             deduped=len(drop), dead=len(removed),

@@ -135,7 +135,8 @@ class TraceRecorder:
              reads: Sequence[Any] = (), writes: Sequence[Any] = (),
              deps: Iterable[int] = (),
              args: Sequence[int] = (),
-             key_material: Sequence[Any] = (), **shape: int) -> int:
+             key_material: Sequence[Any] = (),
+             scale: Optional[float] = None, **shape: int) -> int:
         if level is None:
             for _, _, lvl in reversed(self._stack):
                 if lvl is not None:
@@ -161,6 +162,7 @@ class TraceRecorder:
             deps=tuple(sorted(dep_set)),
             args=tuple(int(a) for a in args),
             key=tuple(self.key_id(k) for k in key_material),
+            scale=float(scale) if scale is not None else None,
         )
         self.events.append(event)
         for obj in writes:

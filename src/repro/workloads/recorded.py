@@ -102,16 +102,17 @@ def record_bootstrap_trace(params: CkksParams = None, *,
         sine_degree=cfg["sine_degree"], fft_factored=True,
         fuse=cfg["fuse"],
     ))
-    keys = ctx.keygen(
-        rotations=boot.required_rotations(), conjugation=True
-    )
+    rotations = boot.required_rotations()
+    keys = ctx.keygen(rotations=rotations, conjugation=True)
     vals = np.zeros(ctx.slots)
     vals[:4] = [0.5, -0.25, 0.125, 0.75]
     ct = ctx.encrypt(vals, keys, level=boot.stc_levels)
     with record(f"boot[{params.name or 'params'}]", params=proxy,
                 n=proxy.n) as rec:
         boot.bootstrap(ct, keys)
-    trace = rec.trace
+    trace = dataclasses.replace(
+        rec.trace, rotations=tuple(sorted(set(rotations))) + (-1,)
+    )
     _trace_cache[key] = trace
     return trace
 
@@ -138,9 +139,8 @@ def record_helr_iteration_trace(params: CkksParams = None, *,
         return cached
 
     ctx = CkksContext.create(proxy, seed=seed)
-    keys = ctx.keygen(
-        rotations=EncryptedLogisticRegression.required_rotations(ctx.slots)
-    )
+    rotations = EncryptedLogisticRegression.required_rotations(ctx.slots)
+    keys = ctx.keygen(rotations=rotations)
     rng = np.random.default_rng(seed)
     x = rng.uniform(-1, 1, size=(samples, features))
     y = (x.sum(axis=1) > 0).astype(float)
@@ -148,7 +148,9 @@ def record_helr_iteration_trace(params: CkksParams = None, *,
     with record(f"helr[{params.name or 'params'}]", params=proxy,
                 n=proxy.n) as rec:
         model.train(x, y, iterations=1)
-    trace = rec.trace
+    trace = dataclasses.replace(
+        rec.trace, rotations=tuple(sorted(set(rotations)))
+    )
     _trace_cache[key] = trace
     return trace
 
@@ -173,9 +175,8 @@ def record_resnet_block_trace(params: CkksParams = None, *,
         return cached
 
     ctx = CkksContext.create(proxy, seed=seed)
-    keys = ctx.keygen(
-        rotations=EncryptedConv2d.required_rotations(width, ctx.slots)
-    )
+    rotations = EncryptedConv2d.required_rotations(width, ctx.slots)
+    keys = ctx.keygen(rotations=rotations)
     rng = np.random.default_rng(seed)
     kernel = rng.uniform(-0.5, 0.5, size=(3, 3))
     conv1 = EncryptedConv2d(ctx, keys, kernel)
@@ -189,7 +190,9 @@ def record_resnet_block_trace(params: CkksParams = None, *,
         mid = conv1.forward(ct, height, width, square_activation=True)
         out = conv2.forward(mid, height, width)
         ev.hadd_matched(ev.level_down(ct, out.level), out)  # residual
-    trace = rec.trace
+    trace = dataclasses.replace(
+        rec.trace, rotations=tuple(sorted(set(rotations)))
+    )
     _trace_cache[key] = trace
     return trace
 
@@ -245,7 +248,9 @@ def record_transcipher_block_trace(params: CkksParams = None, *,
         pt_key = ctx.encode(round_key, level=mixed.level,
                             scale=mixed.scale)
         ev.add_plain(mixed, pt_key)                        # AddRoundKey
-    trace = rec.trace
+    trace = dataclasses.replace(
+        rec.trace, rotations=tuple(sorted(set(rotations)))
+    )
     _trace_cache[key] = trace
     return trace
 

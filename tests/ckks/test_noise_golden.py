@@ -1,0 +1,149 @@
+"""Golden tests: NoiseEstimator predictions vs measured ciphertext noise.
+
+These keep the analytic model (and, transitively, the dagcheck D-NSE
+noise walker that reuses its formulas) honest: for rotation chains,
+compiled linear transforms and mult/rescale chains the predicted
+``noise_bits`` must track :func:`measured_noise_bits` of the actual
+toy-parameter execution within a fixed band, and the level/scale
+bookkeeping must match the real ciphertexts exactly.
+
+The estimator is a high-probability upper-tail model, so the band is
+asymmetric: large over-prediction is a modeling bug, but systematic
+*under*-prediction is the dangerous direction (a noise budget the
+checker signs off on that the ciphertext has already blown).
+"""
+
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    NoiseEstimator,
+    ParameterSets,
+    measured_noise_bits,
+)
+from repro.ckks.linear_transform import LinearTransform
+
+#: |measured - predicted| ceiling in bits.  The toy parameter set keeps
+#: everything deterministic, so this is a modeling band, not a flake
+#: allowance.
+BAND_BITS = 10.0
+#: How far the measurement may exceed the prediction (the unsafe
+#: direction) before the model is lying about remaining budget.
+UNDER_BITS = 6.0
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext.create(ParameterSets.toy(), seed=11)
+
+
+@pytest.fixture(scope="module")
+def keys(ctx):
+    return ctx.keygen(rotations=list(range(1, ctx.slots)))
+
+
+def _check_band(measured: float, predicted: float, what: str) -> None:
+    assert abs(measured - predicted) < BAND_BITS, (
+        f"{what}: measured {measured:.1f} bits vs "
+        f"predicted {predicted:.1f} bits"
+    )
+    assert measured - predicted < UNDER_BITS, (
+        f"{what}: model under-predicts by "
+        f"{measured - predicted:.1f} bits"
+    )
+
+
+class TestRotationChain:
+    def test_each_hop_tracks_measurement(self, ctx, keys):
+        est = NoiseEstimator(ctx.params)
+        vals = np.arange(ctx.slots, dtype=float) / 7 - 0.4
+        ct = ctx.encrypt(vals, keys)
+        state = est.fresh()
+        for hop in range(1, 4):
+            ct = ctx.hrotate(ct, 1, keys)
+            state = est.rotate(state)
+            measured = measured_noise_bits(
+                ctx.evaluator, ct, keys.secret, np.roll(vals, -hop)
+            )
+            _check_band(measured, state.noise_bits, f"rotation hop {hop}")
+            assert ct.level == state.level
+            assert ct.scale == pytest.approx(state.scale)
+
+    def test_prediction_monotone_in_hops(self, ctx):
+        est = NoiseEstimator(ctx.params)
+        state = est.fresh()
+        previous = state.noise_bits
+        for _ in range(5):
+            state = est.rotate(state)
+            assert state.noise_bits >= previous
+            previous = state.noise_bits
+
+
+class TestLinearTransformChain:
+    def test_compiled_transform_tracks_measurement(self, ctx, keys):
+        from repro.ckks.noise import NoiseState
+
+        rng = np.random.default_rng(5)
+        s = ctx.slots
+        mat = rng.normal(size=(s, s)) * 0.5
+        lt = LinearTransform(ctx, mat)
+        vals = rng.normal(size=s) * 0.4
+        ct = ctx.encrypt(vals, keys)
+        out = lt.apply(ct, keys)
+
+        est = NoiseEstimator(ctx.params)
+        plan = lt.compile(ct.level)
+        # Model: every diagonal is one rotated copy (rotate = hoisted
+        # key-switch), the plaintext-diagonal product scales the noise by
+        # the encoded magnitude, the s partial sums add, and the closing
+        # rescale brings the scale back down — mirroring apply().
+        rotated = est.rotate(est.fresh())
+        summed = reduce(est.add, [rotated] * s)
+        diag_bound = float(np.max(np.abs(mat)))
+        pre_rescale = NoiseState(
+            std=summed.std * plan.pt_scale * max(diag_bound, 1.0),
+            level=summed.level,
+            scale=summed.scale * plan.pt_scale,
+        )
+        predicted = est.rescale(pre_rescale)
+
+        measured = measured_noise_bits(
+            ctx.evaluator, out, keys.secret, mat @ vals
+        )
+        _check_band(measured, predicted.noise_bits, "linear transform")
+        assert out.level == predicted.level
+        assert out.scale == pytest.approx(predicted.scale, rel=1e-6)
+
+
+class TestRescaleChain:
+    def test_squaring_chain_tracks_measurement(self, ctx, keys):
+        est = NoiseEstimator(ctx.params)
+        vals = np.array([0.5, -0.25, 0.75, 0.1])
+        ct = ctx.encrypt(vals, keys)
+        state = est.fresh()
+        expected = vals.copy()
+        for depth in range(1, 3):
+            ct = ctx.hmult(ct, ct, keys)
+            state = est.rescale(est.mult(state, state))
+            expected = expected**2
+            measured = measured_noise_bits(
+                ctx.evaluator, ct, keys.secret, expected
+            )
+            _check_band(
+                measured, state.noise_bits, f"squaring depth {depth}"
+            )
+            assert ct.level == state.level
+            assert ct.scale == pytest.approx(state.scale, rel=1e-6)
+
+    def test_budget_shrinks_with_every_rescale(self, ctx):
+        est = NoiseEstimator(ctx.params)
+        state = est.fresh()
+        budget = state.budget_bits(ctx.params)
+        for _ in range(2):
+            state = est.rescale(est.mult(state, state))
+            assert state.budget_bits(ctx.params) < budget
+            budget = state.budget_bits(ctx.params)
+        assert budget > 0, "toy chain exhausted its budget unexpectedly"
