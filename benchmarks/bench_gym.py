@@ -1,0 +1,162 @@
+"""Benchmark: knob-space search vs the hand-picked recording config.
+
+The gym's contract, asserted hard: searching the declared co-design
+knobs (``recorded.fuse``, ``ntt.variant``,
+``geometry.threads_per_block``, ``dagopt.optimize``) over the recorded
+slim bootstrap must find an assignment whose simulated latency
+**matches or beats** the hand-picked
+:data:`~repro.workloads.recorded.RECORDED_BOOT_CONFIG` baseline — and
+do so deterministically: re-running a searcher with the same seed must
+reproduce the identical trajectory, point for point.
+
+Assertions:
+
+* for every searcher: ``best_latency_us <= baseline_latency_us``
+  (structural — evaluation 0 is the baseline itself);
+* the best assignment across searchers strictly beats the baseline
+  (the hand-picked config is known not to be the grid optimum);
+* a same-seed re-run of the hill climber reproduces its trajectory
+  bit-identically.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_gym.py            # full run
+    PYTHONPATH=src python benchmarks/bench_gym.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_gym.py \
+        --plot gym_fitness.svg                               # + artifact
+
+Results land in ``BENCH_gym.json`` (see ``--out``);
+``repro.reproduce``'s ``gym_summary`` section reads that file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.gym import TuningEnv, run_searcher, write_fitness_svg
+from repro.workloads.recorded import RECORDED_BOOT_CONFIG
+
+SEED = 0
+
+#: (searcher, kwargs) per mode.  Budgets are small on purpose: the grid
+#: has 5 x 5 x 5 x 2 points and recordings are cached per fuse value, so
+#: a dozen evaluations already cover the profitable moves.
+PLANS = {
+    "full": (
+        ("random", {"steps": 12}),
+        ("hill", {"steps": 12}),
+        ("evolutionary", {"generations": 3, "population": 6}),
+    ),
+    "quick": (
+        ("random", {"steps": 4}),
+        ("hill", {"steps": 6}),
+    ),
+}
+
+
+def run_plan(plan, *, workload="boot", objective="latency", seed=SEED):
+    results = []
+    for searcher, kwargs in plan:
+        env = TuningEnv(workload, objective=objective)
+        result = run_searcher(searcher, env, seed=seed, **kwargs)
+        if result.best_latency_us > result.baseline_latency_us + 1e-6:
+            raise AssertionError(
+                f"{searcher}: best ({result.best_latency_us:.1f}us) "
+                f"worse than the hand-picked baseline "
+                f"({result.baseline_latency_us:.1f}us)"
+            )
+        results.append(result)
+        print(f"{searcher:14s} baseline {result.baseline_latency_us:9.1f}"
+              f" us -> best {result.best_latency_us:9.1f} us  "
+              f"({result.evaluations} evals)  {result.best_assignment}")
+    return results
+
+
+def assert_deterministic(*, workload="boot", steps=4, seed=SEED):
+    """Same (searcher, seed, budget) => identical trajectory."""
+    runs = []
+    for _ in range(2):
+        env = TuningEnv(workload)
+        result = run_searcher("hill", env, seed=seed, steps=steps)
+        runs.append([
+            (p.assignment, p.reward, p.latency_us)
+            for p in result.trajectory.points
+        ])
+    if runs[0] != runs[1]:
+        raise AssertionError(
+            "hill climb is not seed-deterministic: same seed produced "
+            "different trajectories"
+        )
+    return len(runs[0])
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: fewer searchers, smaller budgets")
+    ap.add_argument("--workload", default="boot",
+                    help="gym workload (default: boot)")
+    ap.add_argument("--out", default="BENCH_gym.json",
+                    help="output JSON path")
+    ap.add_argument("--plot", default=None,
+                    help="write a best-so-far fitness SVG here")
+    args = ap.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"searching {args.workload} knob space ({mode}; baseline = "
+          f"hand-picked {RECORDED_BOOT_CONFIG})")
+    results = run_plan(PLANS[mode], workload=args.workload)
+
+    det_points = assert_deterministic(workload=args.workload)
+    print(f"determinism: seed-{SEED} hill re-run reproduced "
+          f"{det_points} trajectory points bit-identically")
+
+    best = min(results, key=lambda r: r.best_latency_us)
+    baseline_us = results[0].baseline_latency_us
+    if not args.quick and best.best_latency_us >= baseline_us:
+        raise AssertionError(
+            "no searcher strictly beat the hand-picked baseline "
+            f"({baseline_us:.1f}us) — the grid optimum regressed"
+        )
+
+    report = {
+        "bench": "bench_gym",
+        "description": (
+            "design-space search over declared tuning knobs vs the "
+            "hand-picked recorded-bootstrap config"
+        ),
+        "mode": mode,
+        "workload": args.workload,
+        "seed": SEED,
+        "hand_picked_config": dict(RECORDED_BOOT_CONFIG),
+        "baseline_latency_us": baseline_us,
+        "best_latency_us": best.best_latency_us,
+        "best_searcher": best.searcher,
+        "best_assignment": dict(best.best_assignment),
+        "speedup_vs_hand_picked": baseline_us / best.best_latency_us,
+        "deterministic": True,
+        "searchers": [r.to_dict() for r in results],
+    }
+    print(f"\nheadline: {best.searcher} found "
+          f"{best.best_latency_us:.1f}us vs hand-picked "
+          f"{baseline_us:.1f}us "
+          f"({report['speedup_vs_hand_picked']:.2f}x)")
+
+    if args.plot:
+        write_fitness_svg(results, args.plot,
+                          title=f"{args.workload} knob search "
+                                f"(baseline = hand-picked)")
+        print(f"plot -> {os.path.abspath(args.plot)}")
+
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

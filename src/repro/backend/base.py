@@ -47,10 +47,38 @@ from ..analysis.annotations import bounded
 #: Environment variable naming the backend to use (read once, at first
 #: :func:`active_backend` call): ``numpy`` | ``numba`` | ``cupy`` |
 #: ``auto``. ``auto`` picks the first available of cupy > numba > numpy.
+#: Deprecated: prefer the declared ``backend`` knob in ``repro.tuning``
+#: (the env var stays honored as that knob's default source).
 BACKEND_ENV = "REPRO_BACKEND"
 
 #: Selection order tried by ``auto`` (most to least accelerated).
 AUTO_ORDER = ("cupy", "numba", "numpy")
+
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+
+from ..tuning.knobs import Choice, KnobSpec, \
+    register_knob  # noqa: E402
+
+
+def _backend_default() -> str:
+    """Default backend name: the (deprecated) env var, else numpy.
+
+    Garbage env values degrade to ``numpy`` here so the knob default is
+    always in-domain; :func:`resolve_backend` still warns when an
+    explicitly requested backend turns out unavailable.
+    """
+    value = os.environ.get(BACKEND_ENV, "numpy").strip().lower() or "numpy"
+    return value if value in ("auto", *_FACTORIES) else "numpy"
+
+
+register_knob(KnobSpec(
+    name="backend", layer="backend",
+    domain=Choice(("auto", "numpy", "numba", "cupy")),
+    default_factory=_backend_default,
+    doc="Array-ops backend the functional engine dispatches through "
+        "(``auto`` takes the first available of cupy > numba > numpy).",
+    observe=lambda pipe: pipe.backend,
+))
 
 
 class BackendUnavailable(RuntimeError):
@@ -297,11 +325,14 @@ def resolve_backend(name: Optional[str] = None) -> ArrayBackend:
     falling back to numpy with one warning when unavailable.
 
     Selection order: an explicit ``name`` argument wins, then the
-    ``REPRO_BACKEND`` environment variable, then ``numpy``. The special
+    ``backend`` knob default (which reads the deprecated
+    ``REPRO_BACKEND`` environment variable), then ``numpy``. The special
     name ``auto`` walks :data:`AUTO_ORDER` and takes the first backend
     that constructs and passes its self-check.
     """
-    requested = name or os.environ.get(BACKEND_ENV, "numpy")
+    from ..tuning.knobs import knob_default
+
+    requested = name or knob_default("backend")
     requested = requested.strip().lower() or "numpy"
     if requested == "auto":
         for candidate in AUTO_ORDER:

@@ -41,13 +41,15 @@ adjacent factors into one (fewer levels, more diagonals per stage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import reduce
 from typing import List, Tuple
 
 import numpy as np
 
 from ..trace.recorder import emit as _temit, span as _tspan
+from ..tuning.knobs import (Boolean, FloatRange, IntRange, KnobSpec,
+                            knob_default, register_knob)
 from .ciphertext import Ciphertext
 from .context import CkksContext
 from .keys import KeySet
@@ -55,27 +57,78 @@ from .linear_transform import LinearTransform
 from .polyeval import PolynomialEvaluator
 from .poly import RnsPoly
 
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+#
+# The bootstrap layer owns the slim-bootstrap tunables.  Their single
+# source of truth is the registry: ``BootstrapConfig`` and the
+# hand-counted schedule layer (``workloads.bootstrap_workload``) both
+# read defaults through :func:`~repro.tuning.knobs.knob_default`, so the
+# two can never drift apart again (the ``fuse`` default did once,
+# pre-PR-3 — see tests/tuning/test_no_drift.py).
+
+register_knob(KnobSpec(
+    name="boot.sine_degree", layer="ckks",
+    domain=IntRange(7, 255, grid=(15, 31, 63, 127)), default=63,
+    doc="Chebyshev degree of the EvalMod sine approximation.",
+    observe=lambda pipe: pipe.boot_config.sine_degree,
+))
+register_knob(KnobSpec(
+    name="boot.eval_range", layer="ckks",
+    domain=FloatRange(1.0, 64.0, grid=(4.5, 6.5, 12.5)), default=6.5,
+    doc="Half-width of the EvalMod input range in q0 units.",
+    observe=lambda pipe: pipe.boot_config.eval_range,
+))
+register_knob(KnobSpec(
+    name="boot.bsgs", layer="ckks",
+    domain=Boolean(), default=True,
+    doc="BSGS linear transforms (sqrt-many rotation keys) vs plain "
+        "diagonal method on the dense path.",
+    observe=lambda pipe: pipe.boot_config.bsgs,
+))
+register_knob(KnobSpec(
+    name="boot.fft_factored", layer="ckks",
+    domain=Boolean(), default=False,
+    doc="Run StC/CtS as O(log s) sparse radix factors instead of one "
+        "dense transform each.",
+    observe=lambda pipe: pipe.boot_config.fft_factored,
+))
+register_knob(KnobSpec(
+    name="boot.fuse", layer="ckks",
+    domain=IntRange(1, 8), default=1,
+    doc="Level-collapse this many adjacent FFT radix factors into one "
+        "stage (fft_factored only).",
+    observe=lambda pipe: pipe.boot_config.fuse,
+))
+
 
 @dataclass
 class BootstrapConfig:
-    """Tunables of the slim bootstrap."""
+    """Tunables of the slim bootstrap.
+
+    Field defaults are *not* literals: each resolves from the declared
+    knob registry (``boot.*``), the same source the schedule layer
+    reads, so a default changed in one place moves everywhere.
+    """
 
     #: Chebyshev degree of the sine approximation.
-    sine_degree: int = 63
+    sine_degree: int = field(
+        default_factory=lambda: knob_default("boot.sine_degree"))
     #: Half-width of the EvalMod input range in q0 units; must exceed the
     #: ModRaise overflow bound ~ (hamming_weight + 1) / 2.
-    eval_range: float = 6.5
+    eval_range: float = field(
+        default_factory=lambda: knob_default("boot.eval_range"))
     #: Use BSGS linear transforms (sqrt-many rotation keys) vs the plain
     #: diagonal method (dense path only).
-    bsgs: bool = True
+    bsgs: bool = field(default_factory=lambda: knob_default("boot.bsgs"))
     #: Run SlotToCoeff/CoeffToSlot as O(log s) sparse radix factors
     #: instead of one dense transform each.  Requires the input
     #: ciphertext to carry at least ``stc_levels`` levels.
-    fft_factored: bool = False
+    fft_factored: bool = field(
+        default_factory=lambda: knob_default("boot.fft_factored"))
     #: Level-collapse this many adjacent radix factors into one stage
     #: (fft_factored only): fewer levels consumed, up to ``3**fuse``
     #: diagonals per stage.
-    fuse: int = 1
+    fuse: int = field(default_factory=lambda: knob_default("boot.fuse"))
 
 
 def special_fft_factors(slots: int) -> List[np.ndarray]:

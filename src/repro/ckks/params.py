@@ -223,3 +223,33 @@ class ParameterSets:
             "SET-C": cls.set_c(), "SET-D": cls.set_d(),
             "SET-E": cls.set_e(),
         }
+
+
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+#
+# The parameter layer owns the choice of named set and the hybrid
+# key-switching decomposition number.  ``ckks.dnum = None`` keeps the
+# chosen set's own ``dnum``; an explicit value is validated against
+# ``[1, L+1]`` by ``CkksParams.__post_init__`` when ``build_pipeline``
+# materializes the set — out-of-domain assignments raise at build time.
+
+from ..tuning.knobs import (  # noqa: E402  (registry import is dep-free)
+    Choice, IntRange, KnobSpec, register_knob,
+)
+
+register_knob(KnobSpec(
+    name="params.set", layer="ckks",
+    domain=Choice(tuple(ParameterSets.BY_NAME)),
+    default="SET-C",
+    doc="Named CKKS parameter set (Table VI / Table XIII / functional).",
+    observe=lambda pipe: pipe.params.name,
+))
+
+register_knob(KnobSpec(
+    name="ckks.dnum", layer="ckks",
+    domain=IntRange(1, 64, optional=True, grid=(1, 2, 3, 5, 15)),
+    default=None,
+    doc="Hybrid key-switching decomposition number; None inherits the "
+        "chosen set's own dnum.",
+    observe=lambda pipe: pipe.params.dnum,
+))

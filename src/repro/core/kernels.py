@@ -43,6 +43,27 @@ class GeometryConfig:
 
 DEFAULT_GEOMETRY = GeometryConfig()
 
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+#
+# The kernel layer owns launch geometry (the Fig. 7 sweep axis).
+
+from ..tuning.knobs import Choice, KnobSpec, register_knob  # noqa: E402
+
+register_knob(KnobSpec(
+    name="geometry.threads_per_block", layer="core",
+    domain=Choice((64, 128, 256, 512, 1024)),
+    default=DEFAULT_GEOMETRY.threads_per_block,
+    doc="Threads per block of every lowered kernel (Fig. 7 sweep).",
+    observe=lambda pipe: pipe.geometry.threads_per_block,
+))
+register_knob(KnobSpec(
+    name="geometry.ntt_coeffs_per_thread", layer="core",
+    domain=Choice((2, 4, 8, 16)),
+    default=DEFAULT_GEOMETRY.ntt_coeffs_per_thread,
+    doc="Coefficients per thread in NTT kernels (tensor tile height).",
+    observe=lambda pipe: pipe.geometry.ntt_coeffs_per_thread,
+))
+
 
 def elementwise_kernel(name: str, elements: int, *, ops_per_element: float,
                        read_words: float, write_words: float,

@@ -39,6 +39,18 @@ from .warp_allocation import WarpAllocation, balance_fraction, default_allocatio
 
 VARIANTS = ("wd-tensor", "wd-cuda", "wd-ftc", "wd-bo", "wd-fuse")
 
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+
+from ..tuning.knobs import Choice, KnobSpec, register_knob  # noqa: E402
+
+register_knob(KnobSpec(
+    name="ntt.variant", layer="ntt",
+    domain=Choice(VARIANTS), default="wd-fuse",
+    doc="NTT execution strategy (Fig. 6): tensor-core GEMM, CUDA "
+        "butterflies, fused tensor+CUDA, or balanced-offload hybrids.",
+    observe=lambda pipe: pipe.scheduler.ntt.variant,
+))
+
 
 def batched_rns_forward(data: np.ndarray, moduli, n: int) -> np.ndarray:
     """Batched fast-NTT entry point: forward-transform every residue row

@@ -181,3 +181,38 @@ KNOWN_DEVICES = {
     spec.name: spec
     for spec in (A100_PCIE_80G, A100_SXM_40G, H100_SXM, V100, MI100)
 }
+
+
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+#
+# The device layer owns the machine model and its headline resource
+# counts.  ``None`` for a count keeps the chosen model's own value; an
+# explicit count is applied through ``GpuSpec.with_overrides`` (the
+# sensitivity-study mechanism) when ``build_pipeline`` materializes the
+# device — so SM/TC scaling studies are plain knob assignments.
+
+from ..tuning.knobs import (  # noqa: E402  (registry import is dep-free)
+    Choice, IntRange, KnobSpec, register_knob,
+)
+
+register_knob(KnobSpec(
+    name="gpu.model", layer="gpusim",
+    domain=Choice(tuple(KNOWN_DEVICES)), default=A100_PCIE_80G.name,
+    doc="GPU machine model the simulator prices against.",
+    observe=lambda pipe: pipe.device.name,
+))
+register_knob(KnobSpec(
+    name="gpu.sm_count", layer="gpusim",
+    domain=IntRange(4, 512, optional=True, grid=(54, 80, 108, 132, 216)),
+    default=None,
+    doc="Override the model's SM count (None keeps the model's own).",
+    observe=lambda pipe: pipe.device.sm_count,
+))
+register_knob(KnobSpec(
+    name="gpu.tensor_macs_per_sm", layer="gpusim",
+    domain=IntRange(0, 8192, optional=True, grid=(0, 1024, 2048, 3786)),
+    default=None,
+    doc="Override INT8 tensor MACs/cycle/SM (None keeps the model's "
+        "own; 0 disables the tensor-core path).",
+    observe=lambda pipe: pipe.device.tensor_int8_macs_per_cycle_per_sm,
+))

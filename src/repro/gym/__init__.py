@@ -1,0 +1,44 @@
+"""Design-space exploration gym over the declared tuning knobs.
+
+``repro.gym`` closes ROADMAP item 3: an ArchGym-style loop where the
+*action space* is the knob registry of :mod:`repro.tuning`, the
+*environment* prices recorded workload DAGs on the analytic GPU
+simulator, and classic searchers (random / hill-climb / evolutionary)
+explore the space with seeded determinism and full trajectory logs.
+
+Quick start::
+
+    from repro.gym import TuningEnv, hill_climb
+
+    env = TuningEnv("boot", objective="latency")
+    result = hill_climb(env, steps=12, seed=0)
+    print(result.best_assignment, result.best_latency_us)
+
+CLI: ``python -m repro.gym --workload boot --searcher hill``.
+"""
+
+from .env import DEFAULT_SEARCH_KNOBS, Trajectory, TrajectoryPoint, TuningEnv
+from .plot import fitness_svg, write_fitness_svg
+from .search import (
+    SEARCHERS,
+    SearchResult,
+    evolutionary_search,
+    hill_climb,
+    random_search,
+    run_searcher,
+)
+
+__all__ = [
+    "DEFAULT_SEARCH_KNOBS",
+    "SEARCHERS",
+    "SearchResult",
+    "Trajectory",
+    "TrajectoryPoint",
+    "TuningEnv",
+    "evolutionary_search",
+    "fitness_svg",
+    "hill_climb",
+    "random_search",
+    "run_searcher",
+    "write_fitness_svg",
+]

@@ -1,0 +1,86 @@
+"""CLI for the tuning gym: ``python -m repro.gym``.
+
+Examples::
+
+    python -m repro.gym --knobs                  # registry table
+    python -m repro.gym --workload op:hmult --searcher random --steps 8
+    python -m repro.gym --workload boot --searcher hill --steps 12 \\
+        --out traj.json --plot fitness.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..tuning.knobs import render_registry
+from .env import DEFAULT_SEARCH_KNOBS, TuningEnv
+from .plot import write_fitness_svg
+from .search import SEARCHERS, run_searcher
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.gym",
+        description="Design-space exploration over the declared "
+                    "tuning knobs.",
+    )
+    ap.add_argument("--knobs", action="store_true",
+                    help="print the declared knob registry and exit")
+    ap.add_argument("--workload", default="boot",
+                    help="boot | helr | resnet | op:<name> "
+                         "(default: boot)")
+    ap.add_argument("--objective", default="latency",
+                    choices=("latency", "throughput_per_gb"))
+    ap.add_argument("--searcher", default="hill",
+                    choices=sorted(SEARCHERS))
+    ap.add_argument("--steps", type=int, default=12,
+                    help="evaluation budget (mapped to generations x "
+                         "population for the evolutionary searcher)")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--search-knobs", default=None,
+                    help="comma-separated knob names "
+                         f"(default: {','.join(DEFAULT_SEARCH_KNOBS)})")
+    ap.add_argument("--out", default=None,
+                    help="write the trajectory JSON here")
+    ap.add_argument("--plot", default=None,
+                    help="write a best-so-far fitness SVG here")
+    args = ap.parse_args(argv)
+
+    if args.knobs:
+        print(render_registry())
+        return 0
+
+    knobs = (tuple(k.strip() for k in args.search_knobs.split(","))
+             if args.search_knobs else None)
+    env = TuningEnv(args.workload, objective=args.objective, knobs=knobs)
+    kwargs = {}
+    if args.searcher == "evolutionary":
+        kwargs = {"generations": max(2, args.steps // 6), "population": 6}
+    else:
+        kwargs = {"steps": args.steps}
+    result = run_searcher(args.searcher, env, seed=args.seed, **kwargs)
+
+    print(f"workload={args.workload} objective={args.objective} "
+          f"searcher={args.searcher} seed={args.seed}")
+    print(f"baseline: reward={result.baseline_reward:.4g} "
+          f"latency={result.baseline_latency_us:.1f}us")
+    print(f"best:     reward={result.best_reward:.4g} "
+          f"latency={result.best_latency_us:.1f}us "
+          f"({result.evaluations} evaluations)")
+    print(f"best assignment: {result.best_assignment}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"trajectory -> {args.out}")
+    if args.plot:
+        write_fitness_svg([result], args.plot,
+                          title=f"{args.workload} / {args.objective}")
+        print(f"plot -> {args.plot}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Searchers over a :class:`~repro.gym.env.TuningEnv` action space.
+
+Three classic ArchGym-style strategies — random, first-improvement hill
+climbing, and a (mu + lambda) evolutionary loop — all with the same
+contract:
+
+* **seeded determinism** — every stochastic choice flows through one
+  ``numpy.random.default_rng(seed)``; the same ``(env, seed, budget)``
+  reproduces the identical trajectory point for point;
+* **baseline first** — evaluation 0 is always the environment's default
+  assignment, so the returned best can never be worse than the
+  hand-picked configuration it challenges (the ``BENCH_gym.json``
+  beat-or-match guarantee is structural, not lucky);
+* **budget = priced evaluations** — cache hits inside the env are free,
+  so revisiting points never burns budget twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .env import Trajectory, TuningEnv
+
+__all__ = ["SearchResult", "random_search", "hill_climb",
+           "evolutionary_search", "SEARCHERS", "run_searcher"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search episode."""
+
+    searcher: str
+    seed: int
+    best_assignment: Dict[str, Any]
+    best_reward: float
+    best_latency_us: float
+    baseline_reward: float
+    baseline_latency_us: float
+    evaluations: int
+    trajectory: Trajectory
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "searcher": self.searcher, "seed": self.seed,
+            "best_assignment": dict(self.best_assignment),
+            "best_reward": self.best_reward,
+            "best_latency_us": self.best_latency_us,
+            "baseline_reward": self.baseline_reward,
+            "baseline_latency_us": self.baseline_latency_us,
+            "evaluations": self.evaluations,
+            "trajectory": self.trajectory.to_dict(),
+        }
+
+
+def _finish(name: str, env: TuningEnv, seed: int,
+            baseline: Tuple[Dict[str, Any], float, float]) -> SearchResult:
+    best = env.trajectory.best
+    base_assignment, base_reward, base_latency = baseline
+    return SearchResult(
+        searcher=name, seed=seed,
+        best_assignment=best.assignment, best_reward=best.reward,
+        best_latency_us=best.latency_us,
+        baseline_reward=base_reward, baseline_latency_us=base_latency,
+        evaluations=len(env.trajectory.points),
+        trajectory=env.trajectory,
+    )
+
+
+def _eval_baseline(env: TuningEnv, seed: int
+                   ) -> Tuple[Dict[str, Any], float, float]:
+    start = env.reset(seed=seed)
+    _, reward, info = env.step(start)
+    return start, reward, info["latency_us"]
+
+
+def _sample(space: Dict[str, Tuple[Any, ...]],
+            rng: np.random.Generator) -> Dict[str, Any]:
+    return {name: pts[int(rng.integers(len(pts)))]
+            for name, pts in space.items()}
+
+
+def _mutate(assignment: Dict[str, Any],
+            space: Dict[str, Tuple[Any, ...]],
+            rng: np.random.Generator) -> Dict[str, Any]:
+    """Flip one knob to a different grid point (uniform over both)."""
+    child = dict(assignment)
+    name = list(space)[int(rng.integers(len(space)))]
+    pts = [p for p in space[name] if p != assignment.get(name)]
+    if pts:
+        child[name] = pts[int(rng.integers(len(pts)))]
+    return child
+
+
+def random_search(env: TuningEnv, *, steps: int = 16,
+                  seed: int = 0) -> SearchResult:
+    """Baseline point plus ``steps`` uniform samples of the grid."""
+    rng = np.random.default_rng(seed)
+    baseline = _eval_baseline(env, seed)
+    space = env.space()
+    for _ in range(steps):
+        env.step(_sample(space, rng))
+    return _finish("random", env, seed, baseline)
+
+
+def hill_climb(env: TuningEnv, *, steps: int = 16,
+               seed: int = 0) -> SearchResult:
+    """First-improvement hill climbing from the baseline assignment.
+
+    Each step mutates one knob of the incumbent; the mutant replaces it
+    only on strict reward improvement.  Monotone by construction.
+    """
+    rng = np.random.default_rng(seed)
+    baseline = _eval_baseline(env, seed)
+    space = env.space()
+    incumbent, incumbent_reward = baseline[0], baseline[1]
+    for _ in range(steps):
+        candidate = _mutate(incumbent, space, rng)
+        _, reward, _ = env.step(candidate)
+        if reward > incumbent_reward:
+            incumbent, incumbent_reward = candidate, reward
+    return _finish("hill", env, seed, baseline)
+
+
+def evolutionary_search(env: TuningEnv, *, generations: int = 4,
+                        population: int = 6, elite: int = 2,
+                        seed: int = 0) -> SearchResult:
+    """(mu + lambda) evolution: elites survive, children are mutated
+    elites, the rest immigrate randomly.  Generation 0 contains the
+    baseline, so the final best dominates it."""
+    rng = np.random.default_rng(seed)
+    baseline = _eval_baseline(env, seed)
+    space = env.space()
+    pool: List[Tuple[float, Dict[str, Any]]] = [
+        (baseline[1], baseline[0])
+    ]
+    for _ in range(population - 1):
+        candidate = _sample(space, rng)
+        _, reward, _ = env.step(candidate)
+        pool.append((reward, candidate))
+    for _ in range(generations - 1):
+        pool.sort(key=lambda item: item[0], reverse=True)
+        elites = pool[:elite]
+        nxt = list(elites)
+        while len(nxt) < population:
+            if rng.random() < 0.75:
+                parent = elites[int(rng.integers(len(elites)))][1]
+                candidate = _mutate(parent, space, rng)
+            else:
+                candidate = _sample(space, rng)
+            _, reward, _ = env.step(candidate)
+            nxt.append((reward, candidate))
+        pool = nxt
+    return _finish("evolutionary", env, seed, baseline)
+
+
+SEARCHERS = {
+    "random": random_search,
+    "hill": hill_climb,
+    "evolutionary": evolutionary_search,
+}
+
+
+def run_searcher(name: str, env: TuningEnv, *, seed: int = 0,
+                 **kwargs: Any) -> SearchResult:
+    try:
+        fn = SEARCHERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown searcher {name!r}; one of {sorted(SEARCHERS)}"
+        ) from None
+    return fn(env, seed=seed, **kwargs)

@@ -199,12 +199,63 @@ def serving_summary() -> str:
     )
 
 
+def gym_summary() -> str:
+    """Knob-space search results (DESIGN.md §14).
+
+    Reads ``BENCH_gym.json`` when the benchmark has been run; otherwise
+    runs one short live hill-climb over a cheap op-level workload so the
+    summary still shows the declared-knob search working end to end.
+    The ``backend`` row surfaces the env-declared knob that replaced the
+    bare ``REPRO_BACKEND`` lookup.
+    """
+    import json
+    import os
+
+    from .tuning import knob_default
+
+    rows = []
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "BENCH_gym.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        for r in data["searchers"]:
+            rows.append([
+                r["searcher"], r["evaluations"],
+                round(r["baseline_latency_us"], 1),
+                round(r["best_latency_us"], 1),
+                f"{r['baseline_latency_us'] / r['best_latency_us']:.2f}x",
+            ])
+        title = (
+            f"Tuning gym on {data['workload']} (BENCH_gym.json; "
+            f"{data['best_searcher']} beats hand-picked config "
+            f"{data['speedup_vs_hand_picked']:.2f}x, seed-deterministic)"
+        )
+    else:
+        from .gym import TuningEnv, hill_climb
+
+        result = hill_climb(TuningEnv("op:hmult"), steps=6, seed=0)
+        rows.append([
+            result.searcher, result.evaluations,
+            round(result.baseline_latency_us, 1),
+            round(result.best_latency_us, 1),
+            f"{result.baseline_latency_us / result.best_latency_us:.2f}x",
+        ])
+        title = "Tuning gym on op:hmult (live run; see bench_gym)"
+    rows.append(["backend knob", None, None, None,
+                 knob_default("backend")])
+    return format_table(
+        ["searcher", "evals", "baseline us", "best us", "gain"],
+        rows, title=title, col_width=12,
+    )
+
+
 def main(argv=None) -> int:
     print("WarpDrive reproduction — headline results")
     print("=" * 64)
     for section in (ntt_summary, variant_summary, hmult_summary,
                     trace_summary, dagopt_summary, serving_summary,
-                    lint_gate_summary, dagcheck_gate_summary):
+                    gym_summary, lint_gate_summary, dagcheck_gate_summary):
         print()
         print(section())
     print()

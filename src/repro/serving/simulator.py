@@ -98,6 +98,19 @@ class ServingConfig:
         }
 
 
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+
+from ..tuning.knobs import IntRange, KnobSpec, register_knob  # noqa: E402
+
+register_knob(KnobSpec(
+    name="serving.batch", layer="serving",
+    domain=IntRange(1, 64, grid=(1, 2, 4, 8, 16)), default=1,
+    doc="Ciphertext batch size priced per lowered DAG (amortizes launch "
+        "overhead; the serving batcher's size trigger).",
+    observe=lambda pipe: pipe.batch,
+))
+
+
 class ServingSimulator:
     """Drives one :class:`ServingConfig` through the event loop.
 

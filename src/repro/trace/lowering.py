@@ -40,6 +40,32 @@ from .ir import OpTrace, TraceEvent
 
 STYLES = ("pe", "kf", "tensorfhe")
 
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+
+from ..tuning.knobs import Boolean, Choice, KnobSpec, \
+    register_knob  # noqa: E402
+
+register_knob(KnobSpec(
+    name="machine.style", layer="trace",
+    domain=Choice(STYLES), default="pe",
+    doc="Machine model traces lower to: WarpDrive PE ciphertext-level "
+        "launches, 100x-style kernel-fused, or TensorFHE.",
+    observe=lambda pipe: pipe.style,
+))
+register_knob(KnobSpec(
+    name="dagopt.optimize", layer="trace",
+    domain=Boolean(), default=False,
+    doc="Run the repro.trace.opt pass pipeline over recordings before "
+        "lowering (fusion, rotation dedup, twist folding).",
+    observe=lambda pipe: pipe.optimize,
+))
+register_knob(KnobSpec(
+    name="dagopt.search", layer="trace",
+    domain=Boolean(), default=False,
+    doc="Re-order lowered DAGs with schedule_search before pricing.",
+    observe=lambda pipe: pipe.search,
+))
+
 #: Kinds that the PE grid merges across a ciphertext's polynomials when
 #: the stages are mutually independent (no data path between them).
 _MERGEABLE = frozenset(

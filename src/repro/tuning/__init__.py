@@ -1,0 +1,52 @@
+"""Declarative tuning-knob layer (DESIGN.md §14).
+
+Each layer of the stack *declares* its knobs — name, owning layer,
+domain, default, doc, and an ``observe`` hook — in a central registry
+(:mod:`repro.tuning.knobs`), and reads its own defaults back through
+:func:`knob_default` so no default is ever duplicated across layers.
+A flat :class:`TuningConfig` assignment over those names materializes a
+complete configured stack through one :func:`build_pipeline` call, and
+:mod:`repro.gym` searches the declared domains as its action space.
+"""
+
+from .config import Pipeline, TuningConfig, build_pipeline
+from .knobs import (
+    Boolean,
+    Choice,
+    Domain,
+    FloatRange,
+    IntRange,
+    KnobDomainError,
+    KnobSpec,
+    UnknownKnob,
+    all_knobs,
+    defaults,
+    ensure_registered,
+    knob,
+    knob_default,
+    overriding_default,
+    register_knob,
+    render_registry,
+)
+
+__all__ = [
+    "Boolean",
+    "Choice",
+    "Domain",
+    "FloatRange",
+    "IntRange",
+    "KnobDomainError",
+    "KnobSpec",
+    "Pipeline",
+    "TuningConfig",
+    "UnknownKnob",
+    "all_knobs",
+    "build_pipeline",
+    "defaults",
+    "ensure_registered",
+    "knob",
+    "knob_default",
+    "overriding_default",
+    "register_knob",
+    "render_registry",
+]

@@ -11,15 +11,19 @@ The same pipeline runs *functionally* at toy scale in
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from ..ckks.params import CkksParams, ParameterSets
 from ..core.scheduler import OperationScheduler
+from ..tuning.knobs import knob_default
 from .schedules import WorkloadSchedule, WorkloadTiming
 
 
 def linear_transform_schedule(name: str, slots: int, level: int, *,
-                              stages: int = 3, fft_factored: bool = False,
-                              fuse: int = 1) -> WorkloadSchedule:
+                              stages: int = 3,
+                              fft_factored: Optional[bool] = None,
+                              fuse: Optional[int] = None
+                              ) -> WorkloadSchedule:
     """BSGS radix-decomposed homomorphic DFT (CoeffToSlot / SlotToCoeff).
 
     The s-point transform splits into ``stages`` radix-``s^(1/stages)``
@@ -30,8 +34,15 @@ def linear_transform_schedule(name: str, slots: int, level: int, *,
     ``fft_factored`` prices the sparse radix-2 factorization instead
     (:func:`repro.ckks.bootstrap.special_fft_factors`): ``log2(s)/fuse``
     stages of at most ``3**fuse`` diagonals each — the functional path's
-    cost model.  Defaults leave the published schedule untouched.
+    cost model.  ``None`` defaults resolve from the ``boot.*`` knob
+    registry — the *same* source ``BootstrapConfig`` reads, so this
+    schedule and the functional bootstrap cannot disagree about what the
+    default pipeline looks like.
     """
+    if fft_factored is None:
+        fft_factored = knob_default("boot.fft_factored")
+    if fuse is None:
+        fuse = knob_default("boot.fuse")
     sched = WorkloadSchedule(name)
     if fft_factored:
         if fuse < 1:
@@ -71,13 +82,18 @@ def linear_transform_schedule(name: str, slots: int, level: int, *,
     return sched
 
 
-def eval_mod_schedule(level: int, *, degree: int = 63) -> WorkloadSchedule:
+def eval_mod_schedule(level: int, *,
+                      degree: Optional[int] = None) -> WorkloadSchedule:
     """BSGS Chebyshev sine evaluation: ~sqrt-degree ciphertext products.
 
     Baby set T_1..T_k and giant squarings cost one HMULT each
     (k + log2(degree/k) multiplications at descending levels), plus the
-    coefficient PMULTs and additions of the reconstruction.
+    coefficient PMULTs and additions of the reconstruction.  ``degree``
+    defaults from the ``boot.sine_degree`` knob (the value
+    ``BootstrapConfig`` uses), never a local literal.
     """
+    if degree is None:
+        degree = knob_default("boot.sine_degree")
     sched = WorkloadSchedule("EvalMod")
     k = max(2, int(math.isqrt(degree + 1)))
     giants = max(1, int(math.log2(max(2, (degree + 1) // k))))
@@ -97,13 +113,18 @@ def eval_mod_schedule(level: int, *, degree: int = 63) -> WorkloadSchedule:
 
 
 def bootstrap_schedule(params: CkksParams = None, *,
-                       fft_factored: bool = False,
-                       fuse: int = 1) -> WorkloadSchedule:
+                       fft_factored: Optional[bool] = None,
+                       fuse: Optional[int] = None) -> WorkloadSchedule:
     """The full slim bootstrap at the Boot parameter set.
 
-    ``fft_factored``/``fuse`` price the sparse-factorized StC/CtS variant;
-    the defaults keep the published dense-radix schedule.
+    ``fft_factored``/``fuse`` price the sparse-factorized StC/CtS
+    variant; ``None`` resolves both from the ``boot.*`` knob registry
+    (whose shipped defaults keep the published dense-radix schedule).
     """
+    if fft_factored is None:
+        fft_factored = knob_default("boot.fft_factored")
+    if fuse is None:
+        fuse = knob_default("boot.fuse")
     params = params or ParameterSets.boot()
     slots = params.slots
     top = params.max_level
@@ -131,7 +152,7 @@ def bootstrap_schedule(params: CkksParams = None, *,
 
 def simulate_bootstrap(params: CkksParams = None, *, batch: int = 1,
                        scheduler: OperationScheduler = None,
-                       hoisting: str = "derived") -> WorkloadTiming:
+                       hoisting: Optional[str] = None) -> WorkloadTiming:
     """Price one packed bootstrap; Table XIV reports amortized ms."""
     params = params or ParameterSets.boot()
     scheduler = scheduler or OperationScheduler(params)

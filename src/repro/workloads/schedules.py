@@ -12,9 +12,10 @@ optimization every system in Table XIV uses).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.scheduler import OperationScheduler
+from ..tuning.knobs import Choice, KnobSpec, knob_default, register_knob
 
 #: Cost of each additional rotation in a hoisted group, as a fraction of a
 #: full HROTATE (the shared ModUp dominates; only the inner product and
@@ -22,6 +23,16 @@ from ..core.scheduler import OperationScheduler
 #: for :func:`hoisted_rotation_factor`, which derives the same quantity
 #: from a traced hoisted-keyswitch plan.
 HOISTED_ROTATION_FACTOR = 0.35
+
+# -- declared tuning knobs (DESIGN.md §14) ----------------------------------
+
+register_knob(KnobSpec(
+    name="schedule.hoisting", layer="workloads",
+    domain=Choice(("derived", "static")), default="derived",
+    doc="Hoisted-rotation discount source: derived from a traced "
+        "hoisted-keyswitch plan, or the hand-tuned constant.",
+    observe=lambda pipe: pipe.hoisting,
+))
 
 
 def hoisted_rotation_factor(scheduler: OperationScheduler = None) -> float:
@@ -104,16 +115,19 @@ class WorkloadSchedule:
         return counts
 
     def price(self, scheduler: OperationScheduler, *, batch: int = 1,
-              hoisting: str = "derived") -> WorkloadTiming:
+              hoisting: Optional[str] = None) -> WorkloadTiming:
         """Total simulated time of the schedule on one device.
 
         ``batch`` ciphertexts ride through every kernel together (the
         amortization mechanism of Table XIV's BS column). ``hoisting``
-        selects the hoisted-rotation discount: ``"derived"`` (default)
-        solves it from a traced hoisted-keyswitch plan via
+        selects the hoisted-rotation discount: ``"derived"`` solves it
+        from a traced hoisted-keyswitch plan via
         :func:`hoisted_rotation_factor`; ``"static"`` keeps the
-        hand-tuned :data:`HOISTED_ROTATION_FACTOR`.
+        hand-tuned :data:`HOISTED_ROTATION_FACTOR`. The default comes
+        from the ``schedule.hoisting`` knob, never a local literal.
         """
+        if hoisting is None:
+            hoisting = knob_default("schedule.hoisting")
         if hoisting not in ("derived", "static"):
             raise ValueError(
                 f"hoisting must be 'derived' or 'static', got {hoisting!r}"

@@ -1,0 +1,94 @@
+"""Searchers: baseline-first guarantee, seeded determinism, plots."""
+
+from repro.gym import (
+    SEARCHERS,
+    TuningEnv,
+    evolutionary_search,
+    fitness_svg,
+    hill_climb,
+    random_search,
+    run_searcher,
+)
+
+
+def _points(result):
+    return [(p.assignment, p.reward, p.latency_us, p.hbm_gb)
+            for p in result.trajectory.points]
+
+
+def test_first_evaluation_is_the_baseline():
+    for name in SEARCHERS:
+        env = TuningEnv("op:hmult")
+        result = run_searcher(name, env, seed=0, **(
+            {"generations": 2, "population": 3}
+            if name == "evolutionary" else {"steps": 3}
+        ))
+        first = result.trajectory.points[0]
+        assert first.assignment == env.default_assignment()
+        assert first.reward == result.baseline_reward
+
+
+def test_best_never_worse_than_baseline():
+    for name in SEARCHERS:
+        env = TuningEnv("op:hrotate")
+        result = run_searcher(name, env, seed=1, **(
+            {"generations": 2, "population": 4}
+            if name == "evolutionary" else {"steps": 5}
+        ))
+        assert result.best_reward >= result.baseline_reward
+        assert result.best_latency_us <= result.baseline_latency_us
+
+
+def test_same_seed_reproduces_trajectory():
+    for name, kwargs in (("random", {"steps": 6}),
+                         ("hill", {"steps": 6}),
+                         ("evolutionary",
+                          {"generations": 2, "population": 4})):
+        runs = [
+            _points(run_searcher(name, TuningEnv("op:hmult"),
+                                 seed=5, **kwargs))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1], name
+
+
+def test_different_seeds_explore_differently():
+    visited = set()
+    for seed in (0, 1, 2, 3):
+        result = random_search(TuningEnv("op:hmult"), steps=6, seed=seed)
+        visited.add(tuple(
+            tuple(sorted(p.assignment.items()))
+            for p in result.trajectory.points
+        ))
+    assert len(visited) > 1  # the rng seed actually steers sampling
+
+
+def test_hill_climb_incumbent_is_monotone():
+    result = hill_climb(TuningEnv("op:hmult"), steps=10, seed=2)
+    curve = result.trajectory.best_curve()
+    assert curve == sorted(curve)
+    assert result.evaluations == len(result.trajectory.points) <= 11
+
+
+def test_evolutionary_budget_is_bounded():
+    result = evolutionary_search(TuningEnv("op:hmult"),
+                                 generations=3, population=4, seed=0)
+    # gen 0: population evals; later gens: population - elite each.
+    assert result.evaluations <= 3 * 4
+
+
+def test_result_serializes():
+    result = random_search(TuningEnv("op:hmult"), steps=3, seed=0)
+    d = result.to_dict()
+    assert d["searcher"] == "random"
+    assert d["evaluations"] == len(d["trajectory"]["points"])
+    assert d["best_latency_us"] <= d["baseline_latency_us"]
+
+
+def test_fitness_svg_renders_all_curves():
+    results = [random_search(TuningEnv("op:hmult"), steps=3, seed=s)
+               for s in (0, 1)]
+    svg = fitness_svg(results)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert "baseline" in svg

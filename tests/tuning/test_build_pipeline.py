@@ -1,0 +1,151 @@
+"""``TuningConfig`` -> ``build_pipeline`` property suite.
+
+The three contracts ISSUE acceptance names:
+
+* every knob's assignment is observable on the built pipeline (through
+  the spec's own ``observe`` hook);
+* out-of-domain assignments raise at build time;
+* ``to_dict()`` -> rebuild prices bit-identically.
+"""
+
+import pytest
+
+from repro.tuning import (
+    IntRange,
+    KnobDomainError,
+    TuningConfig,
+    UnknownKnob,
+    all_knobs,
+    build_pipeline,
+)
+
+
+def _probe_value(spec):
+    """An in-domain, non-None point, preferably not the default."""
+    default = spec.resolve_default()
+    pts = [p for p in spec.domain.points() if p is not None]
+    non_default = [p for p in pts if p != default]
+    return (non_default or pts)[0]
+
+
+# ---- observability ---------------------------------------------------------
+
+
+def test_every_knob_declares_an_observe_hook():
+    missing = [n for n, s in all_knobs().items() if s.observe is None]
+    assert missing == [], f"knobs without observe hooks: {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(all_knobs()))
+def test_assignment_observable_on_built_pipeline(name):
+    spec = all_knobs()[name]
+    value = _probe_value(spec)
+    pipe = build_pipeline(TuningConfig({name: value}))
+    assert spec.observe(pipe) == value
+
+
+def test_defaults_observable_too():
+    pipe = build_pipeline()
+    for name, spec in all_knobs().items():
+        default = spec.resolve_default()
+        if default is None:
+            continue  # inherit sentinel: observed value is the layer's own
+        assert spec.observe(pipe) == default, name
+
+
+# ---- validation ------------------------------------------------------------
+
+
+def test_unknown_name_raises_at_config_time():
+    with pytest.raises(UnknownKnob):
+        TuningConfig({"definitely.not.a.knob": 1})
+    with pytest.raises(UnknownKnob):
+        build_pipeline(**{"also.not.a.knob": 1})
+
+
+@pytest.mark.parametrize("name", sorted(all_knobs()))
+def test_out_of_domain_raises_at_build_time(name):
+    spec = all_knobs()[name]
+    bad = "definitely-out-of-domain"
+    if spec.domain.contains(bad):  # pragma: no cover - defensive
+        pytest.skip("domain admits arbitrary strings")
+    cfg = TuningConfig({name: bad})  # config holds it...
+    with pytest.raises(KnobDomainError, match=name.replace(".", r"\.")):
+        build_pipeline(cfg)  # ...but can never be built
+
+
+def test_cross_knob_constraint_raises_at_build_time():
+    # toy has L=3, so dnum=15 violates [1, L+1] — the layer's own check.
+    cfg = TuningConfig({"params.set": "toy", "ckks.dnum": 15})
+    with pytest.raises(ValueError, match="dnum"):
+        build_pipeline(cfg)
+
+
+def test_optional_none_inherits_layer_value():
+    pipe = build_pipeline(TuningConfig({"ckks.dnum": None}))
+    assert pipe.params.dnum == pipe.params.dnum  # materialized
+    assert pipe.params.dnum == build_pipeline().params.dnum
+
+
+def test_gpu_overrides_apply_through_with_overrides():
+    pipe = build_pipeline(TuningConfig({
+        "gpu.model": "NVIDIA V100", "gpu.sm_count": 54,
+        "gpu.tensor_macs_per_sm": 1024,
+    }))
+    assert pipe.device.name == "NVIDIA V100"
+    assert pipe.device.sm_count == 54
+    assert pipe.device.tensor_int8_macs_per_cycle_per_sm == 1024
+
+
+# ---- config object semantics ----------------------------------------------
+
+
+def test_replace_is_persistent():
+    a = TuningConfig({"boot.fuse": 2})
+    b = a.replace(**{"ntt.variant": "wd-cuda"})
+    assert "ntt.variant" not in a and a["boot.fuse"] == 2
+    assert b["boot.fuse"] == 2 and b["ntt.variant"] == "wd-cuda"
+
+
+def test_key_is_canonical():
+    a = TuningConfig({"boot.fuse": 2, "ntt.variant": "wd-cuda"})
+    b = TuningConfig({"ntt.variant": "wd-cuda", "boot.fuse": 2})
+    assert a.key() == b.key() and a == b and hash(a) == hash(b)
+
+
+def test_effective_covers_every_knob():
+    eff = TuningConfig({"boot.fuse": 3}).effective()
+    assert set(eff) == set(all_knobs())
+    assert eff["boot.fuse"] == 3
+
+
+def test_validate_checks_effective_not_just_explicit():
+    spec = all_knobs()["boot.fuse"]
+    assert isinstance(spec.domain, IntRange)
+    cfg = TuningConfig({"boot.fuse": 8})
+    assert cfg.validate() is cfg
+
+
+# ---- round-trip pricing ----------------------------------------------------
+
+
+def test_to_dict_rebuild_prices_bit_identically():
+    cfg = TuningConfig({
+        "params.set": "SET-B", "ntt.variant": "wd-tensor",
+        "geometry.threads_per_block": 512, "serving.batch": 4,
+    })
+    pipe = build_pipeline(cfg)
+    rebuilt = build_pipeline(TuningConfig.from_dict(pipe.config.to_dict()))
+    for op in ("hmult", "hrotate", "rescale"):
+        a = pipe.scheduler.latency_us(op, batch=pipe.batch)
+        b = rebuilt.scheduler.latency_us(op, batch=rebuilt.batch)
+        assert a == b  # bit-identical, not approximately equal
+    assert rebuilt.params == pipe.params
+    assert rebuilt.device == pipe.device
+    assert rebuilt.geometry == pipe.geometry
+    assert rebuilt.boot_config == pipe.boot_config
+
+
+def test_describe_mentions_the_load_bearing_fields():
+    text = build_pipeline().describe()
+    assert "SET-C" in text and "wd-fuse" in text and "batch=1" in text

@@ -1,0 +1,21 @@
+"""The new config/gym packages are inside the static-analysis gates.
+
+The repo-wide fhelint gate (tests/analysis/test_fhelint_repo.py) lints
+all of ``src/``; this pins that ``repro.tuning`` and ``repro.gym`` are
+actually part of that sweep and clean on their own, so a finding there
+can never hide behind the aggregate count.
+"""
+
+from pathlib import Path
+
+from repro.analysis.fhelint.runner import run_lint
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_tuning_and_gym_packages_are_lint_clean():
+    result = run_lint([str(SRC / "tuning"), str(SRC / "gym")])
+    assert result.files_checked >= 8
+    assert result.active == [], "\n".join(
+        f.render() for f in result.active
+    )
